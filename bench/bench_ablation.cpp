@@ -1,0 +1,130 @@
+// Ablation study of the Step-1 design choices called out in DESIGN.md:
+// group-selection policy, expansion policy, module order, the
+// criterion-1 budget search, and the compaction pass. For each variant
+// we report the per-SOC channel count k and test length on the Table-1
+// operating points; deltas versus the full algorithm quantify what each
+// ingredient buys.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/channel_group.hpp"
+#include "common/format.hpp"
+#include "core/step1.hpp"
+#include "report/table.hpp"
+#include "soc/profiles.hpp"
+
+namespace {
+
+using namespace mst;
+
+struct Variant {
+    std::string name;
+    std::function<void(OptimizeOptions&)> tweak;
+};
+
+std::vector<Variant> variants()
+{
+    return {
+        {"full algorithm (paper + tightening)", [](OptimizeOptions&) {}},
+        {"group select: first fit",
+         [](OptimizeOptions& o) { o.group_select = GroupSelectPolicy::first_fit; }},
+        {"expansion: min widening",
+         [](OptimizeOptions& o) { o.expansion = ExpansionPolicy::min_widening; }},
+        {"expansion: always new group",
+         [](OptimizeOptions& o) { o.expansion = ExpansionPolicy::always_new_group; }},
+        {"order: by volume", [](OptimizeOptions& o) { o.module_order = ModuleOrder::by_volume; }},
+        {"order: file order", [](OptimizeOptions& o) { o.module_order = ModuleOrder::input_order; }},
+        {"no budget search", [](OptimizeOptions& o) { o.budget_search = false; }},
+        {"no compaction", [](OptimizeOptions& o) { o.compaction = false; }},
+        {"raw greedy (no search, no compaction)",
+         [](OptimizeOptions& o) {
+             o.budget_search = false;
+             o.compaction = false;
+         }},
+    };
+}
+
+struct Workload {
+    std::string soc;
+    ChannelCount channels;
+    CycleCount depth;
+};
+
+std::vector<Workload> workloads()
+{
+    return {
+        {"d695", 256, 64 * kibi},
+        {"p22810", 512, 512 * kibi},
+        {"p34392", 512, parse_depth("1.256M")},
+        {"p93791", 512, parse_depth("2.000M")},
+    };
+}
+
+void print_ablation()
+{
+    std::cout << "=== Ablation: Step-1 design choices (channels k per SOC) ===\n\n";
+    Table table({"variant", "d695", "p22810", "p34392", "p93791", "avg dk"});
+
+    std::vector<ChannelCount> reference;
+    for (const Variant& variant : variants()) {
+        std::vector<std::string> row{variant.name};
+        double delta_sum = 0.0;
+        std::size_t column = 0;
+        for (const Workload& workload : workloads()) {
+            const Soc soc = make_benchmark_soc(workload.soc);
+            const SocTimeTables tables(soc);
+            AteSpec ate;
+            ate.channels = workload.channels;
+            ate.vector_memory_depth = workload.depth;
+            OptimizeOptions options;
+            options.broadcast = BroadcastMode::stimuli;
+            variant.tweak(options);
+            const Step1Result result = run_step1(tables, ate, options);
+            row.push_back(std::to_string(result.channels));
+            if (reference.size() > column) {
+                delta_sum += result.channels - reference[column];
+            } else {
+                reference.push_back(result.channels);
+            }
+            ++column;
+        }
+        char delta[32];
+        std::snprintf(delta, sizeof delta, "%+.1f", delta_sum / static_cast<double>(column));
+        row.emplace_back(delta);
+        table.add_row(std::move(row));
+    }
+    std::cout << table << '\n';
+    std::cout << "dk: average extra channels vs the full algorithm (lower is better).\n\n";
+}
+
+void BM_Step1Variant(benchmark::State& state, bool budget_search, bool compaction)
+{
+    const Soc soc = make_benchmark_soc("p93791");
+    const SocTimeTables tables(soc);
+    AteSpec ate;
+    ate.channels = 512;
+    ate.vector_memory_depth = parse_depth("2.000M");
+    OptimizeOptions options;
+    options.budget_search = budget_search;
+    options.compaction = compaction;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(run_step1(tables, ate, options));
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_Step1Variant, full, true, true)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Step1Variant, raw_greedy, false, false)->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv)
+{
+    print_ablation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

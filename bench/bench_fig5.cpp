@@ -1,0 +1,135 @@
+// Figure 5 of the paper: operation of the two-step algorithm on the
+// Philips PNX8550 (synthetic reconstruction), for the cases with and
+// without stimuli broadcast, on a 512-channel / 7M-vector / 5 MHz ATE.
+//
+// Printed output:
+//  - the Steps 1+2 throughput curve D_th(n) without broadcast,
+//  - the Steps 1+2 throughput curve D_th(n) with broadcast,
+//  - the "Step 1 only" straight line for the broadcast case (the paper's
+//    dashed line): Step 1's architecture evaluated at every n,
+//  - the paper's capped-equipment comparison: throughput at n = 8 for
+//    Steps 1+2 vs Step 1 only (the paper reports a 34% gap).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/optimizer.hpp"
+#include "report/series.hpp"
+#include "soc/profiles.hpp"
+
+namespace {
+
+using namespace mst;
+
+TestCell paper_cell()
+{
+    return TestCell{}; // 512 ch x 7M, 5 MHz, t_i = 0.5 s, t_c = 1 ms
+}
+
+Series curve_from_solution(const Solution& solution, const std::string& name)
+{
+    Series series;
+    series.name = name;
+    series.x_label = "sites n";
+    series.y_label = "throughput D_th [devices/hour]";
+    for (auto it = solution.site_curve.rbegin(); it != solution.site_curve.rend(); ++it) {
+        series.points.emplace_back(it->sites, it->devices_per_hour);
+    }
+    return series;
+}
+
+/// Step-1-only throughput at a given n: the Step-1 architecture is kept,
+/// so t_m is fixed and D_th is simply linear in n.
+Series step1_only_line(const Soc& soc, const TestCell& cell, const OptimizeOptions& base,
+                       SiteCount up_to)
+{
+    OptimizeOptions options = base;
+    options.step1_only = true;
+    const Solution step1 = optimize_multi_site(soc, cell, options);
+
+    Series series;
+    series.name = "pnx8550 broadcast, Step 1 only (dashed line)";
+    series.x_label = "sites n";
+    series.y_label = "throughput D_th [devices/hour]";
+    for (SiteCount n = 1; n <= up_to; ++n) {
+        ThroughputInputs inputs;
+        inputs.sites = n;
+        inputs.manufacturing_test_time = step1.manufacturing_time;
+        inputs.contacted_terminals_per_soc = step1.channels_per_site + base.control_pads;
+        const ThroughputResult result =
+            evaluate_throughput(inputs, cell.prober, base.yields, base.abort);
+        series.points.emplace_back(n, result.devices_per_hour);
+    }
+    return series;
+}
+
+void print_figure5()
+{
+    std::cout << "=== Figure 5: two-step algorithm on PNX8550 (512 ch x 7M @ 5 MHz) ===\n\n";
+    const Soc soc = make_benchmark_soc("pnx8550");
+    const TestCell cell = paper_cell();
+
+    OptimizeOptions no_broadcast;
+    const Solution plain = optimize_multi_site(soc, cell, no_broadcast);
+    std::cout << "without broadcast: Step 1 k = " << plain.channels_step1
+              << " channels, n_max = " << plain.max_sites_step1
+              << "; optimum n_opt = " << plain.sites << ", D_th = "
+              << format_throughput(plain.best_throughput()) << " devices/hour\n";
+
+    OptimizeOptions broadcast;
+    broadcast.broadcast = BroadcastMode::stimuli;
+    const Solution wide = optimize_multi_site(soc, cell, broadcast);
+    std::cout << "with broadcast:    Step 1 k = " << wide.channels_step1
+              << " channels, n_max = " << wide.max_sites_step1
+              << "; optimum n_opt = " << wide.sites << ", D_th = "
+              << format_throughput(wide.best_throughput()) << " devices/hour\n\n";
+
+    print_series(std::cout, curve_from_solution(plain, "pnx8550 no broadcast, Steps 1+2"));
+    print_series(std::cout, curve_from_solution(wide, "pnx8550 broadcast, Steps 1+2"));
+    print_series(std::cout, step1_only_line(soc, cell, broadcast, wide.max_sites_step1));
+
+    // The capped-equipment claim: multi-site limited to n = 8.
+    const SiteCount cap = 8;
+    double steps12_at_cap = 0.0;
+    for (const SitePoint& point : wide.site_curve) {
+        if (point.sites == cap) {
+            steps12_at_cap = point.devices_per_hour;
+        }
+    }
+    const Series line = step1_only_line(soc, cell, broadcast, cap);
+    const double step1_at_cap = line.points.back().second;
+    if (steps12_at_cap > 0.0 && step1_at_cap > 0.0) {
+        std::cout << "equipment capped at n = " << cap << " (broadcast): Steps 1+2 = "
+                  << format_throughput(steps12_at_cap) << ", Step 1 only = "
+                  << format_throughput(step1_at_cap) << "  (+"
+                  << static_cast<int>(100.0 * (steps12_at_cap / step1_at_cap - 1.0))
+                  << "% from Step 2; paper reports +34%)\n\n";
+    }
+}
+
+void BM_OptimizePnx8550(benchmark::State& state, BroadcastMode mode)
+{
+    const Soc soc = make_benchmark_soc("pnx8550");
+    const TestCell cell = paper_cell();
+    OptimizeOptions options;
+    options.broadcast = mode;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(optimize_multi_site(soc, cell, options));
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_OptimizePnx8550, no_broadcast, mst::BroadcastMode::none)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_OptimizePnx8550, broadcast, mst::BroadcastMode::stimuli)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv)
+{
+    print_figure5();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 7 of the paper:
+//  (a) unique throughput D^u_th vs vector memory depth for contact
+//      yields p_c in {1, .9999, .9998, .999, .998, .99} (re-test of
+//      contact failures enabled). Deeper memory -> fewer contacted pads
+//      -> smaller re-test rate.
+//  (b) expected test application time vs site count for manufacturing
+//      yields p_m in {1, .98, .95, .90, .80, .70} under abort-on-fail
+//      (eq 4.4). The benefit washes out beyond a handful of sites.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/optimizer.hpp"
+#include "report/series.hpp"
+#include "soc/profiles.hpp"
+
+namespace {
+
+using namespace mst;
+
+void print_figure7a(const Soc& soc)
+{
+    std::cout << "=== Figure 7(a): unique throughput vs depth, per contact yield "
+                 "(PNX8550, 512 ch, re-test on) ===\n\n";
+    for (const double pc : {1.0, 0.9999, 0.9998, 0.999, 0.998, 0.99}) {
+        Series series;
+        series.name = "p_c = " + std::to_string(pc);
+        series.x_label = "vector memory depth [M vectors]";
+        series.y_label = "D^u_th [unique devices/hour]";
+        for (CycleCount depth_m = 5; depth_m <= 14; ++depth_m) {
+            TestCell cell;
+            cell.ate.vector_memory_depth = depth_m * mebi;
+            OptimizeOptions options;
+            options.retest = RetestPolicy::retest_contact_failures;
+            options.yields.contact_yield_per_terminal = pc;
+            const Solution solution = optimize_multi_site(soc, cell, options);
+            series.points.emplace_back(static_cast<double>(depth_m),
+                                       solution.throughput.unique_devices_per_hour);
+        }
+        print_series(std::cout, series);
+    }
+}
+
+void print_figure7b(const Soc& soc)
+{
+    std::cout << "=== Figure 7(b): abort-on-fail expected test time vs sites, per yield "
+                 "(PNX8550, 512 ch x 7M) ===\n\n";
+    // The architecture (and so t_m) comes from the depth-7M optimizer run;
+    // eq 4.4 then scales the expected time with n and p_m.
+    const TestCell cell;
+    const Solution solution = optimize_multi_site(soc, cell);
+    std::cout << "architecture: k = " << solution.channels_per_site << " channels/site, t_m = "
+              << format_seconds(solution.manufacturing_time) << " (full scan-through)\n\n";
+
+    for (const double pm : {1.0, 0.98, 0.95, 0.90, 0.80, 0.70}) {
+        Series series;
+        series.name = "p_m = " + std::to_string(pm);
+        series.x_label = "sites n";
+        series.y_label = "expected test application time [s]";
+        for (SiteCount n = 1; n <= 8; ++n) {
+            ThroughputInputs inputs;
+            inputs.sites = n;
+            inputs.manufacturing_test_time = solution.manufacturing_time;
+            inputs.contacted_terminals_per_soc = solution.erpct.contacted_pads();
+            YieldModel yields;
+            yields.manufacturing_yield = pm;
+            const ThroughputResult result =
+                evaluate_throughput(inputs, cell.prober, yields, AbortOnFail::on);
+            series.points.emplace_back(n, result.total_test_time);
+        }
+        print_series(std::cout, series);
+    }
+    std::cout << "note: by n >= 4-6 all yield curves converge to the full test time -- \n"
+                 "abort-on-fail loses its value under multi-site testing (paper's claim).\n\n";
+}
+
+void BM_RetestEvaluation(benchmark::State& state)
+{
+    ThroughputInputs inputs;
+    inputs.sites = 7;
+    inputs.manufacturing_test_time = 1.47;
+    inputs.contacted_terminals_per_soc = 79;
+    YieldModel yields;
+    yields.contact_yield_per_terminal = 0.999;
+    yields.manufacturing_yield = 0.9;
+    const ProbeStation prober;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(evaluate_throughput(inputs, prober, yields, AbortOnFail::on));
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_RetestEvaluation);
+
+int main(int argc, char** argv)
+{
+    const mst::Soc soc = mst::make_benchmark_soc("pnx8550");
+    print_figure7a(soc);
+    print_figure7b(soc);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

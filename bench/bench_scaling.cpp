@@ -1,0 +1,84 @@
+// Scaling study (ours, not in the paper): optimizer cost as the SOC
+// grows. The DATE'05 algorithm is meant to run inside a DfT planning
+// loop, so we check that full Step 1 + Step 2 stays interactive even for
+// SOCs an order of magnitude larger than the ITC'02 set.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/optimizer.hpp"
+#include "report/table.hpp"
+#include "soc/generator.hpp"
+
+namespace {
+
+using namespace mst;
+
+Soc scaled_soc(int modules)
+{
+    GeneratorConfig config;
+    config.name = "scale" + std::to_string(modules);
+    config.seed = 4242;
+    config.logic_modules = modules;
+    config.logic_volume_bits = 120'000LL * modules;
+    config.min_chains = 4;
+    config.max_chains = 32;
+    return generate_soc(config);
+}
+
+TestCell scaled_cell()
+{
+    TestCell cell;
+    cell.ate.channels = 512;
+    cell.ate.vector_memory_depth = 256 * kibi;
+    return cell;
+}
+
+void print_scaling_table()
+{
+    std::cout << "=== Scaling: solution shape vs module count (512 ch x 256K) ===\n\n";
+    Table table({"modules", "k", "n_opt", "test cycles", "D_th"});
+    for (const int modules : {10, 20, 40, 80, 160, 320}) {
+        const Soc soc = scaled_soc(modules);
+        const Solution solution = optimize_multi_site(soc, scaled_cell());
+        table.add_row({std::to_string(modules), std::to_string(solution.channels_per_site),
+                       std::to_string(solution.sites), std::to_string(solution.test_cycles),
+                       format_throughput(solution.best_throughput())});
+    }
+    std::cout << table << '\n';
+}
+
+void BM_OptimizeScaled(benchmark::State& state)
+{
+    const Soc soc = scaled_soc(static_cast<int>(state.range(0)));
+    const TestCell cell = scaled_cell();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(optimize_multi_site(soc, cell));
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void BM_TimeTableConstruction(benchmark::State& state)
+{
+    const Soc soc = scaled_soc(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(SocTimeTables(soc));
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_OptimizeScaled)->RangeMultiplier(2)->Range(10, 320)->Unit(benchmark::kMillisecond)
+    ->Complexity();
+BENCHMARK(BM_TimeTableConstruction)->RangeMultiplier(2)->Range(10, 320)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+int main(int argc, char** argv)
+{
+    print_scaling_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

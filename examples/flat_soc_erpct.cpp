@@ -1,0 +1,74 @@
+// Problem 2 of the paper: a flattened (non-modular) SOC. The "test
+// architecture" degenerates to a single channel group, and the E-RPCT
+// wrapper parameters are the whole answer: how many test pins to expose
+// and how the internal scan chains map onto them.
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/optimizer.hpp"
+#include "report/table.hpp"
+#include "wrapper/wrapper_design.hpp"
+
+int main()
+{
+    using namespace mst;
+
+    // A flattened SOC: the whole chip is one module with 64 internal
+    // scan chains of ~200 flip-flops and 5,000 top-level test patterns.
+    std::vector<FlipFlopCount> chains;
+    for (int c = 0; c < 64; ++c) {
+        chains.push_back(180 + (c * 7) % 40); // 180..219, deterministic mix
+    }
+    const Soc soc("flatchip", {Module("flatchip", 120, 96, 16, 5000, std::move(chains))});
+
+    TestCell cell;
+    cell.ate.channels = 256;
+    cell.ate.vector_memory_depth = 2 * mebi;
+    cell.ate.test_clock_hz = 10e6;
+
+    // Sweep the three problem variants the paper defines for Problem 2.
+    Table table({"variant", "n_opt", "k", "t_m", "D_th or D^u_th"});
+    for (int variant = 0; variant < 3; ++variant) {
+        OptimizeOptions options;
+        std::string name;
+        switch (variant) {
+        case 0:
+            name = "plain";
+            break;
+        case 1:
+            name = "stimuli broadcast";
+            options.broadcast = BroadcastMode::stimuli;
+            break;
+        default:
+            name = "re-test, p_c = 0.999";
+            options.retest = RetestPolicy::retest_contact_failures;
+            options.yields.contact_yield_per_terminal = 0.999;
+            break;
+        }
+        const Solution solution = optimize_multi_site(soc, cell, options);
+        table.add_row({name, std::to_string(solution.sites),
+                       std::to_string(solution.channels_per_site),
+                       format_seconds(solution.manufacturing_time),
+                       format_throughput(solution.best_throughput())});
+    }
+    std::cout << table << '\n';
+
+    // Show the physical wrapper for the plain variant: which scan chains
+    // concatenate onto which of the k/2 wrapper chains.
+    const Solution solution = optimize_multi_site(soc, cell);
+    const WrapperDesign wrapper =
+        design_wrapper(soc.module(0), wires_from_channels(solution.channels_per_site));
+    std::cout << "E-RPCT wrapper detail (" << solution.channels_per_site << " pins -> "
+              << wrapper.width << " wrapper chains):\n";
+    std::cout << "  max scan-in " << wrapper.max_scan_in << " bits, max scan-out "
+              << wrapper.max_scan_out << " bits, test " << wrapper.test_time << " cycles\n";
+    for (std::size_t c = 0; c < std::min<std::size_t>(4, wrapper.chains.size()); ++c) {
+        const WrapperChain& chain = wrapper.chains[c];
+        std::cout << "  chain " << c << ": " << chain.scan_chain_indices.size()
+                  << " internal chains, " << chain.scan_flip_flops << " FFs, +"
+                  << chain.input_cells << " in-cells, +" << chain.output_cells
+                  << " out-cells\n";
+    }
+    std::cout << "  ... (" << wrapper.chains.size() << " chains total)\n";
+    return 0;
+}

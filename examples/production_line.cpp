@@ -1,0 +1,78 @@
+// Production-line planning: the paper's Section-3 two-step flow (wafer
+// test through E-RPCT, final test through all pins) combined with the
+// wafer-periphery losses the paper mentions and sets aside.
+//
+// For the d695 benchmark on a real 300 mm wafer, this example prints the
+// full line plan: on-chip DfT, wafer multi-site with periphery-corrected
+// throughput, final-test sites, line balance, and tester-seconds per
+// shipped device.
+#include <iostream>
+
+#include "common/format.hpp"
+#include "flow/test_flow.hpp"
+#include "flow/wafer.hpp"
+#include "report/table.hpp"
+#include "soc/profiles.hpp"
+
+int main()
+{
+    using namespace mst;
+
+    const Soc soc = make_benchmark_soc("d695");
+
+    TestCell wafer_cell;
+    wafer_cell.ate.channels = 256;
+    wafer_cell.ate.vector_memory_depth = 64 * kibi;
+
+    FinalTestCell final_cell;
+    final_cell.channels = 1024;
+    final_cell.max_handler_sites = 8;
+
+    FlowOptions options;
+    options.wafer.yields.manufacturing_yield = 0.85;
+    options.final_retest = FinalRetest::through_erpct;
+    options.packaged_yield = 0.98;
+
+    const FlowPlan plan = plan_flow(soc, wafer_cell, final_cell, options);
+
+    std::cout << "=== stage 1: wafer test (E-RPCT interface) ===\n";
+    std::cout << "sites: " << plan.wafer.sites << ", k = "
+              << plan.wafer_solution.channels_per_site << " channels/site, touchdown "
+              << format_seconds(plan.wafer.touchdown_time) << ", ideal "
+              << format_throughput(plan.wafer.devices_per_hour) << " dies/hour\n";
+
+    // Periphery correction on a 300 mm wafer with 8x8 mm dies.
+    WaferSpec wafer;
+    wafer.die_width_mm = 8.0;
+    wafer.die_height_mm = 8.0;
+    const ProbeHeadLayout head = best_head_layout(wafer, plan.wafer.sites);
+    const WaferProbePlan probing = plan_wafer_probing(wafer, head);
+    const DevicesPerHour corrected =
+        effective_throughput(plan.wafer.devices_per_hour, plan.wafer.sites, probing);
+    std::cout << "wafer map: " << probing.dies_on_wafer << " dies, probe head "
+              << head.sites_x << "x" << head.sites_y << ", " << probing.touchdowns
+              << " touchdowns, utilization "
+              << static_cast<int>(100.0 * probing.utilization) << "%\n";
+    std::cout << "periphery-corrected throughput: " << format_throughput(corrected)
+              << " dies/hour (paper ignores this loss)\n\n";
+
+    std::cout << "=== stage 2: final test (all "
+              << plan.wafer_solution.erpct.functional_pins +
+                     plan.wafer_solution.erpct.control_pads
+              << " pins, internal re-test via E-RPCT) ===\n";
+    std::cout << "sites: " << plan.final.sites << ", touchdown "
+              << format_seconds(plan.final.touchdown_time) << ", "
+              << format_throughput(plan.final.devices_per_hour) << " parts/hour\n\n";
+
+    std::cout << "=== line plan ===\n";
+    Table table({"metric", "value"});
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.2f", plan.final_testers_per_wafer_tester);
+    table.add_row({"final testers per wafer tester", ratio});
+    table.add_row({"tester-seconds per shipped device",
+                   format_seconds(plan.tester_seconds_per_shipped_device)});
+    table.add_row({"die yield assumed", "85%"});
+    table.add_row({"packaged yield assumed", "98%"});
+    std::cout << table;
+    return 0;
+}

@@ -1,0 +1,161 @@
+#include "arch/architecture.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mst {
+
+WireCount Architecture::total_wires() const noexcept
+{
+    WireCount total = 0;
+    for (const ChannelGroup& group : groups_) {
+        total += group.width();
+    }
+    return total;
+}
+
+CycleCount Architecture::test_cycles() const noexcept
+{
+    CycleCount longest = 0;
+    for (const ChannelGroup& group : groups_) {
+        longest = std::max(longest, group.fill());
+    }
+    return longest;
+}
+
+CycleCount Architecture::free_memory(CycleCount depth) const noexcept
+{
+    CycleCount free = 0;
+    for (const ChannelGroup& group : groups_) {
+        free += depth * group.width() - group.fill();
+    }
+    return free;
+}
+
+bool Architecture::add_wire_to_bottleneck(WireCount spare)
+{
+    if (groups_.empty() || spare < 1) {
+        return false;
+    }
+    auto bottleneck = std::max_element(
+        groups_.begin(), groups_.end(),
+        [](const ChannelGroup& a, const ChannelGroup& b) { return a.fill() < b.fill(); });
+    // Monotonicity of the time staircase means: if `spare` extra wires do
+    // not lower the fill, no smaller amount does either.
+    if (bottleneck->fill_at_width(bottleneck->width() + spare) >= bottleneck->fill()) {
+        return false;
+    }
+    bottleneck->widen(1);
+    return true;
+}
+
+WireCount Architecture::compact(CycleCount depth)
+{
+    WireCount saved = 0;
+    bool removed = true;
+    while (removed && groups_.size() > 1) {
+        removed = false;
+        // Candidate victims, narrowest first.
+        std::vector<std::size_t> victims(groups_.size());
+        for (std::size_t i = 0; i < victims.size(); ++i) {
+            victims[i] = i;
+        }
+        std::stable_sort(victims.begin(), victims.end(), [this](std::size_t a, std::size_t b) {
+            return groups_[a].width() < groups_[b].width();
+        });
+
+        for (const std::size_t victim : victims) {
+            std::vector<ChannelGroup> trial;
+            trial.reserve(groups_.size() - 1);
+            for (std::size_t g = 0; g < groups_.size(); ++g) {
+                if (g != victim) {
+                    trial.push_back(groups_[g]);
+                }
+            }
+            bool all_relocated = true;
+            for (const int module_index : groups_[victim].module_indices()) {
+                ChannelGroup* best = nullptr;
+                CycleCount best_fill = 0;
+                for (ChannelGroup& group : trial) {
+                    const CycleCount fill = group.fill_with(module_index);
+                    if (fill <= depth && (best == nullptr || fill < best_fill)) {
+                        best = &group;
+                        best_fill = fill;
+                    }
+                }
+                if (best == nullptr) {
+                    all_relocated = false;
+                    break;
+                }
+                best->add_module(module_index);
+            }
+            if (all_relocated) {
+                saved += groups_[victim].width();
+                groups_ = std::move(trial);
+                removed = true;
+                break;
+            }
+        }
+    }
+    return saved;
+}
+
+void Architecture::validate(const AteSpec& ate) const
+{
+    std::vector<int> seen(static_cast<std::size_t>(tables_->module_count()), 0);
+    for (const ChannelGroup& group : groups_) {
+        if (group.fill() > ate.vector_memory_depth) {
+            throw ValidationError("channel group fill exceeds the ATE vector memory depth");
+        }
+        if (group.fill() != group.fill_at_width(group.width())) {
+            throw ValidationError("channel group fill is out of sync with its members");
+        }
+        for (const int module_index : group.module_indices()) {
+            if (module_index < 0 || module_index >= tables_->module_count()) {
+                throw ValidationError("channel group references a module outside the SOC");
+            }
+            ++seen[static_cast<std::size_t>(module_index)];
+        }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        if (seen[i] != 1) {
+            throw ValidationError("module '" + tables_->soc().module(static_cast<int>(i)).name() +
+                                  "' must be assigned to exactly one channel group");
+        }
+    }
+    if (channels() > ate.channels) {
+        throw ValidationError("architecture uses more channels than the ATE provides");
+    }
+}
+
+SiteCount max_sites(ChannelCount per_site_channels,
+                    ChannelCount ate_channels,
+                    BroadcastMode broadcast) noexcept
+{
+    if (per_site_channels <= 0 || ate_channels < per_site_channels) {
+        return 0;
+    }
+    if (broadcast == BroadcastMode::stimuli) {
+        const ChannelCount half = per_site_channels / 2;
+        return static_cast<SiteCount>((ate_channels - half) / half);
+    }
+    return static_cast<SiteCount>(ate_channels / per_site_channels);
+}
+
+ChannelCount per_site_channel_budget(SiteCount sites,
+                                     ChannelCount ate_channels,
+                                     BroadcastMode broadcast) noexcept
+{
+    if (sites <= 0) {
+        return 0;
+    }
+    // Wires per site: K/(2n) private, or K/(n+1) when stimuli are shared.
+    const WireCount wires = (broadcast == BroadcastMode::stimuli)
+                                ? ate_channels / (sites + 1)
+                                : ate_channels / (2 * sites);
+    return channels_from_wires(wires);
+}
+
+} // namespace mst

@@ -1,0 +1,83 @@
+// The per-site test architecture: a set of channel groups covering all
+// modules of the SOC, plus the derived quantities (channel count, test
+// time, free vector memory) the two-step algorithm reasons about.
+#pragma once
+
+#include <vector>
+
+#include "arch/channel_group.hpp"
+#include "ate/ate.hpp"
+#include "common/types.hpp"
+#include "throughput/model.hpp"
+
+namespace mst {
+
+/// A complete single-site architecture.
+class Architecture {
+public:
+    explicit Architecture(const SocTimeTables& tables) : tables_(&tables) {}
+
+    [[nodiscard]] const SocTimeTables& tables() const noexcept { return *tables_; }
+    [[nodiscard]] const std::vector<ChannelGroup>& groups() const noexcept { return groups_; }
+    [[nodiscard]] std::vector<ChannelGroup>& groups() noexcept { return groups_; }
+
+    /// Total TAM wires over all groups.
+    [[nodiscard]] WireCount total_wires() const noexcept;
+
+    /// ATE channels consumed by one site: k = 2 * total wires.
+    [[nodiscard]] ChannelCount channels() const noexcept
+    {
+        return channels_from_wires(total_wires());
+    }
+
+    /// SOC test length in cycles: the maximum group fill (groups run in
+    /// parallel; members of a group run serially).
+    [[nodiscard]] CycleCount test_cycles() const noexcept;
+
+    /// Unused vector memory summed over all used channels:
+    /// depth * wires - sum of fills (in wire-cycles). Step 1's
+    /// option-selection metric ("total free memory").
+    [[nodiscard]] CycleCount free_memory(CycleCount depth) const noexcept;
+
+    /// Step 2's redistribution move: add one wire to the group with the
+    /// largest fill, provided that group can still reduce its fill with
+    /// at most `spare` additional wires (the time staircase may need
+    /// several wires per step). Returns false — and leaves the
+    /// architecture unchanged — when the bottleneck is saturated, so the
+    /// caller stops handing out channels that cannot buy time.
+    bool add_wire_to_bottleneck(WireCount spare);
+
+    /// Channel-compaction pass: repeatedly try to delete a group by
+    /// relocating all its modules into the remaining groups (re-wrapped
+    /// at their widths) without exceeding `depth`. Narrowest groups are
+    /// attacked first; every deletion saves the group's wires. Returns
+    /// the number of wires saved. Used by Step 1 to tighten the greedy
+    /// packing (criterion 1).
+    WireCount compact(CycleCount depth);
+
+    /// Check all structural invariants: every module in exactly one
+    /// group, each group fill within `depth`, channels within `ate`
+    /// budget. Throws ValidationError on violation.
+    void validate(const AteSpec& ate) const;
+
+private:
+    const SocTimeTables* tables_;
+    std::vector<ChannelGroup> groups_;
+};
+
+/// Maximum sites n_max for a per-site channel count k on an ATE with K
+/// channels (Section 6 Step 1):
+///  - without broadcast every site needs k private channels:  n <= K / k;
+///  - with stimuli broadcast the k/2 stimulus channels are shared and
+///    only the k/2 response channels are per-site: (n+1) * k/2 <= K.
+[[nodiscard]] SiteCount max_sites(ChannelCount per_site_channels,
+                                  ChannelCount ate_channels,
+                                  BroadcastMode broadcast) noexcept;
+
+/// Largest per-site channel count usable with n sites on K channels
+/// (inverse of max_sites; always even).
+[[nodiscard]] ChannelCount per_site_channel_budget(SiteCount sites,
+                                                   ChannelCount ate_channels,
+                                                   BroadcastMode broadcast) noexcept;
+
+} // namespace mst

@@ -1,0 +1,71 @@
+#include "arch/channel_group.hpp"
+
+#include "common/error.hpp"
+
+namespace mst {
+
+SocTimeTables::SocTimeTables(const Soc& soc) : soc_(&soc)
+{
+    tables_.reserve(static_cast<std::size_t>(soc.module_count()));
+    for (const Module& m : soc.modules()) {
+        tables_.emplace_back(m);
+    }
+}
+
+ChannelGroup::ChannelGroup(WireCount width, const SocTimeTables& tables)
+    : tables_(&tables), width_(width)
+{
+    if (width < 1) {
+        throw ValidationError("channel group width must be at least one wire");
+    }
+}
+
+CycleCount ChannelGroup::module_time(int module_index, WireCount width) const
+{
+    return tables_->table(module_index).time(width);
+}
+
+CycleCount ChannelGroup::fill_with(int module_index) const
+{
+    return fill_ + module_time(module_index, width_);
+}
+
+CycleCount ChannelGroup::fill_at_width(WireCount width) const
+{
+    CycleCount total = 0;
+    for (const int module_index : modules_) {
+        total += module_time(module_index, width);
+    }
+    return total;
+}
+
+WireCount ChannelGroup::min_widening_for(int module_index, CycleCount depth,
+                                         WireCount max_extra) const
+{
+    for (WireCount delta = 1; delta <= max_extra; ++delta) {
+        const WireCount candidate = width_ + delta;
+        const CycleCount members = fill_at_width(candidate);
+        const CycleCount added = module_time(module_index, candidate);
+        if (members + added <= depth) {
+            return delta;
+        }
+    }
+    return 0;
+}
+
+void ChannelGroup::add_module(int module_index)
+{
+    fill_ += module_time(module_index, width_);
+    modules_.push_back(module_index);
+}
+
+void ChannelGroup::widen(WireCount extra_wires)
+{
+    if (extra_wires < 1) {
+        throw ValidationError("widening must add at least one wire");
+    }
+    width_ += extra_wires;
+    fill_ = fill_at_width(width_);
+}
+
+} // namespace mst

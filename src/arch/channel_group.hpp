@@ -1,0 +1,71 @@
+// Channel groups: the unit of the paper's Step-1 architecture.
+//
+// A channel group is a fixed-width TAM; the modules assigned to it are
+// tested one after another over the same wires, so the group's vector
+// memory "fill" is the sum of its members' wrapped test times and must
+// stay within the ATE's per-channel depth.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "soc/soc.hpp"
+#include "wrapper/pareto.hpp"
+
+namespace mst {
+
+/// Precomputed width/time staircases for every module of an SOC.
+/// The SOC must outlive the tables.
+class SocTimeTables {
+public:
+    explicit SocTimeTables(const Soc& soc);
+
+    [[nodiscard]] const Soc& soc() const noexcept { return *soc_; }
+    [[nodiscard]] const ModuleTimeTable& table(int module_index) const
+    {
+        return tables_.at(static_cast<std::size_t>(module_index));
+    }
+    [[nodiscard]] int module_count() const noexcept { return static_cast<int>(tables_.size()); }
+
+private:
+    const Soc* soc_;
+    std::vector<ModuleTimeTable> tables_;
+};
+
+/// One TAM / channel group.
+class ChannelGroup {
+public:
+    ChannelGroup(WireCount width, const SocTimeTables& tables);
+
+    [[nodiscard]] WireCount width() const noexcept { return width_; }
+    [[nodiscard]] const std::vector<int>& module_indices() const noexcept { return modules_; }
+    [[nodiscard]] CycleCount fill() const noexcept { return fill_; }
+
+    /// Fill if `module_index` were added at the current width.
+    [[nodiscard]] CycleCount fill_with(int module_index) const;
+
+    /// Fill of the current members if the group were `width` wide.
+    [[nodiscard]] CycleCount fill_at_width(WireCount width) const;
+
+    /// Smallest width increase delta >= 1 such that the re-wrapped members
+    /// plus `module_index` fit in `depth`, capped at `max_extra`.
+    /// Returns 0 if no delta in [1, max_extra] works.
+    [[nodiscard]] WireCount min_widening_for(int module_index, CycleCount depth,
+                                             WireCount max_extra) const;
+
+    /// Add a module at the current width.
+    void add_module(int module_index);
+
+    /// Grow the group; members are re-wrapped at the new width.
+    void widen(WireCount extra_wires);
+
+private:
+    [[nodiscard]] CycleCount module_time(int module_index, WireCount width) const;
+
+    const SocTimeTables* tables_;
+    WireCount width_ = 0;
+    std::vector<int> modules_;
+    CycleCount fill_ = 0;
+};
+
+} // namespace mst

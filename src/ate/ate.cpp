@@ -1,0 +1,30 @@
+#include "ate/ate.hpp"
+
+#include "common/error.hpp"
+
+namespace mst {
+
+void AteSpec::validate() const
+{
+    if (channels <= 0) {
+        throw ValidationError("ATE must have a positive channel count");
+    }
+    if (vector_memory_depth <= 0) {
+        throw ValidationError("ATE must have a positive vector memory depth");
+    }
+    if (test_clock_hz <= 0.0) {
+        throw ValidationError("ATE test clock frequency must be positive");
+    }
+}
+
+void ProbeStation::validate() const
+{
+    if (index_time < 0.0) {
+        throw ValidationError("probe station index time cannot be negative");
+    }
+    if (contact_test_time < 0.0) {
+        throw ValidationError("contact test time cannot be negative");
+    }
+}
+
+} // namespace mst

@@ -1,0 +1,51 @@
+// ATE (automatic test equipment) and probe-station models: the fixed
+// "target test cell" of the paper (Section 1: "We assume a given and
+// fixed target test cell, including ATE and probe station").
+#pragma once
+
+#include "common/types.hpp"
+
+namespace mst {
+
+/// The tester: channel count, per-channel vector memory depth, and the
+/// test clock it drives. Defaults follow the paper's PNX8550 experiments
+/// (512 channels, 7M vectors, 5 MHz).
+struct AteSpec {
+    ChannelCount channels = 512;
+    CycleCount vector_memory_depth = 7 * mebi;
+    double test_clock_hz = 5e6;
+
+    /// Seconds taken to apply `cycles` test clock cycles.
+    [[nodiscard]] Seconds seconds_for(CycleCount cycles) const noexcept
+    {
+        return static_cast<double>(cycles) / test_clock_hz;
+    }
+
+    /// Throws ValidationError if any field is non-positive.
+    void validate() const;
+};
+
+/// The prober: index time per touchdown and the (constant-duration)
+/// contact test. Defaults are the paper's typical values
+/// (t_i = 0.5 s, t_c = 1 ms).
+struct ProbeStation {
+    Seconds index_time = 0.5;
+    Seconds contact_test_time = 0.001;
+
+    /// Throws ValidationError on negative times.
+    void validate() const;
+};
+
+/// The complete fixed test cell used by the optimizer.
+struct TestCell {
+    AteSpec ate;
+    ProbeStation prober;
+
+    void validate() const
+    {
+        ate.validate();
+        prober.validate();
+    }
+};
+
+} // namespace mst

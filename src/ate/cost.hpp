@@ -1,0 +1,44 @@
+// ATE upgrade economics from Section 7 of the paper:
+// "buying 16 additional ATE channels with 7M memory depth would cost
+//  roughly USD 8,000. At the same time, upgrading test vector memory for
+//  16 channels from 7M to 14M would cost only USD 1,500."
+#pragma once
+
+#include "ate/ate.hpp"
+#include "common/types.hpp"
+
+namespace mst {
+
+/// Market price model for extending a tester.
+struct AteCostModel {
+    /// Cost of one extra channel, fitted with the base memory depth
+    /// (paper: $8,000 / 16 channels).
+    UsDollars channel_cost = 8000.0 / 16.0;
+
+    /// Cost of doubling the vector memory of one channel
+    /// (paper: $1,500 / 16 channels for the 7M -> 14M step).
+    UsDollars memory_doubling_cost_per_channel = 1500.0 / 16.0;
+
+    /// Cost of adding `extra` channels (at base depth).
+    [[nodiscard]] UsDollars channels_upgrade(ChannelCount extra) const noexcept
+    {
+        return channel_cost * extra;
+    }
+
+    /// Cost of doubling the memory of every channel of `ate`.
+    [[nodiscard]] UsDollars memory_doubling(const AteSpec& ate) const noexcept
+    {
+        return memory_doubling_cost_per_channel * ate.channels;
+    }
+
+    /// How many whole channels the given budget buys.
+    [[nodiscard]] ChannelCount channels_for_budget(UsDollars budget) const noexcept
+    {
+        if (channel_cost <= 0.0) {
+            return 0;
+        }
+        return static_cast<ChannelCount>(budget / channel_cost);
+    }
+};
+
+} // namespace mst

@@ -1,0 +1,31 @@
+// Rectangle bin-packing baseline in the spirit of [7] (Iyengar et al.,
+// ITC 2002): pick each module's narrowest rectangle that fits the memory
+// depth, pack the rectangles into fixed-width columns first-fit by
+// decreasing height, then run a column-elimination improvement pass.
+// Unlike the paper's Step 1, the packer never re-balances widths with
+// the best-free-memory criterion — which is exactly the gap Table 1
+// exposes.
+#pragma once
+
+#include "arch/channel_group.hpp"
+#include "ate/ate.hpp"
+#include "common/types.hpp"
+#include "throughput/model.hpp"
+
+namespace mst {
+
+/// Result of the baseline packer.
+struct BaselineResult {
+    ChannelCount channels = 0; ///< k for one SOC (2x total wires)
+    SiteCount max_sites = 0;   ///< sites on the given ATE
+    CycleCount test_cycles = 0; ///< max column fill
+    int columns = 0;           ///< number of packing columns (TAMs)
+};
+
+/// Pack the SOC onto the ATE; throws InfeasibleError when a module fits
+/// at no width or the channel budget is exceeded.
+[[nodiscard]] BaselineResult pack_rectangles(const SocTimeTables& tables,
+                                             const AteSpec& ate,
+                                             BroadcastMode broadcast);
+
+} // namespace mst

@@ -1,0 +1,23 @@
+// The theoretical lower bound on the ATE channel count of [7]:
+// no architecture can use fewer wires than (a) the widest single module
+// needs to fit the memory depth, or (b) the total minimum packing area
+// divided by the depth.
+#pragma once
+
+#include <optional>
+
+#include "arch/channel_group.hpp"
+#include "common/types.hpp"
+
+namespace mst {
+
+/// Lower bound in TAM wires for testing the SOC within `depth`, or
+/// nullopt if some module fits at no width.
+[[nodiscard]] std::optional<WireCount> lower_bound_wires(const SocTimeTables& tables,
+                                                         CycleCount depth);
+
+/// Lower bound in ATE channels (2x wires); nullopt when untestable.
+[[nodiscard]] std::optional<ChannelCount> lower_bound_channels(const SocTimeTables& tables,
+                                                               CycleCount depth);
+
+} // namespace mst

@@ -1,0 +1,33 @@
+// Module test rectangles: the geometric view of [7] (Iyengar, Goel,
+// Chakrabarty, Marinissen, ITC 2002), where a module wrapped at width w
+// is a rectangle of width w (TAM wires) and height t(w) (cycles), and
+// the ATE is a bin of width K/2 wires and height D cycles.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arch/channel_group.hpp"
+#include "common/types.hpp"
+
+namespace mst {
+
+/// One module's chosen packing rectangle.
+struct ModuleRectangle {
+    int module_index = 0;
+    WireCount width = 0;
+    CycleCount height = 0;
+
+    [[nodiscard]] CycleCount area() const noexcept
+    {
+        return static_cast<CycleCount>(width) * height;
+    }
+};
+
+/// The narrowest rectangle of each module that fits the memory depth, or
+/// nullopt if some module fits at no width (the SOC is untestable on
+/// this ATE).
+[[nodiscard]] std::optional<std::vector<ModuleRectangle>>
+narrowest_fitting_rectangles(const SocTimeTables& tables, CycleCount depth);
+
+} // namespace mst

@@ -1,0 +1,276 @@
+// mst_cli: command-line front end of the mst library.
+//
+//   mst_cli optimize --soc d695 --channels 256 --depth 48K [--broadcast]
+//   mst_cli inspect  --soc data/d695.soc
+//   mst_cli generate --profile p93791 --out p93791.soc
+//
+// --soc accepts either a benchmark name (d695, p22810, p34392, p93791,
+// pnx8550) or a path to a .soc file.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/channel_group.hpp"
+#include "ate/ate.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "core/optimizer.hpp"
+#include "core/step1.hpp"
+#include "flow/test_flow.hpp"
+#include "report/gantt.hpp"
+#include "report/solution_json.hpp"
+#include "report/table.hpp"
+#include "soc/parser.hpp"
+#include "soc/profiles.hpp"
+#include "soc/writer.hpp"
+
+namespace {
+
+using namespace mst;
+
+/// Parsed command line: flag -> value ("" for bare flags).
+using Flags = std::map<std::string, std::string>;
+
+Flags parse_flags(int argc, char** argv, int first)
+{
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) != 0) {
+            throw ValidationError("unexpected argument '" + key + "'");
+        }
+        key.erase(0, 2);
+        const bool has_value = (i + 1 < argc) && std::string(argv[i + 1]).rfind("--", 0) != 0;
+        flags[key] = has_value ? argv[++i] : "";
+    }
+    return flags;
+}
+
+std::string flag_or(const Flags& flags, const std::string& key, const std::string& fallback)
+{
+    const auto it = flags.find(key);
+    return (it != flags.end()) ? it->second : fallback;
+}
+
+Soc load_soc_argument(const Flags& flags)
+{
+    const std::string spec = flag_or(flags, "soc", "");
+    if (spec.empty()) {
+        throw ValidationError("--soc <name|path> is required");
+    }
+    for (const std::string& name : benchmark_soc_names()) {
+        if (spec == name) {
+            return make_benchmark_soc(spec);
+        }
+    }
+    return load_soc_file(spec);
+}
+
+TestCell cell_from_flags(const Flags& flags)
+{
+    TestCell cell;
+    cell.ate.channels = std::stoi(flag_or(flags, "channels", "512"));
+    cell.ate.vector_memory_depth = parse_depth(flag_or(flags, "depth", "7M"));
+    cell.ate.test_clock_hz = std::stod(flag_or(flags, "clock", "5e6"));
+    cell.prober.index_time = std::stod(flag_or(flags, "index", "0.5"));
+    cell.prober.contact_test_time = std::stod(flag_or(flags, "contact", "0.001"));
+    return cell;
+}
+
+OptimizeOptions options_from_flags(const Flags& flags)
+{
+    OptimizeOptions options;
+    if (flags.count("broadcast") != 0) {
+        options.broadcast = BroadcastMode::stimuli;
+    }
+    if (flags.count("abort-on-fail") != 0) {
+        options.abort = AbortOnFail::on;
+    }
+    if (flags.count("retest") != 0) {
+        options.retest = RetestPolicy::retest_contact_failures;
+    }
+    if (flags.count("step1-only") != 0) {
+        options.step1_only = true;
+    }
+    options.yields.contact_yield_per_terminal = std::stod(flag_or(flags, "pc", "1.0"));
+    options.yields.manufacturing_yield = std::stod(flag_or(flags, "pm", "1.0"));
+    return options;
+}
+
+int cmd_optimize(const Flags& flags)
+{
+    const Soc soc = load_soc_argument(flags);
+    const TestCell cell = cell_from_flags(flags);
+    const OptimizeOptions options = options_from_flags(flags);
+    const Solution solution = optimize_multi_site(soc, cell, options);
+
+    if (flags.count("json") != 0) {
+        write_solution_json(std::cout, solution);
+        return 0;
+    }
+
+    std::cout << "SOC " << solution.soc_name << " on ATE with " << cell.ate.channels
+              << " channels x " << format_depth(cell.ate.vector_memory_depth)
+              << " vectors @ " << cell.ate.test_clock_hz / 1e6 << " MHz\n\n";
+    std::cout << "Step 1: k = " << solution.channels_step1
+              << " channels, n_max = " << solution.max_sites_step1 << "\n";
+    std::cout << "Optimal: n_opt = " << solution.sites
+              << " sites, k = " << solution.channels_per_site << " channels/site\n";
+    std::cout << "Test length: " << solution.test_cycles << " cycles = "
+              << format_seconds(solution.manufacturing_time) << "\n";
+    std::cout << "Throughput: " << format_throughput(solution.throughput.devices_per_hour)
+              << " devices/hour";
+    if (options.retest == RetestPolicy::retest_contact_failures) {
+        std::cout << " (" << format_throughput(solution.throughput.unique_devices_per_hour)
+                  << " unique)";
+    }
+    std::cout << "\n\nE-RPCT wrapper: " << solution.erpct.external_channels
+              << " external channels -> " << solution.erpct.internal_wires
+              << " TAM wires, " << solution.erpct.contacted_pads() << " pads probed, ~"
+              << static_cast<long>(solution.erpct.area_gate_equivalents()) << " GE\n\n";
+
+    Table table({"group", "wires", "channels", "fill (cycles)", "modules"});
+    int index = 0;
+    for (const GroupSummary& group : solution.groups) {
+        std::string names;
+        for (const std::string& name : group.module_names) {
+            if (!names.empty()) {
+                names += ' ';
+            }
+            names += name;
+        }
+        table.add_row({"TAM " + std::to_string(++index), std::to_string(group.wires),
+                       std::to_string(group.channels), std::to_string(group.fill), names});
+    }
+    std::cout << table;
+
+    if (flags.count("gantt") != 0) {
+        // Re-derive the Step-1 architecture for the drawing; widths match
+        // the solution at n = n_max, which is what the chart illustrates.
+        const SocTimeTables tables(soc);
+        const Step1Result step1 = run_step1(tables, cell.ate, options);
+        std::cout << '\n'
+                  << render_gantt(step1.architecture, cell.ate.vector_memory_depth);
+    }
+    return 0;
+}
+
+int cmd_flow(const Flags& flags)
+{
+    const Soc soc = load_soc_argument(flags);
+    const TestCell wafer_cell = cell_from_flags(flags);
+    FinalTestCell final_cell;
+    final_cell.channels = std::stoi(flag_or(flags, "final-channels", "1024"));
+    final_cell.max_handler_sites = std::stoi(flag_or(flags, "handler-sites", "8"));
+
+    FlowOptions options;
+    options.wafer = options_from_flags(flags);
+    options.wafer.yields.manufacturing_yield = std::stod(flag_or(flags, "pm", "0.9"));
+    if (flags.count("final-retest") != 0) {
+        options.final_retest = FinalRetest::through_erpct;
+    }
+
+    const FlowPlan plan = plan_flow(soc, wafer_cell, final_cell, options);
+    Table table({"stage", "sites", "touchdown", "devices/hour"});
+    table.add_row({"wafer (E-RPCT)", std::to_string(plan.wafer.sites),
+                   format_seconds(plan.wafer.touchdown_time),
+                   format_throughput(plan.wafer.devices_per_hour)});
+    table.add_row({"final (all pins)", std::to_string(plan.final.sites),
+                   format_seconds(plan.final.touchdown_time),
+                   format_throughput(plan.final.devices_per_hour)});
+    std::cout << table << '\n';
+    std::cout << "final testers per wafer tester: " << plan.final_testers_per_wafer_tester
+              << "\ntester time per shipped device: "
+              << format_seconds(plan.tester_seconds_per_shipped_device) << '\n';
+    return 0;
+}
+
+int cmd_inspect(const Flags& flags)
+{
+    const Soc soc = load_soc_argument(flags);
+    const SocStats stats = soc.stats();
+    std::cout << "SOC " << soc.name() << ": " << stats.module_count << " modules ("
+              << stats.scan_tested_modules << " scan-tested)\n"
+              << "scan flip-flops: " << stats.total_scan_flip_flops << "\n"
+              << "patterns:        " << stats.total_patterns << "\n"
+              << "test data:       " << stats.total_test_data_volume_bits << " bits\n\n";
+
+    Table table({"module", "in", "out", "bidir", "chains", "scan FFs", "patterns"});
+    for (const Module& m : soc.modules()) {
+        table.add_row({m.name(), std::to_string(m.inputs()), std::to_string(m.outputs()),
+                       std::to_string(m.bidirs()), std::to_string(m.scan_chain_count()),
+                       std::to_string(m.total_scan_flip_flops()), std::to_string(m.patterns())});
+    }
+    std::cout << table;
+    return 0;
+}
+
+int cmd_generate(const Flags& flags)
+{
+    const std::string profile = flag_or(flags, "profile", "");
+    const std::string out = flag_or(flags, "out", "");
+    if (profile.empty() || out.empty()) {
+        throw ValidationError("generate requires --profile <name> and --out <file>");
+    }
+    const Soc soc = make_benchmark_soc(profile);
+    save_soc_file(out, soc);
+    std::cout << "wrote " << out << " (" << soc.module_count() << " modules)\n";
+    return 0;
+}
+
+int cmd_help()
+{
+    std::cout <<
+        "mst_cli - on-chip test infrastructure design for multi-site testing\n"
+        "\n"
+        "commands:\n"
+        "  optimize --soc <name|path> [--channels N] [--depth 7M] [--clock HZ]\n"
+        "           [--index S] [--contact S] [--broadcast] [--abort-on-fail]\n"
+        "           [--retest] [--pc P] [--pm P] [--step1-only] [--gantt] [--json]\n"
+        "  flow     --soc <name|path> [optimize flags] [--final-channels N]\n"
+        "           [--handler-sites N] [--final-retest]\n"
+        "  inspect  --soc <name|path>\n"
+        "  generate --profile <name> --out <file>\n"
+        "  help\n"
+        "\n"
+        "benchmark SOCs: d695 p22810 p34392 p93791 pnx8550\n";
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    try {
+        if (argc < 2) {
+            return cmd_help();
+        }
+        const std::string command = argv[1];
+        const Flags flags = parse_flags(argc, argv, 2);
+        if (command == "optimize") {
+            return cmd_optimize(flags);
+        }
+        if (command == "flow") {
+            return cmd_flow(flags);
+        }
+        if (command == "inspect") {
+            return cmd_inspect(flags);
+        }
+        if (command == "generate") {
+            return cmd_generate(flags);
+        }
+        if (command == "help" || command == "--help") {
+            return cmd_help();
+        }
+        std::cerr << "unknown command '" << command << "'\n";
+        return 2;
+    } catch (const mst::Error& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    } catch (const std::exception& e) {
+        std::cerr << "unexpected error: " << e.what() << '\n';
+        return 1;
+    }
+}

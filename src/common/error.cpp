@@ -1,0 +1,25 @@
+#include "common/error.hpp"
+
+namespace mst {
+
+namespace {
+
+std::string make_parse_message(std::string_view file, int line, const std::string& message)
+{
+    std::string out;
+    out += file;
+    out += ':';
+    out += std::to_string(line);
+    out += ": ";
+    out += message;
+    return out;
+}
+
+} // namespace
+
+ParseError::ParseError(std::string_view file, int line, const std::string& message)
+    : Error(make_parse_message(file, line, message)), file_(file), line_(line)
+{
+}
+
+} // namespace mst

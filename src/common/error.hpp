@@ -1,0 +1,49 @@
+// Error types thrown by the mst library.
+//
+// The library follows the C++ Core Guidelines error-handling advice
+// (E.2): errors that a caller can reasonably be expected to handle are
+// reported by throwing exceptions derived from mst::Error, so that call
+// sites can distinguish "your SOC does not fit on this ATE" from
+// programming errors (which use assertions / std::logic_error).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mst {
+
+/// Base class of all mst library errors.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A .soc benchmark file (or in-memory description) is malformed.
+class ParseError : public Error {
+public:
+    ParseError(std::string_view file, int line, const std::string& message);
+
+    [[nodiscard]] const std::string& file() const noexcept { return file_; }
+    [[nodiscard]] int line() const noexcept { return line_; }
+
+private:
+    std::string file_;
+    int line_ = 0;
+};
+
+/// An SOC, module, ATE, or parameter set violates a domain invariant
+/// (e.g. negative terminal count, zero test clock frequency).
+class ValidationError : public Error {
+public:
+    explicit ValidationError(const std::string& message) : Error(message) {}
+};
+
+/// The optimization problem has no solution on the given ATE: some module
+/// cannot fit in the vector memory at any width, or the channel budget is
+/// exceeded. Mirrors the "procedure is exited" cases of Section 6 Step 1.
+class InfeasibleError : public Error {
+public:
+    explicit InfeasibleError(const std::string& message) : Error(message) {}
+};
+
+} // namespace mst

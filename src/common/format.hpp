@@ -1,0 +1,30 @@
+// Human-readable formatting of domain quantities, used by the report
+// layer, the CLI, and the benchmark harnesses.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mst {
+
+/// Format a vector-memory depth the way the paper labels it:
+/// multiples of 1024 print as "48K", multiples of 2^20 as "7M",
+/// other values as plain integers. "1.256M"-style fractional megas are
+/// printed with three decimals, matching Table 1's depth column.
+[[nodiscard]] std::string format_depth(CycleCount depth);
+
+/// Parse a depth label ("48K", "1.256M", "7340032") back to cycles.
+/// Throws ValidationError on malformed input.
+[[nodiscard]] CycleCount parse_depth(const std::string& text);
+
+/// Format devices/hour in the paper's engineering style, e.g. "1.3e4".
+[[nodiscard]] std::string format_throughput(DevicesPerHour value);
+
+/// Format seconds with millisecond resolution, e.g. "1.468 s".
+[[nodiscard]] std::string format_seconds(Seconds value);
+
+/// Format a US dollar amount, e.g. "$24,000".
+[[nodiscard]] std::string format_dollars(UsDollars value);
+
+} // namespace mst

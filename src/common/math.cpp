@@ -1,0 +1,43 @@
+#include "common/math.hpp"
+
+namespace mst {
+
+Probability pow_prob(Probability p, std::int64_t exponent) noexcept
+{
+    if (exponent <= 0) {
+        return 1.0;
+    }
+    Probability result = 1.0;
+    Probability base = p;
+    std::int64_t e = exponent;
+    while (e > 0) {
+        if ((e & 1) != 0) {
+            result *= base;
+        }
+        base *= base;
+        e >>= 1;
+    }
+    return clamp_probability(result);
+}
+
+Probability at_least_one_of(Probability p, SiteCount n) noexcept
+{
+    if (n <= 0) {
+        return 0.0;
+    }
+    const Probability all_fail = pow_prob(1.0 - p, n);
+    return clamp_probability(1.0 - all_fail);
+}
+
+Probability clamp_probability(Probability p) noexcept
+{
+    if (p < 0.0) {
+        return 0.0;
+    }
+    if (p > 1.0) {
+        return 1.0;
+    }
+    return p;
+}
+
+} // namespace mst

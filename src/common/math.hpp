@@ -1,0 +1,29 @@
+// Small numeric helpers shared across the library.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mst {
+
+/// Ceiling division for non-negative integers: ceil(numerator/denominator).
+/// Precondition: denominator > 0, numerator >= 0.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t numerator, std::int64_t denominator) noexcept
+{
+    return (numerator + denominator - 1) / denominator;
+}
+
+/// pow(p, e) for a probability p and non-negative integer exponent e,
+/// computed by square-and-multiply. Exact enough for the contact-yield
+/// term p_c^I of Equation 4.2, where I can be a few hundred terminals.
+[[nodiscard]] Probability pow_prob(Probability p, std::int64_t exponent) noexcept;
+
+/// Probability that at least one of n independent trials with success
+/// probability p succeeds: 1 - (1 - p)^n. Used by Equations 4.2 and 4.3.
+[[nodiscard]] Probability at_least_one_of(Probability p, SiteCount n) noexcept;
+
+/// Clamp a probability into [0, 1]; guards against floating-point drift.
+[[nodiscard]] Probability clamp_probability(Probability p) noexcept;
+
+} // namespace mst

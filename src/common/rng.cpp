@@ -1,0 +1,29 @@
+#include "common/rng.hpp"
+
+namespace mst {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi)
+{
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+double Rng::log_normal(double mean, double sigma)
+{
+    std::lognormal_distribution<double> dist(mean, sigma);
+    return dist(engine_);
+}
+
+bool Rng::chance(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+} // namespace mst

@@ -1,0 +1,65 @@
+// Strong domain vocabulary used across the mst library.
+//
+// The paper (Goel & Marinissen, DATE 2005) mixes several unit systems:
+// ATE channels (always even, two per TAM wire), TAM wires, test clock
+// cycles, vector-memory depth (in vectors == cycles), seconds, and
+// devices/hour. Keeping them as distinct aliases (and converting at
+// well-named call sites) prevents the classic off-by-2x channel/wire bug.
+#pragma once
+
+#include <cstdint>
+
+namespace mst {
+
+/// Number of ATE channels. One TAM wire consumes two channels
+/// (one stimulus, one response), so architecture-level channel counts
+/// are always even.
+using ChannelCount = int;
+
+/// Number of TAM wires (stimulus/response pairs). channels == 2 * wires.
+using WireCount = int;
+
+/// Test clock cycles; also the unit of ATE vector-memory depth,
+/// since one stored vector is applied per test clock cycle.
+using CycleCount = std::int64_t;
+
+/// Number of test patterns of a module test.
+using PatternCount = std::int64_t;
+
+/// Number of flip-flops in a scan chain.
+using FlipFlopCount = std::int64_t;
+
+/// Wall-clock seconds.
+using Seconds = double;
+
+/// Devices per hour (the paper's D_th / D^u_th).
+using DevicesPerHour = double;
+
+/// Probability in [0, 1].
+using Probability = double;
+
+/// US dollars, for the ATE economics model of Section 7.
+using UsDollars = double;
+
+/// Number of test sites probed in parallel (the paper's n).
+using SiteCount = int;
+
+/// Convert TAM wires to ATE channels (each wire needs stimulus + response).
+[[nodiscard]] constexpr ChannelCount channels_from_wires(WireCount wires) noexcept
+{
+    return 2 * wires;
+}
+
+/// Convert ATE channels to TAM wires; channels are expected to be even.
+[[nodiscard]] constexpr WireCount wires_from_channels(ChannelCount channels) noexcept
+{
+    return channels / 2;
+}
+
+/// Binary kilo/mega multipliers used for vector memory depths
+/// ("48K" = 48 * 1024 vectors, "7M" = 7 * 2^20 vectors), matching the
+/// depth axis labels of Table 1 and Figures 6-7.
+inline constexpr CycleCount kibi = 1024;
+inline constexpr CycleCount mebi = 1024 * 1024;
+
+} // namespace mst

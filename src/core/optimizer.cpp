@@ -1,0 +1,70 @@
+#include "core/optimizer.hpp"
+
+#include "arch/channel_group.hpp"
+#include "core/step1.hpp"
+#include "core/step2.hpp"
+
+namespace mst {
+
+namespace {
+
+std::vector<GroupSummary> summarize_groups(const Architecture& arch, const Soc& soc)
+{
+    std::vector<GroupSummary> summaries;
+    summaries.reserve(arch.groups().size());
+    for (const ChannelGroup& group : arch.groups()) {
+        GroupSummary summary;
+        summary.wires = group.width();
+        summary.channels = channels_from_wires(group.width());
+        summary.fill = group.fill();
+        for (const int module_index : group.module_indices()) {
+            summary.module_names.push_back(soc.module(module_index).name());
+        }
+        summaries.push_back(std::move(summary));
+    }
+    return summaries;
+}
+
+} // namespace
+
+Solution optimize_multi_site(const Soc& soc, const TestCell& cell, const OptimizeOptions& options)
+{
+    cell.validate();
+    const SocTimeTables tables(soc);
+    const Step1Result step1 = run_step1(tables, cell.ate, options);
+
+    Solution solution;
+    solution.soc_name = soc.name();
+    solution.channels_step1 = step1.channels;
+    solution.max_sites_step1 = step1.max_sites;
+
+    const Architecture* final_arch = &step1.architecture;
+    Step2Result step2{0, step1.architecture, {}, {}};
+    if (options.step1_only) {
+        solution.sites = step1.max_sites;
+        ThroughputInputs inputs;
+        inputs.sites = step1.max_sites;
+        inputs.manufacturing_test_time = cell.ate.seconds_for(step1.architecture.test_cycles());
+        inputs.contacted_terminals_per_soc = step1.channels + options.control_pads;
+        solution.throughput = evaluate_throughput(inputs, cell.prober, options.yields, options.abort);
+    } else {
+        step2 = run_step2(step1, cell, options);
+        solution.sites = step2.best_sites;
+        solution.throughput = step2.best_throughput;
+        solution.site_curve = step2.curve;
+        final_arch = &step2.best_architecture;
+    }
+
+    solution.channels_per_site = final_arch->channels();
+    solution.test_cycles = final_arch->test_cycles();
+    solution.manufacturing_time = cell.ate.seconds_for(solution.test_cycles);
+    solution.groups = summarize_groups(*final_arch, soc);
+    solution.erpct = design_erpct(soc, solution.channels_per_site, options.functional_pins,
+                                  options.control_pads);
+    solution.best_figure_of_merit_ = figure_of_merit(solution.throughput, options.retest);
+
+    validate_solution(solution, soc, cell.ate, options.broadcast);
+    return solution;
+}
+
+} // namespace mst

@@ -1,0 +1,67 @@
+#include "core/solution.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace mst {
+
+void validate_solution(const Solution& solution, const Soc& soc, const AteSpec& ate,
+                       BroadcastMode broadcast)
+{
+    if (solution.sites < 1) {
+        throw ValidationError("solution has no test sites");
+    }
+    if (solution.channels_per_site <= 0 || solution.channels_per_site % 2 != 0) {
+        throw ValidationError("per-site channel count must be positive and even");
+    }
+
+    // Channel budget: n*k <= K, or (n+1)*k/2 <= K with stimuli broadcast.
+    const ChannelCount half = solution.channels_per_site / 2;
+    const ChannelCount used = (broadcast == BroadcastMode::stimuli)
+                                  ? (solution.sites + 1) * half
+                                  : solution.sites * solution.channels_per_site;
+    if (used > ate.channels) {
+        throw ValidationError("solution exceeds the ATE channel budget");
+    }
+
+    if (solution.test_cycles > ate.vector_memory_depth) {
+        throw ValidationError("solution exceeds the ATE vector memory depth");
+    }
+
+    // Architecture consistency.
+    WireCount wires = 0;
+    std::unordered_set<std::string> assigned;
+    for (const GroupSummary& group : solution.groups) {
+        if (group.channels != channels_from_wires(group.wires)) {
+            throw ValidationError("group channel count is not twice its wire count");
+        }
+        if (group.fill > ate.vector_memory_depth) {
+            throw ValidationError("group fill exceeds the vector memory depth");
+        }
+        wires += group.wires;
+        for (const std::string& name : group.module_names) {
+            if (!assigned.insert(name).second) {
+                throw ValidationError("module '" + name + "' assigned to two groups");
+            }
+        }
+    }
+    if (channels_from_wires(wires) != solution.channels_per_site) {
+        throw ValidationError("group widths do not add up to the per-site channel count");
+    }
+    for (const Module& m : soc.modules()) {
+        if (assigned.count(m.name()) == 0) {
+            throw ValidationError("module '" + m.name() + "' is not assigned to any group");
+        }
+    }
+    if (assigned.size() != static_cast<std::size_t>(soc.module_count())) {
+        throw ValidationError("solution wraps modules that are not in the SOC");
+    }
+
+    // E-RPCT interface consistency.
+    if (solution.erpct.external_channels != solution.channels_per_site) {
+        throw ValidationError("E-RPCT wrapper width does not match the per-site channel count");
+    }
+}
+
+} // namespace mst

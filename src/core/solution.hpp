@@ -1,0 +1,75 @@
+// Solution of the two-step optimization: the designed test
+// infrastructure plus the throughput numbers of Section 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/architecture.hpp"
+#include "ate/ate.hpp"
+#include "common/types.hpp"
+#include "throughput/model.hpp"
+#include "wrapper/erpct.hpp"
+
+namespace mst {
+
+/// Snapshot of one channel group, detached from the internal tables so a
+/// Solution owns its data.
+struct GroupSummary {
+    WireCount wires = 0;
+    ChannelCount channels = 0;
+    CycleCount fill = 0;
+    std::vector<std::string> module_names;
+};
+
+/// One point of the sites -> throughput curve (the x-axis of Figure 5).
+struct SitePoint {
+    SiteCount sites = 0;
+    ChannelCount channels_per_site = 0;
+    CycleCount test_cycles = 0;
+    Seconds manufacturing_time = 0;
+    DevicesPerHour devices_per_hour = 0;
+    DevicesPerHour unique_devices_per_hour = 0;
+    DevicesPerHour figure_of_merit = 0;
+};
+
+/// Result of optimize_multi_site(): the optimal site count, the per-site
+/// test architecture, the E-RPCT wrapper parameters, and the full search
+/// trace for plotting.
+struct Solution {
+    std::string soc_name;
+
+    // Optimal operating point.
+    SiteCount sites = 0;                 ///< n_opt
+    ChannelCount channels_per_site = 0;  ///< k at n_opt
+    CycleCount test_cycles = 0;          ///< SOC test length at n_opt
+    Seconds manufacturing_time = 0;      ///< t_m at n_opt
+    ThroughputResult throughput;         ///< model outputs at n_opt
+    ErpctSpec erpct;                     ///< chip-level wrapper at n_opt
+    std::vector<GroupSummary> groups;    ///< per-site TAM architecture at n_opt
+
+    // Step-1 diagnostics.
+    ChannelCount channels_step1 = 0;     ///< minimal k found by Step 1
+    SiteCount max_sites_step1 = 0;       ///< n_max for that k
+
+    // Full linear-search trace of Step 2 (n = n_max .. 1).
+    std::vector<SitePoint> site_curve;
+
+    /// Devices/hour (or unique devices/hour under the re-test policy)
+    /// at the optimum.
+    [[nodiscard]] DevicesPerHour best_throughput() const noexcept
+    {
+        return best_figure_of_merit_;
+    }
+
+    /// Set by the optimizer.
+    DevicesPerHour best_figure_of_merit_ = 0;
+};
+
+/// Cross-check a solution against the problem constraints (Section 5:
+/// n*k <= K [or the broadcast variant], fill <= D, every module wrapped).
+/// Throws ValidationError on violation.
+void validate_solution(const Solution& solution, const Soc& soc, const AteSpec& ate,
+                       BroadcastMode broadcast);
+
+} // namespace mst

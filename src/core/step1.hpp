@@ -1,0 +1,38 @@
+// Step 1 of the two-step algorithm (Section 6): build the channel-group
+// architecture that tests the SOC with the minimum number of ATE
+// channels (criterion 1), secondarily minimizing the filled vector
+// memory (criterion 2).
+#pragma once
+
+#include "arch/architecture.hpp"
+#include "ate/ate.hpp"
+#include "core/problem.hpp"
+
+namespace mst {
+
+/// Step-1 output: the minimal-channel single-site architecture and the
+/// maximum multi-site it enables.
+struct Step1Result {
+    Architecture architecture;  ///< references the SocTimeTables passed in
+    ChannelCount channels = 0;  ///< k = 2 * total wires
+    SiteCount max_sites = 0;    ///< n_max on the given ATE
+};
+
+/// Run Step 1. Throws InfeasibleError when the SOC cannot be tested on
+/// the ATE (a module that fits no width within the memory depth, or a
+/// channel demand beyond the ATE's channel count) — the paper's
+/// "the procedure is exited" cases.
+[[nodiscard]] Step1Result run_step1(const SocTimeTables& tables,
+                                    const AteSpec& ate,
+                                    const OptimizeOptions& options);
+
+/// Try to pack every module into at most `wire_budget` wires with every
+/// group fill within `depth`, trying the greedy pass under all module
+/// orders and expansion policies. Returns nullopt when no pass fits.
+/// Shared by Step 1's budget search and Step 2's re-pack fallback.
+[[nodiscard]] std::optional<Architecture> pack_within(const SocTimeTables& tables,
+                                                      CycleCount depth,
+                                                      WireCount wire_budget,
+                                                      const OptimizeOptions& options);
+
+} // namespace mst

@@ -1,0 +1,124 @@
+#include "core/step2.hpp"
+
+#include "common/error.hpp"
+
+namespace mst {
+
+namespace {
+
+/// Evaluate the throughput model for a concrete (n, architecture) pair.
+ThroughputResult evaluate_point(SiteCount sites,
+                                const Architecture& arch,
+                                const TestCell& cell,
+                                const OptimizeOptions& options)
+{
+    ThroughputInputs inputs;
+    inputs.sites = sites;
+    inputs.manufacturing_test_time = cell.ate.seconds_for(arch.test_cycles());
+    inputs.contacted_terminals_per_soc = arch.channels() + options.control_pads;
+    return evaluate_throughput(inputs, cell.prober, options.yields, options.abort);
+}
+
+SitePoint make_point(SiteCount sites, const Architecture& arch, const TestCell& cell,
+                     const ThroughputResult& result, RetestPolicy retest)
+{
+    SitePoint point;
+    point.sites = sites;
+    point.channels_per_site = arch.channels();
+    point.test_cycles = arch.test_cycles();
+    point.manufacturing_time = cell.ate.seconds_for(arch.test_cycles());
+    point.devices_per_hour = result.devices_per_hour;
+    point.unique_devices_per_hour = result.unique_devices_per_hour;
+    point.figure_of_merit = figure_of_merit(result, retest);
+    return point;
+}
+
+/// Re-pack fallback: when widening the bottleneck group cannot shorten
+/// the test any further (its modules are width-saturated), rebuilding the
+/// whole per-site architecture for the full wire budget at the smallest
+/// feasible virtual depth can. Scans virtual depths bottom-up and returns
+/// the tightest packing, or nullopt if none beats `beat_cycles`.
+std::optional<Architecture> repack_for_budget(const SocTimeTables& tables,
+                                              CycleCount depth,
+                                              WireCount wire_budget,
+                                              CycleCount beat_cycles,
+                                              const OptimizeOptions& options)
+{
+    // No packing can beat the total-area bound, so start the virtual-depth
+    // scan there instead of at zero.
+    CycleCount total_min_area = 0;
+    for (int m = 0; m < tables.module_count(); ++m) {
+        total_min_area += tables.table(m).min_area();
+    }
+    const double floor_fraction = static_cast<double>(total_min_area) /
+                                  (static_cast<double>(wire_budget) * static_cast<double>(depth));
+
+    for (double fraction = std::max(0.05, floor_fraction); fraction <= 1.0; fraction += 0.025) {
+        const auto virtual_depth = static_cast<CycleCount>(static_cast<double>(depth) * fraction);
+        if (virtual_depth < 1) {
+            continue;
+        }
+        if (virtual_depth >= beat_cycles) {
+            return std::nullopt; // only depths strictly better than the incumbent matter
+        }
+        std::optional<Architecture> packed = pack_within(tables, virtual_depth, wire_budget, options);
+        if (packed && packed->test_cycles() < beat_cycles) {
+            return packed;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+Step2Result run_step2(const Step1Result& step1,
+                      const TestCell& cell,
+                      const OptimizeOptions& options)
+{
+    cell.validate();
+    if (step1.max_sites < 1) {
+        throw ValidationError("Step 2 requires a feasible Step-1 result");
+    }
+
+    Step2Result result{0, step1.architecture, {}, {}};
+    DevicesPerHour best = -1.0;
+
+    // `incumbent` carries the best architecture found so far down the
+    // linear search; the per-site budget only grows as n shrinks, so the
+    // incumbent always fits and the test time is monotone along the curve.
+    Architecture incumbent = step1.architecture;
+    for (SiteCount n = step1.max_sites; n >= 1; --n) {
+        // Redistribute the channels freed up by giving up sites: every
+        // site may grow to the per-site budget. Wires are handed one at a
+        // time to the group with the largest fill (the bottleneck).
+        const WireCount budget =
+            wires_from_channels(per_site_channel_budget(n, cell.ate.channels, options.broadcast));
+        while (incumbent.total_wires() < budget &&
+               incumbent.add_wire_to_bottleneck(budget - incumbent.total_wires())) {
+        }
+        // Wire-by-wire widening cannot move modules between groups, so a
+        // from-scratch re-pack of the site at the full budget can still
+        // convert channels into test time; keep it only if it wins.
+        std::optional<Architecture> repacked =
+            repack_for_budget(step1.architecture.tables(), cell.ate.vector_memory_depth,
+                              budget, incumbent.test_cycles(), options);
+        if (repacked) {
+            incumbent = std::move(*repacked);
+        }
+
+        const Architecture& candidate = incumbent;
+        const ThroughputResult throughput = evaluate_point(n, candidate, cell, options);
+        result.curve.push_back(make_point(n, candidate, cell, throughput, options.retest));
+
+        const DevicesPerHour merit = figure_of_merit(throughput, options.retest);
+        if (merit > best) {
+            best = merit;
+            result.best_sites = n;
+            result.best_architecture = candidate;
+            result.best_throughput = throughput;
+        }
+    }
+    return result;
+}
+
+} // namespace mst

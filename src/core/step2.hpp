@@ -1,0 +1,27 @@
+// Step 2 of the two-step algorithm (Section 6): linear search over the
+// site count n, redistributing freed-up channels over the remaining
+// sites, picking the n with maximum throughput.
+#pragma once
+
+#include "ate/ate.hpp"
+#include "core/problem.hpp"
+#include "core/solution.hpp"
+#include "core/step1.hpp"
+
+namespace mst {
+
+/// Step-2 output: the best site count, the (possibly widened) per-site
+/// architecture at that count, and the whole search trace.
+struct Step2Result {
+    SiteCount best_sites = 0;
+    Architecture best_architecture;  ///< references the SocTimeTables of Step 1
+    ThroughputResult best_throughput;
+    std::vector<SitePoint> curve;    ///< one entry per examined n (descending)
+};
+
+/// Run Step 2 starting from a Step-1 architecture.
+[[nodiscard]] Step2Result run_step2(const Step1Result& step1,
+                                    const TestCell& cell,
+                                    const OptimizeOptions& options);
+
+} // namespace mst

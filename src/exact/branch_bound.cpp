@@ -1,0 +1,171 @@
+#include "exact/branch_bound.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace mst {
+
+namespace {
+
+/// Search state shared across the recursion.
+struct Search {
+    const SocTimeTables* tables = nullptr;
+    CycleCount depth = 0;
+    std::vector<int> order;                 ///< modules, largest first
+    std::vector<std::vector<int>> groups;   ///< module indices per open group
+    std::vector<WireCount> group_widths;    ///< optimal width per open group
+    std::vector<CycleCount> remaining_area; ///< suffix sums of min areas
+    WireCount best_wires = 0;
+    std::vector<std::vector<int>> best_groups;
+    std::int64_t nodes = 0;
+};
+
+/// Smallest width at which the given member set fits `depth`, or 0 if
+/// none does within the members' combined maximum useful width.
+WireCount min_group_width(const Search& search, const std::vector<int>& members)
+{
+    WireCount max_width = 0;
+    for (const int m : members) {
+        max_width = std::max(max_width, search.tables->table(m).max_width());
+    }
+    // Fill is monotone non-increasing in width: binary search.
+    WireCount lo = 1;
+    WireCount hi = max_width;
+    const auto fill_at = [&](WireCount w) {
+        CycleCount fill = 0;
+        for (const int m : members) {
+            fill += search.tables->table(m).time(w);
+        }
+        return fill;
+    };
+    if (fill_at(hi) > search.depth) {
+        return 0;
+    }
+    while (lo < hi) {
+        const WireCount mid = lo + (hi - lo) / 2;
+        if (fill_at(mid) <= search.depth) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return lo;
+}
+
+void recurse(Search& search, std::size_t position)
+{
+    ++search.nodes;
+    WireCount current = 0;
+    for (const WireCount w : search.group_widths) {
+        current += w;
+    }
+    if (current >= search.best_wires) {
+        return; // cannot improve
+    }
+    if (position == search.order.size()) {
+        search.best_wires = current;
+        search.best_groups = search.groups;
+        return;
+    }
+    // Lower bound on the wires still needed: remaining minimum area
+    // cannot exceed the free capacity of existing groups plus D per new
+    // wire. Free capacity of a group never exceeds depth*width - fill,
+    // so a crude-but-sound bound is ceil((remaining - free) / depth).
+    CycleCount free_capacity = 0;
+    for (std::size_t g = 0; g < search.groups.size(); ++g) {
+        free_capacity += search.depth * search.group_widths[g];
+        for (const int m : search.groups[g]) {
+            free_capacity -= search.tables->table(m).time(search.group_widths[g]);
+        }
+    }
+    const CycleCount still_needed = search.remaining_area[position];
+    if (still_needed > free_capacity) {
+        const auto extra =
+            static_cast<WireCount>(ceil_div(still_needed - free_capacity, search.depth));
+        if (current + extra >= search.best_wires) {
+            return;
+        }
+    }
+
+    const int module = search.order[position];
+
+    // Try adding to each existing group (symmetric states are avoided by
+    // the fixed module order: a module only ever joins groups opened by
+    // earlier modules).
+    for (std::size_t g = 0; g < search.groups.size(); ++g) {
+        search.groups[g].push_back(module);
+        const WireCount old_width = search.group_widths[g];
+        const WireCount new_width = min_group_width(search, search.groups[g]);
+        if (new_width != 0) {
+            search.group_widths[g] = new_width;
+            recurse(search, position + 1);
+            search.group_widths[g] = old_width;
+        }
+        search.groups[g].pop_back();
+    }
+
+    // Or open a new group with just this module.
+    const WireCount solo = min_group_width(search, {module});
+    if (solo != 0) {
+        search.groups.push_back({module});
+        search.group_widths.push_back(solo);
+        recurse(search, position + 1);
+        search.groups.pop_back();
+        search.group_widths.pop_back();
+    }
+}
+
+} // namespace
+
+std::optional<ExactResult> exact_min_wires(const SocTimeTables& tables, CycleCount depth)
+{
+    if (tables.module_count() > exact_module_limit) {
+        throw ValidationError("exact_min_wires accepts at most " +
+                              std::to_string(exact_module_limit) + " modules");
+    }
+    if (depth < 1) {
+        throw ValidationError("depth must be positive");
+    }
+
+    Search search;
+    search.tables = &tables;
+    search.depth = depth;
+
+    // Feasibility and an initial upper bound: one group per module.
+    WireCount solo_total = 0;
+    for (int m = 0; m < tables.module_count(); ++m) {
+        const auto width = tables.table(m).min_width_for(depth);
+        if (!width) {
+            return std::nullopt;
+        }
+        solo_total += *width;
+    }
+    search.best_wires = solo_total + 1;
+
+    // Largest modules first: prunes earlier.
+    search.order.resize(static_cast<std::size_t>(tables.module_count()));
+    std::iota(search.order.begin(), search.order.end(), 0);
+    std::stable_sort(search.order.begin(), search.order.end(), [&tables](int a, int b) {
+        return tables.table(a).min_area() > tables.table(b).min_area();
+    });
+
+    // Suffix sums of minimum areas for the lower bound.
+    search.remaining_area.assign(search.order.size() + 1, 0);
+    for (std::size_t i = search.order.size(); i-- > 0;) {
+        search.remaining_area[i] =
+            search.remaining_area[i + 1] + tables.table(search.order[i]).min_area();
+    }
+
+    recurse(search, 0);
+
+    ExactResult result;
+    result.wires = search.best_wires;
+    result.groups = search.best_groups;
+    result.nodes_explored = search.nodes;
+    return result;
+}
+
+} // namespace mst

@@ -1,0 +1,39 @@
+// Exact reference solver for Step 1's core question: the minimum total
+// TAM wires that test an SOC within a vector-memory depth.
+//
+// The search space is the set of partitions of the modules into channel
+// groups; for a fixed partition the optimal group width is the smallest
+// width whose re-wrapped serial fill fits the depth (the fill is
+// monotone in width, so binary search applies). Branch-and-bound over
+// partitions with an area/width lower bound prunes the Bell-number tree
+// well enough for the small SOCs used in tests and the optimality-gap
+// benchmark. Not meant for production SOCs — Step 1 is; this is the
+// yardstick Step 1 is measured against.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arch/channel_group.hpp"
+#include "common/types.hpp"
+
+namespace mst {
+
+/// Result of the exact search.
+struct ExactResult {
+    WireCount wires = 0;                      ///< minimal total wires
+    std::vector<std::vector<int>> groups;     ///< module indices per group
+    std::int64_t nodes_explored = 0;          ///< search effort
+};
+
+/// Hard cap on the module count accepted by the exact solver; beyond
+/// this the partition tree is too large to enumerate honestly.
+inline constexpr int exact_module_limit = 14;
+
+/// Exact minimum wires for testing all modules within `depth`, or
+/// nullopt if some module fits at no width. Throws ValidationError if
+/// the SOC exceeds exact_module_limit modules.
+[[nodiscard]] std::optional<ExactResult> exact_min_wires(const SocTimeTables& tables,
+                                                         CycleCount depth);
+
+} // namespace mst

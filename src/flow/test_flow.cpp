@@ -1,0 +1,121 @@
+#include "flow/test_flow.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/optimizer.hpp"
+
+namespace mst {
+
+void FinalTestCell::validate() const
+{
+    if (channels <= 0) {
+        throw ValidationError("final test cell needs a positive channel count");
+    }
+    if (handler_index_time < 0.0 || contact_test_time < 0.0) {
+        throw ValidationError("final test cell times cannot be negative");
+    }
+    if (test_clock_hz <= 0.0) {
+        throw ValidationError("final test clock must be positive");
+    }
+    if (max_handler_sites < 1) {
+        throw ValidationError("handler must offer at least one site");
+    }
+}
+
+namespace {
+
+/// Boundary-scan EXTEST time: each pattern shifts through the full
+/// boundary chain (one cell per functional pin) and captures once.
+Seconds io_test_time(const ErpctSpec& erpct, PatternCount patterns, double clock_hz)
+{
+    const auto chain = static_cast<CycleCount>(erpct.boundary_cells());
+    const CycleCount cycles = (chain + 1) * patterns + chain;
+    return static_cast<double>(cycles) / clock_hz;
+}
+
+} // namespace
+
+FlowPlan plan_flow(const Soc& soc,
+                   const TestCell& wafer_cell,
+                   const FinalTestCell& final_cell,
+                   const FlowOptions& options)
+{
+    wafer_cell.validate();
+    final_cell.validate();
+    if (options.io_patterns <= 0) {
+        throw ValidationError("io_patterns must be positive");
+    }
+    if (options.packaged_yield < 0.0 || options.packaged_yield > 1.0) {
+        throw ValidationError("packaged_yield must be a probability");
+    }
+
+    FlowPlan plan;
+    plan.wafer_solution = optimize_multi_site(soc, wafer_cell, options.wafer);
+    plan.wafer.sites = plan.wafer_solution.sites;
+    plan.wafer.touchdown_time = plan.wafer_solution.throughput.touchdown_time;
+    plan.wafer.devices_per_hour = plan.wafer_solution.throughput.devices_per_hour;
+
+    // Final test: all pins contacted. Sites limited by tester channels
+    // and by the handler's sockets.
+    const ErpctSpec& erpct = plan.wafer_solution.erpct;
+    const int pins_per_device = erpct.functional_pins + erpct.control_pads;
+    if (pins_per_device > final_cell.channels) {
+        throw InfeasibleError("packaged part needs " + std::to_string(pins_per_device) +
+                              " channels at final test, tester has " +
+                              std::to_string(final_cell.channels));
+    }
+    const SiteCount by_channels = final_cell.channels / pins_per_device;
+    plan.final.sites = std::min<SiteCount>(by_channels, final_cell.max_handler_sites);
+
+    Seconds final_test = io_test_time(erpct, options.io_patterns, final_cell.test_clock_hz);
+    switch (options.final_retest) {
+    case FinalRetest::none:
+        break;
+    case FinalRetest::through_erpct:
+        // Same internal test, same narrow interface: same cycle count,
+        // possibly at the final tester's clock.
+        final_test += static_cast<double>(plan.wafer_solution.test_cycles) /
+                      final_cell.test_clock_hz;
+        break;
+    case FinalRetest::through_pins: {
+        // All functional pins double as test access: the internal test
+        // shrinks by the pin/E-RPCT width ratio (capped: scan chains do
+        // not split beyond their count).
+        const double widen = std::max(
+            1.0, static_cast<double>(pins_per_device) /
+                     static_cast<double>(plan.wafer_solution.channels_per_site));
+        final_test += static_cast<double>(plan.wafer_solution.test_cycles) /
+                      (final_cell.test_clock_hz * widen);
+        break;
+    }
+    }
+    plan.final.touchdown_time =
+        final_cell.handler_index_time + final_cell.contact_test_time + final_test;
+    plan.final.devices_per_hour = 3600.0 * plan.final.sites / plan.final.touchdown_time;
+
+    // Line balance: only good dies travel to final test.
+    const Probability die_yield = options.wafer.yields.manufacturing_yield;
+    const double good_dies_per_hour = plan.wafer.devices_per_hour * die_yield;
+    plan.final_testers_per_wafer_tester =
+        (plan.final.devices_per_hour > 0.0) ? good_dies_per_hour / plan.final.devices_per_hour
+                                            : 0.0;
+
+    // Tester seconds per shipped device: wafer seconds are spent on every
+    // die, final seconds only on packaged parts; a shipped device must
+    // survive both yields.
+    const double shipped_fraction = die_yield * options.packaged_yield;
+    if (shipped_fraction > 0.0) {
+        const Seconds wafer_seconds_per_die = 3600.0 / plan.wafer.devices_per_hour;
+        const Seconds final_seconds_per_part = 3600.0 / plan.final.devices_per_hour;
+        // Every die is wafer-tested (1/shipped_fraction dies per shipped
+        // device); every packaged part is final-tested (1/packaged_yield
+        // parts per shipped device).
+        plan.tester_seconds_per_shipped_device =
+            wafer_seconds_per_die / shipped_fraction +
+            final_seconds_per_part / options.packaged_yield;
+    }
+    return plan;
+}
+
+} // namespace mst

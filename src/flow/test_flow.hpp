@@ -1,0 +1,80 @@
+// The paper's two-step production test flow (Section 3):
+//
+//  1. Wafer test — internal circuitry only, probed through the narrow
+//     E-RPCT interface (this is what optimize_multi_site() plans).
+//  2. Final test — the packaged part with ALL pins contacted on a
+//     handler; the IOs are tested, and optionally the internal circuitry
+//     is re-tested (through all pins or through the E-RPCT subset).
+//
+// This module turns the two stages into one production-line plan:
+// per-stage throughputs, the wafer-to-final tester ratio that keeps the
+// line balanced, and tester-seconds per shipped device.
+#pragma once
+
+#include "ate/ate.hpp"
+#include "core/problem.hpp"
+#include "core/solution.hpp"
+#include "soc/soc.hpp"
+
+namespace mst {
+
+/// The final-test cell: an ATE plus a device handler.
+struct FinalTestCell {
+    ChannelCount channels = 1024;       ///< tester channels available
+    Seconds handler_index_time = 0.8;   ///< pick/place per touchdown (slower than a prober)
+    Seconds contact_test_time = 0.001;
+    double test_clock_hz = 5e6;
+    int max_handler_sites = 8;          ///< parallel sockets the handler offers
+
+    /// Throws ValidationError on non-positive fields.
+    void validate() const;
+};
+
+/// What final test does with the internal (structural) test.
+enum class FinalRetest {
+    none,          ///< IO test only
+    through_erpct, ///< repeat the internal test via the E-RPCT pin subset
+    through_pins,  ///< repeat the internal test via all functional pins
+};
+
+/// Knobs of the flow model.
+struct FlowOptions {
+    OptimizeOptions wafer;            ///< options for the wafer-test optimizer
+    FinalRetest final_retest = FinalRetest::none;
+    PatternCount io_patterns = 256;   ///< boundary-scan EXTEST pattern count
+    Probability packaged_yield = 1.0; ///< survival from good die to packaged part
+};
+
+/// One stage's share of the plan.
+struct StagePlan {
+    SiteCount sites = 0;
+    Seconds touchdown_time = 0;      ///< index + contact + test, per touchdown
+    DevicesPerHour devices_per_hour = 0;
+};
+
+/// The complete production plan.
+struct FlowPlan {
+    Solution wafer_solution;         ///< on-chip DfT + wafer multi-site plan
+    StagePlan wafer;
+    StagePlan final;
+
+    /// Final-test stations needed per wafer-test station so neither
+    /// stage starves the other (good dies/hour in == devices/hour out).
+    double final_testers_per_wafer_tester = 0;
+
+    /// Total tester-seconds (wafer + final) consumed per shipped device,
+    /// accounting for yield losses along the flow.
+    Seconds tester_seconds_per_shipped_device = 0;
+};
+
+/// Plan the two-stage flow for an SOC. The wafer stage is planned by
+/// optimize_multi_site(); the final stage contacts every functional pin,
+/// so its multi-site is limited by channels / pins and by the handler.
+/// Throws InfeasibleError if even one packaged part exceeds the final
+/// tester's channels, and ValidationError on malformed cells.
+[[nodiscard]] FlowPlan plan_flow(const Soc& soc,
+                                 const TestCell& wafer_cell,
+                                 const FinalTestCell& final_cell,
+                                 const FlowOptions& options = {});
+
+} // namespace mst

@@ -1,0 +1,123 @@
+#include "flow/wafer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mst {
+
+void WaferSpec::validate() const
+{
+    if (diameter_mm <= 0.0 || die_width_mm <= 0.0 || die_height_mm <= 0.0) {
+        throw ValidationError("wafer and die dimensions must be positive");
+    }
+    if (edge_exclusion_mm < 0.0 || 2.0 * edge_exclusion_mm >= diameter_mm) {
+        throw ValidationError("edge exclusion must be non-negative and smaller than the radius");
+    }
+}
+
+namespace {
+
+/// True if the axis-aligned die cell [x0,x1] x [y0,y1] (wafer-centre
+/// origin) lies fully inside the usable radius.
+bool die_fits(double x0, double y0, double x1, double y1, double radius)
+{
+    // The farthest corner decides.
+    const double cx = std::max(std::abs(x0), std::abs(x1));
+    const double cy = std::max(std::abs(y0), std::abs(y1));
+    return std::hypot(cx, cy) <= radius;
+}
+
+} // namespace
+
+WaferProbePlan plan_wafer_probing(const WaferSpec& wafer, const ProbeHeadLayout& layout)
+{
+    wafer.validate();
+    if (layout.sites_x < 1 || layout.sites_y < 1) {
+        throw ValidationError("probe head needs at least one site in each direction");
+    }
+
+    const double radius = wafer.diameter_mm / 2.0 - wafer.edge_exclusion_mm;
+    const double dw = wafer.die_width_mm;
+    const double dh = wafer.die_height_mm;
+
+    // Die grid centred on the wafer. Column/row index ranges that can
+    // possibly intersect the usable circle:
+    const int max_col = static_cast<int>(std::ceil(radius / dw)) + 1;
+    const int max_row = static_cast<int>(std::ceil(radius / dh)) + 1;
+
+    // Good-die map.
+    std::vector<std::pair<int, int>> dies;
+    for (int row = -max_row; row < max_row; ++row) {
+        for (int col = -max_col; col < max_col; ++col) {
+            const double x0 = col * dw;
+            const double y0 = row * dh;
+            if (die_fits(x0, y0, x0 + dw, y0 + dh, radius)) {
+                dies.emplace_back(col, row);
+            }
+        }
+    }
+
+    WaferProbePlan plan;
+    plan.dies_on_wafer = static_cast<int>(dies.size());
+    if (dies.empty()) {
+        return plan;
+    }
+
+    // Rigid head: dies are visited in head-aligned blocks of
+    // sites_x x sites_y. A block needs one touchdown if it contains at
+    // least one die. (Real probers allow partial overhang off the wafer.)
+    std::vector<std::pair<int, int>> blocks;
+    for (const auto& [col, row] : dies) {
+        const int bx = (col >= 0) ? col / layout.sites_x : ((col + 1) / layout.sites_x) - 1;
+        const int by = (row >= 0) ? row / layout.sites_y : ((row + 1) / layout.sites_y) - 1;
+        blocks.emplace_back(bx, by);
+    }
+    std::sort(blocks.begin(), blocks.end());
+    blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+
+    plan.touchdowns = static_cast<int>(blocks.size());
+    plan.probed_positions = plan.touchdowns * layout.sites();
+    plan.utilization = static_cast<double>(plan.dies_on_wafer) /
+                       static_cast<double>(plan.probed_positions);
+    return plan;
+}
+
+ProbeHeadLayout best_head_layout(const WaferSpec& wafer, SiteCount sites)
+{
+    if (sites < 1) {
+        throw ValidationError("need at least one site");
+    }
+    ProbeHeadLayout best{sites, 1};
+    double best_utilization = -1.0;
+    int best_aspect = 1 << 30;
+    for (int x = 1; x <= sites; ++x) {
+        if (sites % x != 0) {
+            continue;
+        }
+        const ProbeHeadLayout layout{x, sites / x};
+        const WaferProbePlan plan = plan_wafer_probing(wafer, layout);
+        const int aspect = std::abs(layout.sites_x - layout.sites_y);
+        if (plan.utilization > best_utilization ||
+            (plan.utilization == best_utilization && aspect < best_aspect)) {
+            best = layout;
+            best_utilization = plan.utilization;
+            best_aspect = aspect;
+        }
+    }
+    return best;
+}
+
+DevicesPerHour effective_throughput(DevicesPerHour ideal,
+                                    SiteCount sites,
+                                    const WaferProbePlan& plan) noexcept
+{
+    if (sites < 1) {
+        return 0.0;
+    }
+    return ideal * plan.effective_sites() / static_cast<double>(sites);
+}
+
+} // namespace mst

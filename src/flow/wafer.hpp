@@ -1,0 +1,68 @@
+// Wafer geometry and multi-site periphery losses.
+//
+// The paper notes: "the circular shape of the wafer brings some losses
+// in multi-site testing at the periphery of the wafer; these are ignored
+// in the sequel of this paper." This module implements what the paper
+// set aside: given a wafer, a die, and a probe-head layout of n sites,
+// compute how many touchdowns a full wafer needs and what fraction of
+// probed positions land on no die — turning the ideal throughput
+// D_th(n) into an effective throughput on real wafers.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace mst {
+
+/// A wafer and the die printed on it. Millimetre units.
+struct WaferSpec {
+    double diameter_mm = 300.0;
+    double edge_exclusion_mm = 3.0; ///< outer ring with no usable dies
+    double die_width_mm = 10.0;
+    double die_height_mm = 10.0;
+
+    /// Throws ValidationError on non-positive dimensions.
+    void validate() const;
+};
+
+/// The probe head touches a w x h rectangle of adjacent dies per
+/// touchdown (w*h = sites).
+struct ProbeHeadLayout {
+    int sites_x = 1;
+    int sites_y = 1;
+
+    [[nodiscard]] SiteCount sites() const noexcept { return sites_x * sites_y; }
+};
+
+/// Full-wafer probing statistics for one layout.
+struct WaferProbePlan {
+    int dies_on_wafer = 0;       ///< complete dies inside the usable radius
+    int touchdowns = 0;          ///< probe-head placements to cover them all
+    int probed_positions = 0;    ///< touchdowns * sites
+    double utilization = 0;      ///< dies_on_wafer / probed_positions
+
+    /// Effective sites per touchdown after periphery losses.
+    [[nodiscard]] double effective_sites() const noexcept
+    {
+        return (touchdowns > 0)
+                   ? static_cast<double>(dies_on_wafer) / static_cast<double>(touchdowns)
+                   : 0.0;
+    }
+};
+
+/// Compute the die map and the touchdown count for stepping a rigid
+/// probe head across the wafer (row-major stepping, head-aligned grid).
+/// Deterministic and exact for the rectangular-die model.
+[[nodiscard]] WaferProbePlan plan_wafer_probing(const WaferSpec& wafer,
+                                                const ProbeHeadLayout& layout);
+
+/// Pick the w x h factorization of `sites` that maximizes utilization
+/// for the given wafer (ties: squarer head first).
+[[nodiscard]] ProbeHeadLayout best_head_layout(const WaferSpec& wafer, SiteCount sites);
+
+/// Ideal throughput corrected for periphery losses:
+/// D_eff = D_th * effective_sites / n.
+[[nodiscard]] DevicesPerHour effective_throughput(DevicesPerHour ideal,
+                                                  SiteCount sites,
+                                                  const WaferProbePlan& plan) noexcept;
+
+} // namespace mst

@@ -1,0 +1,37 @@
+#include "report/csv.hpp"
+
+#include <ostream>
+
+namespace mst {
+
+std::string CsvWriter::escape(const std::string& cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) {
+        return cell;
+    }
+    std::string escaped = "\"";
+    for (const char ch : cell) {
+        if (ch == '"') {
+            escaped += "\"\"";
+        } else {
+            escaped += ch;
+        }
+    }
+    escaped += '"';
+    return escaped;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) {
+            *out_ << ',';
+        }
+        *out_ << escape(cells[i]);
+    }
+    *out_ << '\n';
+}
+
+} // namespace mst

@@ -1,0 +1,25 @@
+// CSV export for downstream plotting of the figure benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mst {
+
+/// RFC-4180-ish CSV writer: cells containing commas, quotes, or newlines
+/// are quoted, embedded quotes doubled.
+class CsvWriter {
+public:
+    explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+    void write_row(const std::vector<std::string>& cells);
+
+    /// Quote/escape one cell (exposed for tests).
+    [[nodiscard]] static std::string escape(const std::string& cell);
+
+private:
+    std::ostream* out_;
+};
+
+} // namespace mst

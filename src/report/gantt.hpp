@@ -1,0 +1,22 @@
+// ASCII Gantt rendering of a test architecture: one row per channel
+// group, time left to right, one block per module test. Makes the
+// "fitting SOC test data on the target ATE" pictures of the paper's
+// Figures 3 and 4 inspectable for real solutions.
+#pragma once
+
+#include <string>
+
+#include "arch/architecture.hpp"
+
+namespace mst {
+
+/// Render the architecture as a Gantt chart scaled to `depth` cycles
+/// across `columns` characters. Each group prints as
+///   TAM <i> [ w<width>] |AAABBBBBB....|
+/// with one letter per module (a legend follows) and '.' for free
+/// vector memory.
+[[nodiscard]] std::string render_gantt(const Architecture& architecture,
+                                       CycleCount depth,
+                                       int columns = 64);
+
+} // namespace mst

@@ -1,0 +1,42 @@
+#include "report/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace mst {
+
+void print_series(std::ostream& out, const Series& series)
+{
+    out << "# " << series.name << "  (" << series.x_label << " vs " << series.y_label << ")\n";
+    for (const auto& [x, y] : series.points) {
+        out << x << ' ' << y << '\n';
+    }
+    out << "# shape: " << sparkline(series.points) << "\n\n";
+}
+
+std::string sparkline(const std::vector<std::pair<double, double>>& points)
+{
+    static constexpr const char* levels[] = {"_", ".", ":", "-", "=", "+", "*", "#"};
+    if (points.empty()) {
+        return {};
+    }
+    double lo = points.front().second;
+    double hi = lo;
+    for (const auto& [x, y] : points) {
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+    }
+    std::string line;
+    for (const auto& [x, y] : points) {
+        int level = 0;
+        if (hi > lo) {
+            level = static_cast<int>(std::floor((y - lo) / (hi - lo) * 7.999));
+        }
+        level = std::clamp(level, 0, 7);
+        line += levels[level];
+    }
+    return line;
+}
+
+} // namespace mst

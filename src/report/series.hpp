@@ -1,0 +1,29 @@
+// Named (x, y) data series: the textual equivalent of the paper's
+// figures. Each bench prints its figure as one series block per curve.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mst {
+
+/// One plotted curve.
+struct Series {
+    std::string name;
+    std::string x_label;
+    std::string y_label;
+    std::vector<std::pair<double, double>> points;
+};
+
+/// Print a series as a labeled two-column block:
+///   # <name>  (<x_label> vs <y_label>)
+///   <x> <y>
+///   ...
+void print_series(std::ostream& out, const Series& series);
+
+/// Render an ASCII sparkline of y values (one char per point, 8 levels),
+/// handy for eyeballing figure shapes in terminal output.
+[[nodiscard]] std::string sparkline(const std::vector<std::pair<double, double>>& points);
+
+} // namespace mst

@@ -1,0 +1,106 @@
+#include "report/solution_json.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace mst {
+
+namespace {
+
+/// RFC 8259 string escaping (control characters, quote, backslash).
+std::string escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char ch : text) {
+        switch (ch) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof buffer, "\\u%04x", ch);
+                out += buffer;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string number(double value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.6g", value);
+    return buffer;
+}
+
+} // namespace
+
+void write_solution_json(std::ostream& out, const Solution& solution)
+{
+    out << "{\n";
+    out << "  \"soc\": \"" << escape(solution.soc_name) << "\",\n";
+    out << "  \"sites\": " << solution.sites << ",\n";
+    out << "  \"channels_per_site\": " << solution.channels_per_site << ",\n";
+    out << "  \"test_cycles\": " << solution.test_cycles << ",\n";
+    out << "  \"manufacturing_time_s\": " << number(solution.manufacturing_time) << ",\n";
+    out << "  \"devices_per_hour\": " << number(solution.throughput.devices_per_hour) << ",\n";
+    out << "  \"unique_devices_per_hour\": "
+        << number(solution.throughput.unique_devices_per_hour) << ",\n";
+    out << "  \"step1\": { \"channels\": " << solution.channels_step1
+        << ", \"max_sites\": " << solution.max_sites_step1 << " },\n";
+    out << "  \"erpct\": { \"external_channels\": " << solution.erpct.external_channels
+        << ", \"internal_wires\": " << solution.erpct.internal_wires
+        << ", \"control_pads\": " << solution.erpct.control_pads
+        << ", \"functional_pins\": " << solution.erpct.functional_pins
+        << ", \"contacted_pads\": " << solution.erpct.contacted_pads() << " },\n";
+
+    out << "  \"tams\": [";
+    for (std::size_t g = 0; g < solution.groups.size(); ++g) {
+        const GroupSummary& group = solution.groups[g];
+        out << (g == 0 ? "\n" : ",\n");
+        out << "    { \"wires\": " << group.wires << ", \"channels\": " << group.channels
+            << ", \"fill_cycles\": " << group.fill << ", \"modules\": [";
+        for (std::size_t m = 0; m < group.module_names.size(); ++m) {
+            out << (m == 0 ? "" : ", ") << '"' << escape(group.module_names[m]) << '"';
+        }
+        out << "] }";
+    }
+    out << "\n  ],\n";
+
+    out << "  \"site_curve\": [";
+    for (std::size_t i = 0; i < solution.site_curve.size(); ++i) {
+        const SitePoint& point = solution.site_curve[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    { \"sites\": " << point.sites << ", \"channels_per_site\": "
+            << point.channels_per_site << ", \"test_cycles\": " << point.test_cycles
+            << ", \"devices_per_hour\": " << number(point.devices_per_hour) << " }";
+    }
+    out << "\n  ]\n";
+    out << "}\n";
+}
+
+std::string solution_to_json(const Solution& solution)
+{
+    std::ostringstream stream;
+    write_solution_json(stream, solution);
+    return stream.str();
+}
+
+} // namespace mst

@@ -1,0 +1,21 @@
+// JSON export of a Solution: the machine-readable handoff from the
+// optimizer to downstream DfT insertion / test-program generation tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/solution.hpp"
+
+namespace mst {
+
+/// Serialize a solution as a single self-contained JSON object:
+/// operating point, E-RPCT wrapper parameters, per-group TAM plan, and
+/// the full site curve. Output is deterministic (fixed key order) and
+/// strings are escaped per RFC 8259.
+void write_solution_json(std::ostream& out, const Solution& solution);
+
+/// Convenience: serialize to a string.
+[[nodiscard]] std::string solution_to_json(const Solution& solution);
+
+} // namespace mst

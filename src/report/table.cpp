@@ -1,0 +1,73 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mst {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    if (headers_.empty()) {
+        throw ValidationError("a table needs at least one column");
+    }
+}
+
+void Table::add_row(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        throw ValidationError("table row has " + std::to_string(cells.size()) +
+                              " cells, expected " + std::to_string(headers_.size()));
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream out;
+    const auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) {
+                out << "  ";
+            }
+            const auto pad = widths[c] - row[c].size();
+            if (c == 0) {
+                out << row[c] << std::string(pad, ' ');
+            } else {
+                out << std::string(pad, ' ') << row[c];
+            }
+        }
+        out << '\n';
+    };
+
+    emit(headers_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) {
+        total += w;
+    }
+    total += 2 * (widths.size() - 1);
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) {
+        emit(row);
+    }
+    return out.str();
+}
+
+std::ostream& operator<<(std::ostream& out, const Table& table)
+{
+    return out << table.to_string();
+}
+
+} // namespace mst

@@ -1,0 +1,32 @@
+// Minimal ASCII table builder for paper-shaped output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mst {
+
+/// Column-aligned text table with a header row and a separator line.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Append one row; it must have exactly as many cells as the header.
+    /// Throws ValidationError otherwise.
+    void add_row(std::vector<std::string> cells);
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Render with two-space column gaps; numbers look best right-aligned,
+    /// so all cells are right-aligned except the first column.
+    [[nodiscard]] std::string to_string() const;
+
+    friend std::ostream& operator<<(std::ostream& out, const Table& table);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mst

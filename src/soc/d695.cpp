@@ -1,0 +1,43 @@
+#include "soc/d695.hpp"
+
+#include <vector>
+
+namespace mst {
+
+namespace {
+
+/// Split `total` flip-flops into `chains` near-equal scan chains,
+/// longest-first, as the published benchmark does.
+std::vector<FlipFlopCount> balanced_chains(int chains, FlipFlopCount total)
+{
+    std::vector<FlipFlopCount> lengths;
+    lengths.reserve(static_cast<std::size_t>(chains));
+    FlipFlopCount remaining = total;
+    for (int c = chains; c > 0; --c) {
+        const FlipFlopCount length = (remaining + c - 1) / c;
+        lengths.push_back(length);
+        remaining -= length;
+    }
+    return lengths;
+}
+
+} // namespace
+
+Soc make_d695()
+{
+    std::vector<Module> modules;
+    // name, inputs, outputs, bidirs, patterns, scan chains
+    modules.emplace_back("c6288", 32, 32, 0, 12, std::vector<FlipFlopCount>{});
+    modules.emplace_back("c7552", 207, 108, 0, 73, std::vector<FlipFlopCount>{});
+    modules.emplace_back("s838", 34, 1, 0, 75, std::vector<FlipFlopCount>{32});
+    modules.emplace_back("s9234", 36, 39, 0, 105, std::vector<FlipFlopCount>{54, 53, 52, 52});
+    modules.emplace_back("s38584", 38, 304, 0, 110, balanced_chains(32, 1426));
+    modules.emplace_back("s13207", 62, 152, 0, 234, balanced_chains(16, 638));
+    modules.emplace_back("s15850", 77, 150, 0, 95, balanced_chains(16, 534));
+    modules.emplace_back("s5378", 35, 49, 0, 97, std::vector<FlipFlopCount>{46, 45, 44, 44});
+    modules.emplace_back("s35932", 35, 320, 0, 12, balanced_chains(32, 1728));
+    modules.emplace_back("s38417", 28, 106, 0, 68, balanced_chains(32, 1636));
+    return Soc("d695", std::move(modules));
+}
+
+} // namespace mst

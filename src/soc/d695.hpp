@@ -1,0 +1,15 @@
+// The ITC'02 benchmark SOC d695, reconstructed from its widely published
+// module table (10 ISCAS-85/89 cores). See DESIGN.md §5 for provenance:
+// the original benchmark file is not redistributable in this offline
+// environment, so the module data below was re-entered from the numbers
+// reprinted in the ITC'02 benchmark paper [13] and follow-up TAM papers.
+#pragma once
+
+#include "soc/soc.hpp"
+
+namespace mst {
+
+/// Build the d695 benchmark SOC (10 modules, ~0.6 Mbit stimulus volume).
+[[nodiscard]] Soc make_d695();
+
+} // namespace mst

@@ -1,0 +1,176 @@
+#include "soc/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mst {
+
+namespace {
+
+void validate_config(const GeneratorConfig& config)
+{
+    if (config.name.empty()) {
+        throw ValidationError("generator config must have a name");
+    }
+    if (config.logic_modules < 0 || config.memory_modules < 0) {
+        throw ValidationError("generator module counts must be non-negative");
+    }
+    if (config.logic_modules + config.memory_modules == 0) {
+        throw ValidationError("generator config produces an empty SOC");
+    }
+    if (config.logic_modules > 0 && config.logic_volume_bits <= 0) {
+        throw ValidationError("logic volume must be positive when logic modules are requested");
+    }
+    if (config.memory_modules > 0 && config.memory_volume_bits <= 0) {
+        throw ValidationError("memory volume must be positive when memory modules are requested");
+    }
+    if (config.min_chains < 1 || config.max_chains < config.min_chains) {
+        throw ValidationError("bad scan chain count range");
+    }
+    if (config.min_io < 1 || config.max_io < config.min_io) {
+        throw ValidationError("bad io range");
+    }
+    if (config.dominant_fraction < 0.0 || config.dominant_fraction >= 1.0) {
+        throw ValidationError("dominant_fraction must be in [0, 1)");
+    }
+    if (config.pattern_exponent <= 0.0 || config.pattern_exponent >= 1.0) {
+        throw ValidationError("pattern_exponent must be in (0, 1)");
+    }
+}
+
+/// Split `total` into `parts` shares proportional to lognormal weights;
+/// optionally forcing share 0 to `dominant` of the total.
+std::vector<std::int64_t> split_volume(Rng& rng, std::int64_t total, int parts,
+                                       double sigma, double dominant)
+{
+    std::vector<double> weights(static_cast<std::size_t>(parts));
+    for (double& w : weights) {
+        w = rng.log_normal(0.0, sigma);
+    }
+    const double weight_sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+    std::vector<std::int64_t> shares(weights.size());
+    std::int64_t body = total;
+    std::size_t first = 0;
+    if (dominant > 0.0 && parts > 1) {
+        shares[0] = static_cast<std::int64_t>(dominant * static_cast<double>(total));
+        body -= shares[0];
+        first = 1;
+    }
+    const double body_weights = weight_sum - (first == 1 ? weights[0] : 0.0);
+    std::int64_t assigned = 0;
+    for (std::size_t i = first; i < weights.size(); ++i) {
+        const auto share = static_cast<std::int64_t>(weights[i] / body_weights * static_cast<double>(body));
+        shares[i] = std::max<std::int64_t>(share, 64); // keep every module testable
+        assigned += shares[i];
+    }
+    // Distribute rounding remainder onto the largest body share.
+    if (assigned < body) {
+        auto largest = std::max_element(shares.begin() + static_cast<std::ptrdiff_t>(first), shares.end());
+        *largest += body - assigned;
+    }
+    return shares;
+}
+
+Module make_logic_module(Rng& rng, const GeneratorConfig& config, int index,
+                         std::int64_t volume_bits)
+{
+    // patterns ~ volume^exponent with +/-30% jitter; at least 8.
+    const double raw_patterns = std::pow(static_cast<double>(volume_bits), config.pattern_exponent);
+    const double jitter = rng.uniform_real(0.7, 1.3);
+    const auto patterns = std::max<PatternCount>(8, static_cast<PatternCount>(raw_patterns * jitter));
+
+    const int inputs = static_cast<int>(rng.uniform_int(config.min_io, config.max_io));
+    const int outputs = static_cast<int>(rng.uniform_int(config.min_io, config.max_io));
+    const int bidirs = rng.chance(0.25) ? static_cast<int>(rng.uniform_int(0, config.min_io)) : 0;
+
+    // Flip-flops so that patterns * (ffs + input cells) ~= volume.
+    const std::int64_t load_per_pattern = std::max<std::int64_t>(1, volume_bits / patterns);
+    const FlipFlopCount total_ffs = std::max<FlipFlopCount>(1, load_per_pattern - (inputs + bidirs));
+
+    int chains = static_cast<int>(rng.uniform_int(config.min_chains, config.max_chains));
+    chains = static_cast<int>(std::min<FlipFlopCount>(chains, total_ffs));
+    std::vector<FlipFlopCount> lengths;
+    lengths.reserve(static_cast<std::size_t>(chains));
+    FlipFlopCount remaining = total_ffs;
+    for (int c = chains; c > 0; --c) {
+        FlipFlopCount length = (remaining + c - 1) / c;
+        if (c > 1) {
+            // +/-20% imbalance, as real scan stitching is rarely perfect.
+            const auto wiggle = static_cast<FlipFlopCount>(static_cast<double>(length) * rng.uniform_real(-0.2, 0.2));
+            length = std::clamp<FlipFlopCount>(length + wiggle, 1, remaining - (c - 1));
+        } else {
+            length = remaining;
+        }
+        lengths.push_back(length);
+        remaining -= length;
+    }
+
+    return Module("logic" + std::to_string(index), inputs, outputs, bidirs, patterns,
+                  std::move(lengths));
+}
+
+Module make_memory_module(Rng& rng, const GeneratorConfig& config, int index,
+                          std::int64_t volume_bits)
+{
+    // A memory tested through its functional interface: no scan chains,
+    // pattern count = volume / interface width.
+    const int io = static_cast<int>(rng.uniform_int(config.memory_min_io, config.memory_max_io));
+    const int inputs = io;
+    const int outputs = std::max(1, io / 2);
+    const auto patterns = std::max<PatternCount>(4, volume_bits / inputs);
+    return Module("mem" + std::to_string(index), inputs, outputs, 0, patterns,
+                  std::vector<FlipFlopCount>{});
+}
+
+} // namespace
+
+Soc generate_soc(const GeneratorConfig& config)
+{
+    validate_config(config);
+    Rng rng(config.seed);
+    std::vector<Module> modules;
+    modules.reserve(static_cast<std::size_t>(config.logic_modules + config.memory_modules));
+
+    if (config.logic_modules > 0) {
+        const std::vector<std::int64_t> volumes =
+            split_volume(rng, config.logic_volume_bits, config.logic_modules,
+                         config.volume_sigma, config.dominant_fraction);
+        for (int i = 0; i < config.logic_modules; ++i) {
+            modules.push_back(make_logic_module(rng, config, i, volumes[static_cast<std::size_t>(i)]));
+        }
+    }
+    if (config.memory_modules > 0) {
+        const std::vector<std::int64_t> volumes =
+            split_volume(rng, config.memory_volume_bits, config.memory_modules,
+                         config.volume_sigma * 0.5, 0.0);
+        for (int i = 0; i < config.memory_modules; ++i) {
+            modules.push_back(make_memory_module(rng, config, i, volumes[static_cast<std::size_t>(i)]));
+        }
+    }
+    return Soc(config.name, std::move(modules));
+}
+
+Soc random_soc(std::uint64_t seed, int module_count)
+{
+    if (module_count < 1) {
+        throw ValidationError("random_soc needs at least one module");
+    }
+    GeneratorConfig config;
+    config.name = "random" + std::to_string(seed);
+    config.seed = seed;
+    config.logic_modules = module_count;
+    config.logic_volume_bits = 40'000LL * module_count;
+    config.volume_sigma = 0.8;
+    config.min_chains = 1;
+    config.max_chains = 12;
+    config.min_io = 4;
+    config.max_io = 64;
+    return generate_soc(config);
+}
+
+} // namespace mst

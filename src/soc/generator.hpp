@@ -1,0 +1,52 @@
+// Synthetic SOC generator.
+//
+// Produces deterministic, statistically calibrated SOCs for the
+// benchmarks the paper evaluates but whose data files are not available
+// offline (p22810 / p34392 / p93791) and for the proprietary Philips
+// PNX8550 (see DESIGN.md §5). Also provides random SOCs for property
+// tests and scaling benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "soc/soc.hpp"
+
+namespace mst {
+
+/// Parameters of the synthetic SOC generator. Volumes are "stimulus
+/// volumes" in bits: sum over modules of patterns * (scan flip-flops +
+/// input cells), which is what fills ATE vector memory.
+struct GeneratorConfig {
+    std::string name = "synthetic";
+    std::uint64_t seed = 1;
+
+    /// Scan-tested logic modules.
+    int logic_modules = 10;
+    std::int64_t logic_volume_bits = 1'000'000;
+    double volume_sigma = 1.0;        ///< lognormal spread of module volumes
+    double dominant_fraction = 0.0;   ///< share of logic volume forced into module 0
+    int min_chains = 1;
+    int max_chains = 32;
+    double pattern_exponent = 0.45;   ///< patterns ~ volume^exponent (jittered)
+    int min_io = 8;                   ///< functional inputs and outputs, each
+    int max_io = 256;
+
+    /// Non-scan "memory interface" modules (PNX8550-style): tested through
+    /// a narrow functional interface with a long pattern sequence.
+    int memory_modules = 0;
+    std::int64_t memory_volume_bits = 0;
+    int memory_min_io = 16;
+    int memory_max_io = 72;
+};
+
+/// Generate an SOC from a configuration. Deterministic in the seed.
+/// Throws ValidationError on nonsensical configurations (no modules,
+/// non-positive volume for a non-zero module count, bad ranges).
+[[nodiscard]] Soc generate_soc(const GeneratorConfig& config);
+
+/// Convenience: a small random SOC for property tests. Deterministic in
+/// the seed; module count in [1, 40], moderate volumes.
+[[nodiscard]] Soc random_soc(std::uint64_t seed, int module_count);
+
+} // namespace mst

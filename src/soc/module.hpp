@@ -1,0 +1,75 @@
+// Module (embedded core) description: the per-module inputs of Problem 1.
+//
+// A module carries exactly the data the DATE'05 algorithm consumes:
+// functional terminal counts, internal scan chain lengths, and the number
+// of test patterns. This matches the per-module fields of the ITC'02 SOC
+// Test Benchmarks [13] that the paper evaluates on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mst {
+
+/// One embedded module (core) of an SOC.
+class Module {
+public:
+    Module() = default;
+
+    /// Construct and validate; throws ValidationError on negative counts,
+    /// non-positive pattern count, or non-positive scan chain lengths.
+    Module(std::string name,
+           int inputs,
+           int outputs,
+           int bidirs,
+           PatternCount patterns,
+           std::vector<FlipFlopCount> scan_chain_lengths);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] int inputs() const noexcept { return inputs_; }
+    [[nodiscard]] int outputs() const noexcept { return outputs_; }
+    [[nodiscard]] int bidirs() const noexcept { return bidirs_; }
+    [[nodiscard]] PatternCount patterns() const noexcept { return patterns_; }
+    [[nodiscard]] const std::vector<FlipFlopCount>& scan_chain_lengths() const noexcept
+    {
+        return scan_chain_lengths_;
+    }
+
+    /// Number of internal scan chains.
+    [[nodiscard]] int scan_chain_count() const noexcept
+    {
+        return static_cast<int>(scan_chain_lengths_.size());
+    }
+
+    /// Total internal scan flip-flops.
+    [[nodiscard]] FlipFlopCount total_scan_flip_flops() const noexcept;
+
+    /// Wrapper scan-in cell count: functional inputs + bidirs each get a
+    /// wrapper input cell (as in the wrapper model of [11]/[14]).
+    [[nodiscard]] int scan_in_cells() const noexcept { return inputs_ + bidirs_; }
+
+    /// Wrapper scan-out cell count: functional outputs + bidirs.
+    [[nodiscard]] int scan_out_cells() const noexcept { return outputs_ + bidirs_; }
+
+    /// Elements that can be placed on distinct wrapper chains; beyond this
+    /// width, widening the wrapper cannot reduce test time further.
+    [[nodiscard]] WireCount max_useful_width() const noexcept;
+
+    /// Approximate test-data volume in bits: patterns * (scan load per
+    /// pattern), counting both stimulus and response directions once.
+    /// Used for deterministic tie-breaking and for the baseline's
+    /// minimum-area accounting.
+    [[nodiscard]] std::int64_t test_data_volume_bits() const noexcept;
+
+private:
+    std::string name_;
+    int inputs_ = 0;
+    int outputs_ = 0;
+    int bidirs_ = 0;
+    PatternCount patterns_ = 0;
+    std::vector<FlipFlopCount> scan_chain_lengths_;
+};
+
+} // namespace mst

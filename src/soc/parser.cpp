@@ -1,0 +1,156 @@
+#include "soc/parser.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mst {
+
+namespace {
+
+/// Tokenize one logical line, dropping everything after a '#'.
+std::vector<std::string> tokenize(const std::string& line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream stream(line.substr(0, line.find('#')));
+    std::string token;
+    while (stream >> token) {
+        tokens.push_back(token);
+    }
+    return tokens;
+}
+
+std::int64_t parse_count(const std::string& token, std::string_view origin, int line_no,
+                         const std::string& field)
+{
+    try {
+        std::size_t consumed = 0;
+        const long long value = std::stoll(token, &consumed);
+        if (consumed != token.size()) {
+            throw std::invalid_argument(token);
+        }
+        return value;
+    } catch (const std::exception&) {
+        throw ParseError(origin, line_no, "expected an integer for '" + field + "', got '" + token + "'");
+    }
+}
+
+Module parse_module_line(const std::vector<std::string>& tokens, std::string_view origin, int line_no)
+{
+    if (tokens.size() < 2) {
+        throw ParseError(origin, line_no, "'module' requires a name");
+    }
+    const std::string& name = tokens[1];
+    std::optional<int> inputs;
+    std::optional<int> outputs;
+    std::optional<int> bidirs;
+    std::optional<PatternCount> patterns;
+    std::vector<FlipFlopCount> chains;
+
+    std::size_t i = 2;
+    while (i < tokens.size()) {
+        const std::string& key = tokens[i];
+        if (key == "scan") {
+            for (++i; i < tokens.size(); ++i) {
+                chains.push_back(parse_count(tokens[i], origin, line_no, "scan chain length"));
+            }
+            break;
+        }
+        if (i + 1 >= tokens.size()) {
+            throw ParseError(origin, line_no, "field '" + key + "' is missing its value");
+        }
+        const std::int64_t value = parse_count(tokens[i + 1], origin, line_no, key);
+        if (key == "inputs") {
+            inputs = static_cast<int>(value);
+        } else if (key == "outputs") {
+            outputs = static_cast<int>(value);
+        } else if (key == "bidirs") {
+            bidirs = static_cast<int>(value);
+        } else if (key == "patterns") {
+            patterns = value;
+        } else {
+            throw ParseError(origin, line_no, "unknown module field '" + key + "'");
+        }
+        i += 2;
+    }
+
+    if (!inputs || !outputs || !patterns) {
+        throw ParseError(origin, line_no,
+                         "module '" + name + "' must define inputs, outputs, and patterns");
+    }
+    try {
+        return Module(name, *inputs, *outputs, bidirs.value_or(0), *patterns, std::move(chains));
+    } catch (const ValidationError& e) {
+        throw ParseError(origin, line_no, e.what());
+    }
+}
+
+} // namespace
+
+Soc parse_soc(std::istream& in, std::string_view origin)
+{
+    std::string soc_name;
+    std::vector<Module> modules;
+    bool ended = false;
+
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::vector<std::string> tokens = tokenize(line);
+        if (tokens.empty()) {
+            continue;
+        }
+        if (ended) {
+            throw ParseError(origin, line_no, "content after 'end'");
+        }
+        const std::string& keyword = tokens[0];
+        if (keyword == "soc") {
+            if (!soc_name.empty()) {
+                throw ParseError(origin, line_no, "duplicate 'soc' statement");
+            }
+            if (tokens.size() != 2) {
+                throw ParseError(origin, line_no, "'soc' requires exactly one name");
+            }
+            soc_name = tokens[1];
+        } else if (keyword == "module") {
+            if (soc_name.empty()) {
+                throw ParseError(origin, line_no, "'module' before 'soc' statement");
+            }
+            modules.push_back(parse_module_line(tokens, origin, line_no));
+        } else if (keyword == "end") {
+            ended = true;
+        } else {
+            throw ParseError(origin, line_no, "unknown statement '" + keyword + "'");
+        }
+    }
+
+    if (soc_name.empty()) {
+        throw ParseError(origin, line_no, "missing 'soc' statement");
+    }
+    try {
+        return Soc(soc_name, std::move(modules));
+    } catch (const ValidationError& e) {
+        throw ParseError(origin, line_no, e.what());
+    }
+}
+
+Soc parse_soc_string(const std::string& text, std::string_view origin)
+{
+    std::istringstream stream(text);
+    return parse_soc(stream, origin);
+}
+
+Soc load_soc_file(const std::string& path)
+{
+    std::ifstream file(path);
+    if (!file) {
+        throw ParseError(path, 0, "cannot open file");
+    }
+    return parse_soc(file, path);
+}
+
+} // namespace mst

@@ -1,0 +1,106 @@
+#include "soc/profiles.hpp"
+
+#include "common/error.hpp"
+#include "soc/d695.hpp"
+
+namespace mst {
+
+GeneratorConfig p22810_profile()
+{
+    GeneratorConfig config;
+    config.name = "p22810";
+    config.seed = 0x22810;
+    config.logic_modules = 28;
+    config.logic_volume_bits = 6'500'000;
+    config.volume_sigma = 1.1;
+    config.min_chains = 1;
+    config.max_chains = 32;
+    config.pattern_exponent = 0.42;
+    config.min_io = 8;
+    config.max_io = 200;
+    return config;
+}
+
+GeneratorConfig p34392_profile()
+{
+    GeneratorConfig config;
+    config.name = "p34392";
+    config.seed = 0x34392;
+    config.logic_modules = 19;
+    config.logic_volume_bits = 14'500'000;
+    config.volume_sigma = 1.0;
+    // The real p34392 is dominated by one large module whose minimal
+    // width sets the channel floor at small memory depths.
+    config.dominant_fraction = 0.34;
+    config.min_chains = 2;
+    config.max_chains = 32;
+    config.pattern_exponent = 0.42;
+    config.min_io = 8;
+    config.max_io = 160;
+    return config;
+}
+
+GeneratorConfig p93791_profile()
+{
+    GeneratorConfig config;
+    config.name = "p93791";
+    config.seed = 0x93791;
+    config.logic_modules = 32;
+    config.logic_volume_bits = 26'500'000;
+    config.volume_sigma = 1.2;
+    config.min_chains = 2;
+    config.max_chains = 46;
+    config.pattern_exponent = 0.40;
+    config.min_io = 8;
+    config.max_io = 220;
+    return config;
+}
+
+GeneratorConfig pnx8550_profile()
+{
+    GeneratorConfig config;
+    config.name = "pnx8550";
+    config.seed = 0x8550;
+    config.logic_modules = 62;
+    config.logic_volume_bits = 226'000'000;
+    config.volume_sigma = 1.0;
+    // Scan stitching on the real chip was chosen to match the TAM plan,
+    // so every logic module parallelizes well.
+    config.min_chains = 40;
+    config.max_chains = 64;
+    config.pattern_exponent = 0.45;
+    config.min_io = 16;
+    config.max_io = 256;
+    config.memory_modules = 212;
+    config.memory_volume_bits = 29'000'000;
+    config.memory_min_io = 16;
+    config.memory_max_io = 72;
+    return config;
+}
+
+Soc make_benchmark_soc(const std::string& name)
+{
+    if (name == "d695") {
+        return make_d695();
+    }
+    if (name == "p22810") {
+        return generate_soc(p22810_profile());
+    }
+    if (name == "p34392") {
+        return generate_soc(p34392_profile());
+    }
+    if (name == "p93791") {
+        return generate_soc(p93791_profile());
+    }
+    if (name == "pnx8550") {
+        return generate_soc(pnx8550_profile());
+    }
+    throw ValidationError("unknown benchmark SOC '" + name + "'");
+}
+
+std::vector<std::string> benchmark_soc_names()
+{
+    return {"d695", "p22810", "p34392", "p93791", "pnx8550"};
+}
+
+} // namespace mst

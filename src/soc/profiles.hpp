@@ -1,0 +1,41 @@
+// Calibrated generator profiles for the SOCs of the paper's evaluation.
+//
+// The ITC'02 p-SOCs and the Philips PNX8550 are reconstructed
+// synthetically (DESIGN.md §5): module counts and total stimulus volumes
+// are matched to published aggregate statistics so that the channel-count
+// staircases of Table 1 and the PNX8550 operating point of Figures 5-7
+// have the right shape and magnitude.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/generator.hpp"
+#include "soc/soc.hpp"
+
+namespace mst {
+
+/// Generator configuration for ITC'02 SOC p22810 (~6.5 Mbit stimulus).
+[[nodiscard]] GeneratorConfig p22810_profile();
+
+/// Generator configuration for ITC'02 SOC p34392 (~14.5 Mbit stimulus,
+/// one dominant module, as in the real benchmark).
+[[nodiscard]] GeneratorConfig p34392_profile();
+
+/// Generator configuration for ITC'02 SOC p93791 (~26.5 Mbit stimulus).
+[[nodiscard]] GeneratorConfig p93791_profile();
+
+/// Generator configuration for the Philips PNX8550 "monster chip" [1]:
+/// 62 scan-tested logic modules + 212 memory-interface modules,
+/// calibrated to t_m ~= 1.4 s at 36 TAM wires and a 5 MHz test clock.
+[[nodiscard]] GeneratorConfig pnx8550_profile();
+
+/// Build a benchmark SOC by name: "d695" (embedded real data), "p22810",
+/// "p34392", "p93791", "pnx8550" (synthetic profiles).
+/// Throws ValidationError for unknown names.
+[[nodiscard]] Soc make_benchmark_soc(const std::string& name);
+
+/// Names accepted by make_benchmark_soc, in canonical order.
+[[nodiscard]] std::vector<std::string> benchmark_soc_names();
+
+} // namespace mst

@@ -1,0 +1,49 @@
+// SOC: a named collection of modules plus chip-level statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/module.hpp"
+
+namespace mst {
+
+/// Aggregate statistics of an SOC, used for calibration, reporting, and
+/// the baseline's area lower bound.
+struct SocStats {
+    int module_count = 0;
+    int scan_tested_modules = 0; ///< modules with at least one scan chain
+    std::int64_t total_scan_flip_flops = 0;
+    std::int64_t total_patterns = 0;
+    std::int64_t total_test_data_volume_bits = 0;
+    int max_scan_chains = 0;
+    PatternCount max_patterns = 0;
+};
+
+/// A system chip under test: the paper's set of modules M.
+/// A "flattened" SOC (Problem 2) is simply an Soc with one module.
+class Soc {
+public:
+    Soc() = default;
+
+    /// Construct and validate; throws ValidationError if the name is empty,
+    /// the module list is empty, or module names collide.
+    Soc(std::string name, std::vector<Module> modules);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::vector<Module>& modules() const noexcept { return modules_; }
+    [[nodiscard]] int module_count() const noexcept { return static_cast<int>(modules_.size()); }
+    [[nodiscard]] const Module& module(int index) const { return modules_.at(static_cast<std::size_t>(index)); }
+
+    /// True for Problem 2's degenerate single-module ("flattened") case.
+    [[nodiscard]] bool is_flat() const noexcept { return modules_.size() == 1; }
+
+    [[nodiscard]] SocStats stats() const;
+
+private:
+    std::string name_;
+    std::vector<Module> modules_;
+};
+
+} // namespace mst

@@ -1,0 +1,51 @@
+#include "soc/writer.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mst {
+
+void write_soc(std::ostream& out, const Soc& soc)
+{
+    out << "# " << soc.name() << ": " << soc.module_count() << " modules\n";
+    out << "soc " << soc.name() << '\n';
+    for (const Module& m : soc.modules()) {
+        out << "module " << m.name()
+            << " inputs " << m.inputs()
+            << " outputs " << m.outputs()
+            << " bidirs " << m.bidirs()
+            << " patterns " << m.patterns();
+        if (m.scan_chain_count() > 0) {
+            out << " scan";
+            for (const FlipFlopCount length : m.scan_chain_lengths()) {
+                out << ' ' << length;
+            }
+        }
+        out << '\n';
+    }
+    out << "end\n";
+}
+
+std::string soc_to_string(const Soc& soc)
+{
+    std::ostringstream stream;
+    write_soc(stream, soc);
+    return stream.str();
+}
+
+void save_soc_file(const std::string& path, const Soc& soc)
+{
+    std::ofstream file(path);
+    if (!file) {
+        throw Error("cannot create file '" + path + "'");
+    }
+    write_soc(file, soc);
+    if (!file.good()) {
+        throw Error("error while writing '" + path + "'");
+    }
+}
+
+} // namespace mst

@@ -1,0 +1,21 @@
+// Writer for the .soc benchmark format; inverse of parser.hpp.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "soc/soc.hpp"
+
+namespace mst {
+
+/// Serialize an SOC in the .soc format accepted by parse_soc().
+/// parse_soc(write_soc(s)) reproduces s exactly (round-trip property).
+void write_soc(std::ostream& out, const Soc& soc);
+
+/// Serialize to a string.
+[[nodiscard]] std::string soc_to_string(const Soc& soc);
+
+/// Write to a file; throws Error if the file cannot be created.
+void save_soc_file(const std::string& path, const Soc& soc);
+
+} // namespace mst

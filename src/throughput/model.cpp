@@ -1,0 +1,87 @@
+#include "throughput/model.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace mst {
+
+void YieldModel::validate() const
+{
+    if (contact_yield_per_terminal < 0.0 || contact_yield_per_terminal > 1.0) {
+        throw ValidationError("contact yield must be a probability");
+    }
+    if (manufacturing_yield < 0.0 || manufacturing_yield > 1.0) {
+        throw ValidationError("manufacturing yield must be a probability");
+    }
+}
+
+Probability contact_pass_probability(Probability contact_yield, int terminals, SiteCount sites) noexcept
+{
+    // eq 4.2: P_c(n) = 1 - (1 - p_c^I)^n
+    const Probability single_passes = pow_prob(contact_yield, terminals);
+    return at_least_one_of(single_passes, sites);
+}
+
+Probability manufacturing_pass_probability(Probability manufacturing_yield, SiteCount sites) noexcept
+{
+    // eq 4.3: P_m(n) = 1 - (1 - p_m)^n
+    return at_least_one_of(manufacturing_yield, sites);
+}
+
+ThroughputResult evaluate_throughput(const ThroughputInputs& inputs,
+                                     const ProbeStation& prober,
+                                     const YieldModel& yields,
+                                     AbortOnFail abort)
+{
+    prober.validate();
+    yields.validate();
+    if (inputs.sites < 1) {
+        throw ValidationError("throughput needs at least one site");
+    }
+    if (inputs.manufacturing_test_time < 0.0) {
+        throw ValidationError("manufacturing test time cannot be negative");
+    }
+    if (inputs.contacted_terminals_per_soc < 0) {
+        throw ValidationError("contacted terminal count cannot be negative");
+    }
+
+    ThroughputResult result;
+    if (abort == AbortOnFail::on) {
+        // eq 4.4: failing SOCs are assumed to take zero time, so the
+        // contact test runs in full only if at least one site passes it,
+        // and likewise for the manufacturing test. This is the paper's
+        // deliberately optimistic lower bound.
+        const Probability pass_contact = contact_pass_probability(
+            yields.contact_yield_per_terminal, inputs.contacted_terminals_per_soc, inputs.sites);
+        const Probability pass_manufacturing =
+            manufacturing_pass_probability(yields.manufacturing_yield, inputs.sites);
+        result.contact_test_time = prober.contact_test_time * pass_contact;
+        result.manufacturing_time = inputs.manufacturing_test_time * pass_manufacturing;
+    } else {
+        // eq 4.1: t_t = t_c + t_m.
+        result.contact_test_time = prober.contact_test_time;
+        result.manufacturing_time = inputs.manufacturing_test_time;
+    }
+    result.total_test_time = result.contact_test_time + result.manufacturing_time;
+    result.touchdown_time = prober.index_time + result.total_test_time;
+
+    // eq 4.5: D_th = 3600 * n / (t_i + t_t).
+    result.devices_per_hour = 3600.0 * inputs.sites / result.touchdown_time;
+
+    // eq 4.6: contact failures are re-tested once, so a fraction
+    // r = 1 - p_c^I of the hourly slots is spent on repeats:
+    // D^u_th = D_th / (1 + r).
+    const Probability single_passes_contact =
+        pow_prob(yields.contact_yield_per_terminal, inputs.contacted_terminals_per_soc);
+    result.retest_fraction = clamp_probability(1.0 - single_passes_contact);
+    result.unique_devices_per_hour = result.devices_per_hour / (1.0 + result.retest_fraction);
+    return result;
+}
+
+DevicesPerHour figure_of_merit(const ThroughputResult& result, RetestPolicy policy) noexcept
+{
+    return (policy == RetestPolicy::retest_contact_failures) ? result.unique_devices_per_hour
+                                                             : result.devices_per_hour;
+}
+
+} // namespace mst

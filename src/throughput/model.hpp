@@ -1,0 +1,85 @@
+// Multi-site test throughput model: Section 4 of the paper,
+// Equations 4.1 - 4.6.
+//
+// Given the per-touchdown times (index, contact test, manufacturing
+// test), the yields, and the number of sites n, the model computes the
+// devices-per-hour throughput D_th and its re-test-aware variant D^u_th,
+// with or without the abort-on-fail strategy.
+#pragma once
+
+#include "ate/ate.hpp"
+#include "common/types.hpp"
+
+namespace mst {
+
+/// Whether ATE stimuli are broadcast to all sites (Section 3).
+enum class BroadcastMode {
+    none,    ///< every site has private stimulus + response channels
+    stimuli, ///< stimulus channels shared by all sites, responses private
+};
+
+/// Whether the test aborts at the first failing vector (Section 4).
+enum class AbortOnFail {
+    off,
+    on,
+};
+
+/// Whether contact-test failures are re-tested once (Section 4, eq 4.6).
+enum class RetestPolicy {
+    none,
+    retest_contact_failures,
+};
+
+/// Yield and contact parameters of the throughput model.
+struct YieldModel {
+    Probability contact_yield_per_terminal = 1.0; ///< p_c
+    Probability manufacturing_yield = 1.0;        ///< p_m
+
+    /// Throws ValidationError if a probability is outside [0, 1].
+    void validate() const;
+};
+
+/// Inputs of one throughput evaluation.
+struct ThroughputInputs {
+    SiteCount sites = 1;                  ///< n
+    Seconds manufacturing_test_time = 0;  ///< t_m for one (multi-site) touchdown
+    int contacted_terminals_per_soc = 0;  ///< I of eq 4.2 (E-RPCT pads probed)
+};
+
+/// Per-touchdown and per-hour results.
+struct ThroughputResult {
+    Seconds contact_test_time = 0;       ///< t_c actually accounted
+    Seconds manufacturing_time = 0;      ///< t_m actually accounted (may shrink under abort-on-fail)
+    Seconds total_test_time = 0;         ///< t_t = contact + manufacturing
+    Seconds touchdown_time = 0;          ///< t_i + t_t
+    DevicesPerHour devices_per_hour = 0; ///< D_th (eq 4.5)
+    DevicesPerHour unique_devices_per_hour = 0; ///< D^u_th (eq 4.6)
+    Probability retest_fraction = 0;     ///< 1 - p_c^I
+};
+
+/// Equation 4.2: probability that at least one of n SOCs with I contacted
+/// terminals passes the contact test.
+[[nodiscard]] Probability contact_pass_probability(Probability contact_yield,
+                                                   int terminals,
+                                                   SiteCount sites) noexcept;
+
+/// Equation 4.3: probability that at least one of n SOCs passes the
+/// manufacturing test.
+[[nodiscard]] Probability manufacturing_pass_probability(Probability manufacturing_yield,
+                                                         SiteCount sites) noexcept;
+
+/// Evaluate the model. `abort` selects between the plain eq 4.1 time and
+/// the abort-on-fail lower bound of eq 4.4; the result always carries
+/// both D_th (eq 4.5) and D^u_th (eq 4.6). Throws ValidationError on
+/// invalid inputs.
+[[nodiscard]] ThroughputResult evaluate_throughput(const ThroughputInputs& inputs,
+                                                   const ProbeStation& prober,
+                                                   const YieldModel& yields,
+                                                   AbortOnFail abort = AbortOnFail::off);
+
+/// The figure of merit selected by a re-test policy: D_th when re-testing
+/// is off, D^u_th when contact failures are re-tested.
+[[nodiscard]] DevicesPerHour figure_of_merit(const ThroughputResult& result,
+                                             RetestPolicy policy) noexcept;
+
+} // namespace mst

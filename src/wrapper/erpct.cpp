@@ -1,0 +1,42 @@
+#include "wrapper/erpct.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mst {
+
+int estimate_functional_pins(const Soc& soc)
+{
+    // Top-level pins are a small fraction of the module terminal total:
+    // most module terminals are internal core-to-core nets. One pin per
+    // eight module terminals, clamped to a realistic package range.
+    std::int64_t module_terminals = 0;
+    for (const Module& m : soc.modules()) {
+        module_terminals += m.inputs() + m.outputs() + m.bidirs();
+    }
+    const auto estimate = static_cast<int>(module_terminals / 8);
+    return std::clamp(estimate, 64, 1024);
+}
+
+ErpctSpec design_erpct(const Soc& soc,
+                       ChannelCount external_channels,
+                       int functional_pins,
+                       int control_pads)
+{
+    if (external_channels <= 0 || external_channels % 2 != 0) {
+        throw ValidationError("E-RPCT external channel count must be positive and even, got " +
+                              std::to_string(external_channels));
+    }
+    if (control_pads < 0) {
+        throw ValidationError("E-RPCT control pad count must be non-negative");
+    }
+    ErpctSpec spec;
+    spec.external_channels = external_channels;
+    spec.internal_wires = wires_from_channels(external_channels);
+    spec.control_pads = control_pads;
+    spec.functional_pins = (functional_pins > 0) ? functional_pins : estimate_functional_pins(soc);
+    return spec;
+}
+
+} // namespace mst

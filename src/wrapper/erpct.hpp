@@ -1,0 +1,62 @@
+// E-RPCT (Enhanced Reduced-Pin-Count Test) chip-level wrapper model.
+//
+// The E-RPCT wrapper (Vranken et al., ITC 2001 [9]) converts a narrow
+// external SOC-ATE interface of k test pins (k/2 inputs + k/2 outputs)
+// into the on-chip TAM wires, and gives boundary-scan access to all
+// functional pins that are left uncontacted during wafer test. This
+// module captures the structural parameters the DATE'05 flow must
+// determine ("the algorithm determines all parameters to design an
+// E-RPCT wrapper"), plus a simple DfT area estimate.
+#pragma once
+
+#include "common/types.hpp"
+#include "soc/soc.hpp"
+
+namespace mst {
+
+/// Control/clock pads that must be contacted besides the k test data
+/// channels: TCK, TMS, TDI, TDO, TRSTn plus two functional clocks.
+inline constexpr int default_control_pads = 7;
+
+/// Structural parameters of an E-RPCT wrapper instance.
+struct ErpctSpec {
+    ChannelCount external_channels = 0; ///< k: ATE data channels (even)
+    WireCount internal_wires = 0;       ///< TAM wires fed by the wrapper (k/2)
+    int control_pads = default_control_pads;
+    int functional_pins = 0;            ///< chip pins wrapped in boundary scan
+
+    /// Pads physically probed at wafer test (the paper's I of eq. 4.2).
+    [[nodiscard]] int contacted_pads() const noexcept
+    {
+        return external_channels + control_pads;
+    }
+
+    /// Boundary-scan cells: every functional pin gets one.
+    [[nodiscard]] int boundary_cells() const noexcept { return functional_pins; }
+
+    /// Pin-to-TAM conversion multiplexers (one per internal wire,
+    /// each direction).
+    [[nodiscard]] int conversion_muxes() const noexcept { return 2 * internal_wires; }
+
+    /// Rough DfT area in gate equivalents: ~10 GE per boundary cell,
+    /// ~4 GE per conversion mux, ~200 GE of control logic.
+    [[nodiscard]] double area_gate_equivalents() const noexcept
+    {
+        return 10.0 * boundary_cells() + 4.0 * conversion_muxes() + 200.0;
+    }
+};
+
+/// Heuristic chip-level functional pin count for an SOC whose package
+/// pinout is not part of the benchmark data: a fraction of the module
+/// terminal total, clamped to a realistic package range.
+[[nodiscard]] int estimate_functional_pins(const Soc& soc);
+
+/// Design the E-RPCT wrapper for an SOC given the chosen external channel
+/// count k (must be positive and even). `functional_pins` of 0 means
+/// "estimate from the SOC". Throws ValidationError on a bad k.
+[[nodiscard]] ErpctSpec design_erpct(const Soc& soc,
+                                     ChannelCount external_channels,
+                                     int functional_pins = 0,
+                                     int control_pads = default_control_pads);
+
+} // namespace mst

@@ -1,0 +1,66 @@
+#include "wrapper/pareto.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "wrapper/wrapper_design.hpp"
+
+namespace mst {
+
+ModuleTimeTable::ModuleTimeTable(const Module& module, WireCount max_width)
+    : module_(&module)
+{
+    WireCount limit = (max_width > 0) ? max_width : module.max_useful_width();
+    limit = std::clamp(limit, 1, width_cap);
+
+    times_.reserve(static_cast<std::size_t>(limit));
+    used_widths_.reserve(static_cast<std::size_t>(limit));
+
+    CycleCount best_time = 0;
+    WireCount best_width = 0;
+    for (WireCount w = 1; w <= limit; ++w) {
+        const CycleCount raw = wrapped_test_time(module, w);
+        if (best_width == 0 || raw < best_time) {
+            best_time = raw;
+            best_width = w;
+            pareto_.push_back({w, raw});
+        }
+        times_.push_back(best_time);
+        used_widths_.push_back(best_width);
+        const CycleCount area = static_cast<CycleCount>(w) * raw;
+        if (w == 1 || area < min_area_) {
+            min_area_ = area;
+        }
+    }
+}
+
+CycleCount ModuleTimeTable::time(WireCount width) const
+{
+    if (width < 1) {
+        throw ValidationError("width must be >= 1 in ModuleTimeTable::time");
+    }
+    const auto index = static_cast<std::size_t>(std::min(width, max_width())) - 1;
+    return times_[index];
+}
+
+WireCount ModuleTimeTable::used_width(WireCount width) const
+{
+    if (width < 1) {
+        throw ValidationError("width must be >= 1 in ModuleTimeTable::used_width");
+    }
+    const auto index = static_cast<std::size_t>(std::min(width, max_width())) - 1;
+    return used_widths_[index];
+}
+
+std::optional<WireCount> ModuleTimeTable::min_width_for(CycleCount depth) const
+{
+    if (times_.back() > depth) {
+        return std::nullopt;
+    }
+    // times_ is non-increasing: find the first width that fits.
+    const auto it = std::lower_bound(times_.begin(), times_.end(), depth,
+                                     [](CycleCount time, CycleCount limit) { return time > limit; });
+    return static_cast<WireCount>(std::distance(times_.begin(), it)) + 1;
+}
+
+} // namespace mst

@@ -1,0 +1,72 @@
+// Pareto-optimal wrapper widths and minimal-width queries.
+//
+// The wrapped test time t(w) produced by a list-scheduling wrapper design
+// is a staircase in the TAM width w. ModuleTimeTable precomputes the
+// staircase once per module and answers the two queries the optimizers
+// need: "time at width w" and "minimal width fitting a memory depth D".
+//
+// Because list scheduling gives no hard guarantee that t is monotone in
+// w, the table exposes the *effective* time: a module placed on a group
+// of width w may always leave wires idle and use its best width <= w.
+// This makes time(w) non-increasing by construction, which the
+// architecture layer and the paper's reasoning both rely on.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "soc/module.hpp"
+#include "wrapper/wrapper_chain.hpp"
+
+namespace mst {
+
+/// One Pareto point of a module's width/time trade-off.
+struct ParetoPoint {
+    WireCount width = 0;
+    CycleCount test_time = 0;
+};
+
+/// Precomputed width -> test-time staircase for one module.
+class ModuleTimeTable {
+public:
+    /// Build the table for widths 1..max_width. If max_width is 0 the
+    /// module's own max_useful_width() is used (clamped to width_cap).
+    explicit ModuleTimeTable(const Module& module, WireCount max_width = 0);
+
+    [[nodiscard]] const Module& module() const noexcept { return *module_; }
+    [[nodiscard]] WireCount max_width() const noexcept
+    {
+        return static_cast<WireCount>(times_.size());
+    }
+
+    /// Effective (monotone non-increasing) test time at width w.
+    /// Widths beyond max_width() saturate at the final value.
+    [[nodiscard]] CycleCount time(WireCount width) const;
+
+    /// Width actually used when width `w` wires are offered (<= w).
+    [[nodiscard]] WireCount used_width(WireCount width) const;
+
+    /// Minimal width whose effective time fits in `depth`, or nullopt if
+    /// even the maximal width does not fit.
+    [[nodiscard]] std::optional<WireCount> min_width_for(CycleCount depth) const;
+
+    /// Pareto points: widths where the effective time strictly drops.
+    [[nodiscard]] const std::vector<ParetoPoint>& pareto() const noexcept { return pareto_; }
+
+    /// Minimum width*time rectangle area over all widths (the baseline's
+    /// per-module packing area).
+    [[nodiscard]] CycleCount min_area() const noexcept { return min_area_; }
+
+private:
+    const Module* module_;
+    std::vector<CycleCount> times_;      ///< effective time at width i+1
+    std::vector<WireCount> used_widths_; ///< width achieving times_[i]
+    std::vector<ParetoPoint> pareto_;
+    CycleCount min_area_ = 0;
+};
+
+/// Hard upper limit on considered wrapper widths; protects table size for
+/// modules with very many terminals.
+inline constexpr WireCount width_cap = 512;
+
+} // namespace mst

@@ -1,0 +1,16 @@
+#include "wrapper/test_time.hpp"
+
+#include <algorithm>
+
+namespace mst {
+
+CycleCount scan_test_time(PatternCount patterns,
+                          FlipFlopCount max_scan_in,
+                          FlipFlopCount max_scan_out) noexcept
+{
+    const FlipFlopCount longer = std::max(max_scan_in, max_scan_out);
+    const FlipFlopCount shorter = std::min(max_scan_in, max_scan_out);
+    return (1 + longer) * patterns + shorter;
+}
+
+} // namespace mst

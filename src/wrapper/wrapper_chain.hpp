@@ -1,0 +1,41 @@
+// Wrapper chain data structures produced by the COMBINE-style wrapper
+// design of [14] (Marinissen, Goel, Lousberg, ITC 2000).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mst {
+
+/// One wrapper scan chain: the internal scan chains concatenated on it
+/// plus the wrapper input/output cells placed around them.
+struct WrapperChain {
+    std::vector<int> scan_chain_indices; ///< indices into the module's chain list
+    FlipFlopCount scan_flip_flops = 0;   ///< sum of assigned internal chain lengths
+    int input_cells = 0;                 ///< wrapper input cells on this chain
+    int output_cells = 0;                ///< wrapper output cells on this chain
+
+    /// Length of the scan-in path through this chain.
+    [[nodiscard]] FlipFlopCount scan_in_length() const noexcept
+    {
+        return scan_flip_flops + input_cells;
+    }
+
+    /// Length of the scan-out path through this chain.
+    [[nodiscard]] FlipFlopCount scan_out_length() const noexcept
+    {
+        return scan_flip_flops + output_cells;
+    }
+};
+
+/// A complete module wrapper at a given TAM width.
+struct WrapperDesign {
+    WireCount width = 0;
+    std::vector<WrapperChain> chains;     ///< exactly `width` entries
+    FlipFlopCount max_scan_in = 0;        ///< s_i = max over chains of scan-in length
+    FlipFlopCount max_scan_out = 0;       ///< s_o = max over chains of scan-out length
+    CycleCount test_time = 0;             ///< (1 + max(s_i, s_o)) * p + min(s_i, s_o)
+};
+
+} // namespace mst

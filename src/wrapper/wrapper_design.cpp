@@ -1,0 +1,104 @@
+#include "wrapper/wrapper_design.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "wrapper/test_time.hpp"
+
+namespace mst {
+
+namespace {
+
+/// Min-heap entry: (current load, chain index). Tie-break on index for
+/// deterministic designs.
+using LoadEntry = std::pair<FlipFlopCount, int>;
+
+struct LoadGreater {
+    bool operator()(const LoadEntry& a, const LoadEntry& b) const noexcept
+    {
+        return a > b;
+    }
+};
+
+/// Assign internal scan chains to wrapper chains with LPT: longest chain
+/// first, each onto the currently shortest wrapper chain.
+void partition_scan_chains(const Module& module, WrapperDesign& design)
+{
+    std::vector<int> order(static_cast<std::size_t>(module.scan_chain_count()));
+    std::iota(order.begin(), order.end(), 0);
+    const auto& lengths = module.scan_chain_lengths();
+    std::stable_sort(order.begin(), order.end(), [&lengths](int a, int b) {
+        return lengths[static_cast<std::size_t>(a)] > lengths[static_cast<std::size_t>(b)];
+    });
+
+    std::priority_queue<LoadEntry, std::vector<LoadEntry>, LoadGreater> heap;
+    for (int c = 0; c < design.width; ++c) {
+        heap.emplace(0, c);
+    }
+    for (const int chain_index : order) {
+        auto [load, wrapper_index] = heap.top();
+        heap.pop();
+        WrapperChain& chain = design.chains[static_cast<std::size_t>(wrapper_index)];
+        chain.scan_chain_indices.push_back(chain_index);
+        chain.scan_flip_flops += lengths[static_cast<std::size_t>(chain_index)];
+        heap.emplace(chain.scan_flip_flops, wrapper_index);
+    }
+}
+
+/// Water-fill `cells` unit items onto the wrapper chains so that the
+/// maximum of (base load + cells assigned) is minimized. `base` selects
+/// whether the scan-in or scan-out side is being filled.
+template <typename BaseLength, typename AddCell>
+void water_fill_cells(int cells, WrapperDesign& design, BaseLength base, AddCell add)
+{
+    if (cells <= 0) {
+        return;
+    }
+    std::priority_queue<LoadEntry, std::vector<LoadEntry>, LoadGreater> heap;
+    for (int c = 0; c < design.width; ++c) {
+        heap.emplace(base(design.chains[static_cast<std::size_t>(c)]), c);
+    }
+    for (int remaining = cells; remaining > 0; --remaining) {
+        auto [load, wrapper_index] = heap.top();
+        heap.pop();
+        add(design.chains[static_cast<std::size_t>(wrapper_index)]);
+        heap.emplace(load + 1, wrapper_index);
+    }
+}
+
+} // namespace
+
+WrapperDesign design_wrapper(const Module& module, WireCount width)
+{
+    if (width < 1) {
+        throw ValidationError("wrapper width must be at least 1 wire (module '" + module.name() + "')");
+    }
+    WrapperDesign design;
+    design.width = width;
+    design.chains.resize(static_cast<std::size_t>(width));
+
+    partition_scan_chains(module, design);
+    water_fill_cells(module.scan_in_cells(), design,
+                     [](const WrapperChain& c) { return c.scan_in_length(); },
+                     [](WrapperChain& c) { ++c.input_cells; });
+    water_fill_cells(module.scan_out_cells(), design,
+                     [](const WrapperChain& c) { return c.scan_out_length(); },
+                     [](WrapperChain& c) { ++c.output_cells; });
+
+    for (const WrapperChain& chain : design.chains) {
+        design.max_scan_in = std::max(design.max_scan_in, chain.scan_in_length());
+        design.max_scan_out = std::max(design.max_scan_out, chain.scan_out_length());
+    }
+    design.test_time = scan_test_time(module.patterns(), design.max_scan_in, design.max_scan_out);
+    return design;
+}
+
+CycleCount wrapped_test_time(const Module& module, WireCount width)
+{
+    return design_wrapper(module, width).test_time;
+}
+
+} // namespace mst

@@ -1,0 +1,27 @@
+// COMBINE-style module wrapper design (Marinissen et al., ITC 2000 [14]).
+//
+// Given a module and a TAM width w, builds w wrapper chains that minimize
+// the module's scan test time:
+//  1. internal scan chains are partitioned over the wrapper chains with
+//     LPT (longest-processing-time-first), minimizing the maximum
+//     aggregate scan length;
+//  2. wrapper input cells (functional inputs + bidirs) are water-filled
+//     onto the chains to minimize the maximum scan-in length;
+//  3. wrapper output cells (functional outputs + bidirs) are water-filled
+//     independently to minimize the maximum scan-out length.
+#pragma once
+
+#include "soc/module.hpp"
+#include "wrapper/wrapper_chain.hpp"
+
+namespace mst {
+
+/// Design a wrapper for `module` at TAM width `width` (wires).
+/// Throws ValidationError if width < 1.
+[[nodiscard]] WrapperDesign design_wrapper(const Module& module, WireCount width);
+
+/// Test time of `module` when wrapped at `width`, without materializing
+/// the full chain assignment (same partitioning as design_wrapper).
+[[nodiscard]] CycleCount wrapped_test_time(const Module& module, WireCount width);
+
+} // namespace mst

@@ -1,0 +1,117 @@
+// Unit tests for SocTimeTables and ChannelGroup: fills, widening, and
+// the minimal-widening query.
+#include <gtest/gtest.h>
+
+#include "arch/channel_group.hpp"
+#include "common/error.hpp"
+#include "soc/soc.hpp"
+
+namespace mst {
+namespace {
+
+Soc two_module_soc()
+{
+    return Soc("duo", {Module("a", 2, 2, 0, 10, {12, 8}),
+                       Module("b", 4, 4, 0, 20, {30, 10, 10})});
+}
+
+TEST(SocTimeTables, OneTablePerModule)
+{
+    const Soc soc = two_module_soc();
+    const SocTimeTables tables(soc);
+    EXPECT_EQ(tables.module_count(), 2);
+    EXPECT_EQ(&tables.soc(), &soc);
+    EXPECT_EQ(&tables.table(0).module(), &soc.module(0));
+    EXPECT_EQ(&tables.table(1).module(), &soc.module(1));
+}
+
+TEST(ChannelGroup, RejectsNonPositiveWidth)
+{
+    const Soc soc = two_module_soc();
+    const SocTimeTables tables(soc);
+    EXPECT_THROW((void)ChannelGroup(0, tables), ValidationError);
+}
+
+TEST(ChannelGroup, FillAccumulatesMemberTimes)
+{
+    const Soc soc = two_module_soc();
+    const SocTimeTables tables(soc);
+    ChannelGroup group(2, tables);
+    EXPECT_EQ(group.fill(), 0);
+    group.add_module(0);
+    const CycleCount first = tables.table(0).time(2);
+    EXPECT_EQ(group.fill(), first);
+    group.add_module(1);
+    EXPECT_EQ(group.fill(), first + tables.table(1).time(2));
+    EXPECT_EQ(group.fill(), group.fill_at_width(2));
+}
+
+TEST(ChannelGroup, FillWithPreviewsWithoutMutating)
+{
+    const Soc soc = two_module_soc();
+    const SocTimeTables tables(soc);
+    ChannelGroup group(2, tables);
+    group.add_module(0);
+    const CycleCount before = group.fill();
+    const CycleCount preview = group.fill_with(1);
+    EXPECT_EQ(group.fill(), before);
+    EXPECT_EQ(preview, before + tables.table(1).time(2));
+}
+
+TEST(ChannelGroup, WideningReWrapsMembers)
+{
+    const Soc soc = two_module_soc();
+    const SocTimeTables tables(soc);
+    ChannelGroup group(1, tables);
+    group.add_module(1);
+    const CycleCount narrow_fill = group.fill();
+    group.widen(2);
+    EXPECT_EQ(group.width(), 3);
+    EXPECT_EQ(group.fill(), tables.table(1).time(3));
+    EXPECT_LT(group.fill(), narrow_fill);
+}
+
+TEST(ChannelGroup, WidenRejectsNonPositiveDelta)
+{
+    const Soc soc = two_module_soc();
+    const SocTimeTables tables(soc);
+    ChannelGroup group(1, tables);
+    EXPECT_THROW(group.widen(0), ValidationError);
+}
+
+TEST(ChannelGroup, MinWideningFindsSmallestDelta)
+{
+    const Soc soc = two_module_soc();
+    const SocTimeTables tables(soc);
+    ChannelGroup group(1, tables);
+    group.add_module(0);
+
+    // Pick a depth that the 1-wire group cannot host module 1 in, but a
+    // wider group can.
+    const CycleCount depth = tables.table(0).time(2) + tables.table(1).time(2);
+    if (group.fill_with(1) <= depth) {
+        GTEST_SKIP() << "depth choice does not exercise widening on this data";
+    }
+    const WireCount delta = group.min_widening_for(1, depth, 8);
+    ASSERT_GT(delta, 0);
+    // Check minimality by construction.
+    const WireCount width = group.width() + delta;
+    EXPECT_LE(group.fill_at_width(width) + tables.table(1).time(width), depth);
+    if (delta > 1) {
+        const WireCount narrower = width - 1;
+        EXPECT_GT(group.fill_at_width(narrower) + tables.table(1).time(narrower), depth);
+    }
+}
+
+TEST(ChannelGroup, MinWideningReturnsZeroWhenHopeless)
+{
+    const Soc soc = two_module_soc();
+    const SocTimeTables tables(soc);
+    ChannelGroup group(1, tables);
+    group.add_module(0);
+    EXPECT_EQ(group.min_widening_for(1, 1, 4), 0); // depth of 1 cycle: impossible
+    EXPECT_EQ(group.min_widening_for(1, 1'000'000, 0), 0); // no headroom allowed
+}
+
+} // namespace
+} // namespace mst

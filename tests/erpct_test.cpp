@@ -1,0 +1,77 @@
+// Unit tests for the E-RPCT chip-level wrapper model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "soc/d695.hpp"
+#include "wrapper/erpct.hpp"
+
+namespace mst {
+namespace {
+
+TEST(Erpct, BasicDesign)
+{
+    const Soc soc = make_d695();
+    const ErpctSpec spec = design_erpct(soc, 28);
+    EXPECT_EQ(spec.external_channels, 28);
+    EXPECT_EQ(spec.internal_wires, 14);
+    EXPECT_EQ(spec.control_pads, default_control_pads);
+    EXPECT_EQ(spec.contacted_pads(), 28 + default_control_pads);
+    EXPECT_GT(spec.functional_pins, 0);
+}
+
+TEST(Erpct, RejectsOddOrNonPositiveChannelCounts)
+{
+    const Soc soc = make_d695();
+    EXPECT_THROW((void)design_erpct(soc, 27), ValidationError);
+    EXPECT_THROW((void)design_erpct(soc, 0), ValidationError);
+    EXPECT_THROW((void)design_erpct(soc, -4), ValidationError);
+}
+
+TEST(Erpct, RejectsNegativeControlPads)
+{
+    const Soc soc = make_d695();
+    EXPECT_THROW((void)design_erpct(soc, 28, 0, -1), ValidationError);
+}
+
+TEST(Erpct, ExplicitFunctionalPinsWin)
+{
+    const Soc soc = make_d695();
+    const ErpctSpec spec = design_erpct(soc, 28, 777);
+    EXPECT_EQ(spec.functional_pins, 777);
+    EXPECT_EQ(spec.boundary_cells(), 777);
+}
+
+TEST(Erpct, PinEstimateIsClamped)
+{
+    const Soc tiny("tiny", {Module("m", 1, 1, 0, 1, {})});
+    EXPECT_EQ(estimate_functional_pins(tiny), 64);
+
+    std::vector<Module> modules;
+    for (int i = 0; i < 40; ++i) {
+        modules.emplace_back("m" + std::to_string(i), 250, 250, 0, 1,
+                             std::vector<FlipFlopCount>{});
+    }
+    const Soc huge("huge", std::move(modules));
+    EXPECT_EQ(estimate_functional_pins(huge), 1024);
+}
+
+TEST(Erpct, AreaGrowsWithInterface)
+{
+    const Soc soc = make_d695();
+    const ErpctSpec narrow = design_erpct(soc, 8);
+    const ErpctSpec wide = design_erpct(soc, 64);
+    EXPECT_LT(narrow.area_gate_equivalents(), wide.area_gate_equivalents());
+    EXPECT_EQ(wide.conversion_muxes(), 2 * 32);
+}
+
+TEST(Erpct, ContactedPadsAreTheEq42Terminals)
+{
+    // The throughput model's I = k + control pads; the E-RPCT spec is the
+    // source of that number.
+    const Soc soc = make_d695();
+    const ErpctSpec spec = design_erpct(soc, 30, 0, 7);
+    EXPECT_EQ(spec.contacted_pads(), 37);
+}
+
+} // namespace
+} // namespace mst

@@ -1,0 +1,133 @@
+// Tests for the exact branch-and-bound reference solver, and the
+// optimality checks it enables on Step 1 and the lower bound.
+#include <gtest/gtest.h>
+
+#include "baseline/lower_bound.hpp"
+#include "common/error.hpp"
+#include "core/step1.hpp"
+#include "exact/branch_bound.hpp"
+#include "soc/generator.hpp"
+
+namespace mst {
+namespace {
+
+TEST(Exact, SingleModuleEqualsItsMinWidth)
+{
+    const Soc soc("solo", {Module("m", 4, 4, 0, 50, {30, 20})});
+    const SocTimeTables tables(soc);
+    const CycleCount depth = tables.table(0).time(2) + 5;
+    const auto result = exact_min_wires(tables, depth);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->wires, tables.table(0).min_width_for(depth).value());
+    ASSERT_EQ(result->groups.size(), 1u);
+}
+
+TEST(Exact, MergesIdenticalModulesWhenDepthAllows)
+{
+    std::vector<Module> modules;
+    for (int i = 0; i < 3; ++i) {
+        modules.emplace_back("m" + std::to_string(i), 2, 2, 0, 10,
+                             std::vector<FlipFlopCount>{20});
+    }
+    const Soc soc("trio", std::move(modules));
+    const SocTimeTables tables(soc);
+    const CycleCount each = tables.table(0).time(1);
+    // All three fit serially on one wire.
+    const auto result = exact_min_wires(tables, 3 * each + 10);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->wires, 1);
+    EXPECT_EQ(result->groups.size(), 1u);
+}
+
+TEST(Exact, SplitsWhenDepthForcesIt)
+{
+    std::vector<Module> modules;
+    for (int i = 0; i < 3; ++i) {
+        modules.emplace_back("m" + std::to_string(i), 2, 2, 0, 10,
+                             std::vector<FlipFlopCount>{20});
+    }
+    const Soc soc("trio", std::move(modules));
+    const SocTimeTables tables(soc);
+    const CycleCount each = tables.table(0).time(1);
+    // One wire holds at most one test: at least... the optimum may still
+    // widen a single group; the exact solver decides. It must respect
+    // the area lower bound.
+    const auto result = exact_min_wires(tables, each + 1);
+    ASSERT_TRUE(result.has_value());
+    const auto lb = lower_bound_wires(tables, each + 1);
+    ASSERT_TRUE(lb.has_value());
+    EXPECT_GE(result->wires, *lb);
+    EXPECT_GT(result->wires, 1);
+}
+
+TEST(Exact, NulloptWhenUntestable)
+{
+    const Soc soc("solo", {Module("m", 1, 1, 0, 100, {500})});
+    const SocTimeTables tables(soc);
+    EXPECT_FALSE(exact_min_wires(tables, 50).has_value());
+}
+
+TEST(Exact, RejectsOversizedProblems)
+{
+    const Soc soc = random_soc(1, exact_module_limit + 1);
+    const SocTimeTables tables(soc);
+    EXPECT_THROW((void)exact_min_wires(tables, 1'000'000), ValidationError);
+}
+
+TEST(Exact, RejectsBadDepth)
+{
+    const Soc soc = random_soc(1, 3);
+    const SocTimeTables tables(soc);
+    EXPECT_THROW((void)exact_min_wires(tables, 0), ValidationError);
+}
+
+TEST(Exact, EveryModuleInExactlyOneGroup)
+{
+    const Soc soc = random_soc(7, 8);
+    const SocTimeTables tables(soc);
+    const auto result = exact_min_wires(tables, 120'000);
+    ASSERT_TRUE(result.has_value());
+    std::vector<int> seen(8, 0);
+    for (const auto& group : result->groups) {
+        for (const int m : group) {
+            ++seen[static_cast<std::size_t>(m)];
+        }
+    }
+    for (const int count : seen) {
+        EXPECT_EQ(count, 1);
+    }
+}
+
+/// The headline property: Step 1 is sandwiched between the [7] lower
+/// bound and the exact optimum-plus-nothing — i.e.
+/// LB <= exact <= step1, with step1's gap small on these instances.
+class ExactGapTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactGapTest, Step1WithinTwoWiresOfOptimal)
+{
+    const Soc soc = random_soc(GetParam(), 7);
+    const SocTimeTables tables(soc);
+    const CycleCount depth = 90'000;
+
+    const auto exact = exact_min_wires(tables, depth);
+    if (!exact) {
+        GTEST_SKIP() << "untestable at this depth";
+    }
+    const auto lb = lower_bound_wires(tables, depth);
+    ASSERT_TRUE(lb.has_value());
+    EXPECT_LE(*lb, exact->wires);
+
+    AteSpec ate;
+    ate.channels = 512;
+    ate.vector_memory_depth = depth;
+    const Step1Result step1 = run_step1(tables, ate, OptimizeOptions{});
+    const WireCount step1_wires = wires_from_channels(step1.channels);
+    EXPECT_GE(step1_wires, exact->wires) << "heuristic beat the exact optimum?!";
+    EXPECT_LE(step1_wires, exact->wires + 2) << "Step 1 gap too large";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactGapTest,
+                         testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u, 88u, 99u, 111u));
+
+} // namespace
+} // namespace mst

@@ -1,0 +1,129 @@
+// Unit tests for the two-stage production test flow (Section 3): wafer
+// test through E-RPCT, final test through all pins.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "flow/test_flow.hpp"
+#include "soc/d695.hpp"
+
+namespace mst {
+namespace {
+
+TestCell wafer_cell()
+{
+    TestCell cell;
+    cell.ate.channels = 256;
+    cell.ate.vector_memory_depth = 64 * kibi;
+    return cell;
+}
+
+TEST(TestFlow, PlansBothStages)
+{
+    const FlowPlan plan = plan_flow(make_d695(), wafer_cell(), FinalTestCell{});
+    EXPECT_GE(plan.wafer.sites, 1);
+    EXPECT_GE(plan.final.sites, 1);
+    EXPECT_GT(plan.wafer.devices_per_hour, 0.0);
+    EXPECT_GT(plan.final.devices_per_hour, 0.0);
+    EXPECT_GT(plan.tester_seconds_per_shipped_device, 0.0);
+}
+
+TEST(TestFlow, FinalSitesLimitedByHandler)
+{
+    FinalTestCell final_cell;
+    final_cell.channels = 100'000; // channels are no constraint
+    final_cell.max_handler_sites = 4;
+    const FlowPlan plan = plan_flow(make_d695(), wafer_cell(), final_cell);
+    EXPECT_EQ(plan.final.sites, 4);
+}
+
+TEST(TestFlow, FinalSitesLimitedByChannels)
+{
+    const FlowPlan reference = plan_flow(make_d695(), wafer_cell(), FinalTestCell{});
+    const int pins = reference.wafer_solution.erpct.functional_pins +
+                     reference.wafer_solution.erpct.control_pads;
+    FinalTestCell final_cell;
+    final_cell.channels = 2 * pins + pins / 2; // room for exactly two parts
+    final_cell.max_handler_sites = 16;
+    const FlowPlan plan = plan_flow(make_d695(), wafer_cell(), final_cell);
+    EXPECT_EQ(plan.final.sites, 2);
+}
+
+TEST(TestFlow, ThrowsWhenPartExceedsFinalTester)
+{
+    FinalTestCell final_cell;
+    final_cell.channels = 10;
+    EXPECT_THROW((void)plan_flow(make_d695(), wafer_cell(), final_cell), InfeasibleError);
+}
+
+TEST(TestFlow, InternalRetestLengthensFinalTest)
+{
+    FlowOptions none;
+    FlowOptions erpct;
+    erpct.final_retest = FinalRetest::through_erpct;
+    FlowOptions pins;
+    pins.final_retest = FinalRetest::through_pins;
+
+    const FlowPlan base = plan_flow(make_d695(), wafer_cell(), FinalTestCell{}, none);
+    const FlowPlan narrow = plan_flow(make_d695(), wafer_cell(), FinalTestCell{}, erpct);
+    const FlowPlan wide = plan_flow(make_d695(), wafer_cell(), FinalTestCell{}, pins);
+
+    EXPECT_GT(narrow.final.touchdown_time, base.final.touchdown_time);
+    EXPECT_GT(wide.final.touchdown_time, base.final.touchdown_time);
+    // All pins give at least as much test bandwidth as the E-RPCT subset.
+    EXPECT_LE(wide.final.touchdown_time, narrow.final.touchdown_time);
+}
+
+TEST(TestFlow, LineBalanceFollowsYield)
+{
+    FlowOptions high_yield;
+    high_yield.wafer.yields.manufacturing_yield = 0.95;
+    FlowOptions low_yield;
+    low_yield.wafer.yields.manufacturing_yield = 0.50;
+
+    const FlowPlan rich = plan_flow(make_d695(), wafer_cell(), FinalTestCell{}, high_yield);
+    const FlowPlan poor = plan_flow(make_d695(), wafer_cell(), FinalTestCell{}, low_yield);
+    // Lower die yield -> fewer parts reach final test -> fewer final
+    // testers needed per wafer tester.
+    EXPECT_LT(poor.final_testers_per_wafer_tester, rich.final_testers_per_wafer_tester);
+    // But each shipped device carries more wasted wafer-test seconds.
+    EXPECT_GT(poor.tester_seconds_per_shipped_device,
+              rich.tester_seconds_per_shipped_device);
+}
+
+TEST(TestFlow, ValidatesInputs)
+{
+    FinalTestCell bad;
+    bad.channels = 0;
+    EXPECT_THROW((void)plan_flow(make_d695(), wafer_cell(), bad), ValidationError);
+
+    bad = FinalTestCell{};
+    bad.max_handler_sites = 0;
+    EXPECT_THROW((void)plan_flow(make_d695(), wafer_cell(), bad), ValidationError);
+
+    bad = FinalTestCell{};
+    bad.handler_index_time = -1.0;
+    EXPECT_THROW((void)plan_flow(make_d695(), wafer_cell(), bad), ValidationError);
+
+    FlowOptions options;
+    options.io_patterns = 0;
+    EXPECT_THROW((void)plan_flow(make_d695(), wafer_cell(), FinalTestCell{}, options),
+                 ValidationError);
+
+    options = FlowOptions{};
+    options.packaged_yield = 1.5;
+    EXPECT_THROW((void)plan_flow(make_d695(), wafer_cell(), FinalTestCell{}, options),
+                 ValidationError);
+}
+
+TEST(TestFlow, PackagedYieldScalesShippedCost)
+{
+    FlowOptions perfect;
+    FlowOptions lossy;
+    lossy.packaged_yield = 0.8;
+    const FlowPlan a = plan_flow(make_d695(), wafer_cell(), FinalTestCell{}, perfect);
+    const FlowPlan b = plan_flow(make_d695(), wafer_cell(), FinalTestCell{}, lossy);
+    EXPECT_GT(b.tester_seconds_per_shipped_device, a.tester_seconds_per_shipped_device);
+}
+
+} // namespace
+} // namespace mst

@@ -1,0 +1,77 @@
+// Unit tests for the ASCII Gantt renderer.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "report/gantt.hpp"
+#include "soc/soc.hpp"
+
+namespace mst {
+namespace {
+
+Soc demo_soc()
+{
+    return Soc("demo", {Module("alpha", 2, 2, 0, 10, {12, 8}),
+                        Module("beta", 4, 4, 0, 20, {15, 15, 10, 10})});
+}
+
+Architecture demo_arch(const SocTimeTables& tables)
+{
+    Architecture arch(tables);
+    arch.groups().emplace_back(2, tables);
+    arch.groups().back().add_module(0);
+    arch.groups().emplace_back(3, tables);
+    arch.groups().back().add_module(1);
+    return arch;
+}
+
+TEST(Gantt, RendersOneRowPerGroupPlusLegend)
+{
+    const Soc soc = demo_soc();
+    const SocTimeTables tables(soc);
+    const Architecture arch = demo_arch(tables);
+    const std::string text = render_gantt(arch, 10'000, 40);
+    EXPECT_NE(text.find("TAM 1 [w=2]"), std::string::npos);
+    EXPECT_NE(text.find("TAM 2 [w=3]"), std::string::npos);
+    EXPECT_NE(text.find("legend: A=alpha B=beta"), std::string::npos);
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(Gantt, RowWidthMatchesColumns)
+{
+    const Soc soc = demo_soc();
+    const SocTimeTables tables(soc);
+    const Architecture arch = demo_arch(tables);
+    const std::string text = render_gantt(arch, 10'000, 32);
+    const std::size_t first_bar = text.find('|');
+    const std::size_t second_bar = text.find('|', first_bar + 1);
+    ASSERT_NE(second_bar, std::string::npos);
+    EXPECT_EQ(second_bar - first_bar - 1, 32u);
+}
+
+TEST(Gantt, FullerGroupsShowFewerDots)
+{
+    const Soc soc = demo_soc();
+    const SocTimeTables tables(soc);
+    Architecture arch(tables);
+    arch.groups().emplace_back(1, tables); // narrow -> long fill
+    arch.groups().back().add_module(0);
+    arch.groups().back().add_module(1);
+    const CycleCount depth = arch.test_cycles();
+    const std::string text = render_gantt(arch, depth, 40);
+    // A 100%-full group renders without free-memory dots.
+    const std::size_t bar = text.find('|');
+    const std::string row = text.substr(bar + 1, 40);
+    EXPECT_EQ(row.find('.'), std::string::npos) << row;
+}
+
+TEST(Gantt, ValidatesArguments)
+{
+    const Soc soc = demo_soc();
+    const SocTimeTables tables(soc);
+    const Architecture arch = demo_arch(tables);
+    EXPECT_THROW((void)render_gantt(arch, 0, 40), ValidationError);
+    EXPECT_THROW((void)render_gantt(arch, 1000, 4), ValidationError);
+}
+
+} // namespace
+} // namespace mst

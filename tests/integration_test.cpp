@@ -1,0 +1,147 @@
+// End-to-end integration tests: the complete pipeline from benchmark
+// data (embedded, generated, and file round-tripped) through the
+// two-step optimizer, checked against the paper's reported operating
+// points with tolerances that absorb the data reconstruction.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/optimizer.hpp"
+#include "soc/parser.hpp"
+#include "soc/profiles.hpp"
+#include "soc/writer.hpp"
+
+namespace mst {
+namespace {
+
+TestCell paper_cell()
+{
+    TestCell cell; // 512 channels x 7M vectors, 5 MHz, 0.5 s, 1 ms
+    return cell;
+}
+
+TEST(Integration, Pnx8550NoBroadcastMatchesPaperOperatingPoint)
+{
+    // Paper Section 7 / Figure 5 (no stimuli broadcast): n_opt = n_max,
+    // t_m ~ 1.4 s, D_th ~ 1.3e4 devices/hour.
+    const Solution solution = optimize_multi_site(make_benchmark_soc("pnx8550"), paper_cell());
+    EXPECT_EQ(solution.channels_step1, 72);
+    EXPECT_EQ(solution.max_sites_step1, 7);
+    EXPECT_EQ(solution.sites, 7);
+    EXPECT_NEAR(solution.manufacturing_time, 1.45, 0.10);
+    EXPECT_NEAR(solution.best_throughput(), 1.3e4, 0.15e4);
+}
+
+TEST(Integration, Pnx8550BroadcastRoughlyDoublesThroughput)
+{
+    // Paper Figure 5: the broadcast optimum is ~2.4e4 devices/hour.
+    OptimizeOptions options;
+    options.broadcast = BroadcastMode::stimuli;
+    const Solution solution =
+        optimize_multi_site(make_benchmark_soc("pnx8550"), paper_cell(), options);
+    EXPECT_GE(solution.max_sites_step1, 12);
+    EXPECT_NEAR(solution.best_throughput(), 2.4e4, 0.3e4);
+}
+
+TEST(Integration, Pnx8550Step2BeatsStep1WhenSitesAreCapped)
+{
+    // Paper Figure 5's punchline: if equipment limits the multi-site to
+    // n = 8 (broadcast case), Steps 1+2 beat Step 1 only by ~34%. We
+    // check the ordering (Step 2 redistributes freed channels, so its
+    // throughput at the cap can only be higher).
+    const Soc soc = make_benchmark_soc("pnx8550");
+    OptimizeOptions options;
+    options.broadcast = BroadcastMode::stimuli;
+    const Solution solution = optimize_multi_site(soc, paper_cell(), options);
+
+    const SiteCount cap = 8;
+    double step2_at_cap = 0.0;
+    for (const SitePoint& point : solution.site_curve) {
+        if (point.sites == cap) {
+            step2_at_cap = point.figure_of_merit;
+        }
+    }
+    ASSERT_GT(step2_at_cap, 0.0);
+
+    // Step-1-only at the cap: same architecture as Step 1, throughput
+    // scaled by n = 8.
+    OptimizeOptions step1_options = options;
+    step1_options.step1_only = true;
+    const Solution step1 = optimize_multi_site(soc, paper_cell(), step1_options);
+    ThroughputInputs inputs;
+    inputs.sites = cap;
+    inputs.manufacturing_test_time = step1.manufacturing_time;
+    inputs.contacted_terminals_per_soc = step1.channels_per_site + default_control_pads;
+    const ThroughputResult at_cap =
+        evaluate_throughput(inputs, paper_cell().prober, options.yields);
+
+    EXPECT_GE(step2_at_cap, at_cap.devices_per_hour);
+}
+
+TEST(Integration, D695FullTable1RowAt48K)
+{
+    // Paper Table 1, d695 @ 48K on a 256-channel ATE with broadcast:
+    // k = 28, n_max = 17 (we tolerate one wire of reconstruction error).
+    TestCell cell;
+    cell.ate.channels = 256;
+    cell.ate.vector_memory_depth = 48 * kibi;
+    OptimizeOptions options;
+    options.broadcast = BroadcastMode::stimuli;
+    options.step1_only = true;
+    const Solution solution = optimize_multi_site(make_benchmark_soc("d695"), cell, options);
+    EXPECT_GE(solution.channels_step1, 26);
+    EXPECT_LE(solution.channels_step1, 30);
+    EXPECT_GE(solution.max_sites_step1, 16);
+    EXPECT_LE(solution.max_sites_step1, 18);
+}
+
+TEST(Integration, FileRoundTripPreservesOptimizationResult)
+{
+    const Soc original = make_benchmark_soc("p22810");
+    const std::string path = testing::TempDir() + "/mst_integration_p22810.soc";
+    save_soc_file(path, original);
+    const Soc loaded = load_soc_file(path);
+    std::remove(path.c_str());
+
+    TestCell cell;
+    cell.ate.channels = 512;
+    cell.ate.vector_memory_depth = 512 * kibi;
+    const Solution a = optimize_multi_site(original, cell);
+    const Solution b = optimize_multi_site(loaded, cell);
+    EXPECT_EQ(a.channels_per_site, b.channels_per_site);
+    EXPECT_EQ(a.sites, b.sites);
+    EXPECT_EQ(a.test_cycles, b.test_cycles);
+}
+
+TEST(Integration, DeeperMemoryNeverHurtsThroughput)
+{
+    // Fig 6(b)'s monotone backbone on the real optimizer.
+    const Soc soc = make_benchmark_soc("d695");
+    double previous = 0.0;
+    for (CycleCount depth = 48 * kibi; depth <= 96 * kibi; depth += 16 * kibi) {
+        TestCell cell;
+        cell.ate.channels = 256;
+        cell.ate.vector_memory_depth = depth;
+        const Solution solution = optimize_multi_site(soc, cell);
+        EXPECT_GE(solution.best_throughput(), previous) << "depth=" << depth;
+        previous = solution.best_throughput();
+    }
+}
+
+TEST(Integration, MoreChannelsNeverHurtThroughput)
+{
+    // Fig 6(a)'s monotone backbone.
+    const Soc soc = make_benchmark_soc("d695");
+    double previous = 0.0;
+    for (ChannelCount channels = 128; channels <= 512; channels += 128) {
+        TestCell cell;
+        cell.ate.channels = channels;
+        cell.ate.vector_memory_depth = 64 * kibi;
+        const Solution solution = optimize_multi_site(soc, cell);
+        EXPECT_GE(solution.best_throughput(), previous) << "channels=" << channels;
+        previous = solution.best_throughput();
+    }
+}
+
+} // namespace
+} // namespace mst

@@ -1,0 +1,163 @@
+// Cross-module property tests over the random SOC population: these are
+// the invariants of DESIGN.md §7, exercised with parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include "baseline/bin_packing.hpp"
+#include "baseline/lower_bound.hpp"
+#include "common/error.hpp"
+#include "core/optimizer.hpp"
+#include "core/step1.hpp"
+#include "soc/generator.hpp"
+#include "soc/parser.hpp"
+#include "soc/writer.hpp"
+
+namespace mst {
+namespace {
+
+struct PropertyCase {
+    std::uint64_t seed = 0;
+    int modules = 0;
+    ChannelCount channels = 0;
+    CycleCount depth = 0;
+};
+
+class SolutionPropertyTest : public testing::TestWithParam<PropertyCase> {};
+
+/// Some random SOC / small ATE combinations are genuinely untestable;
+/// that outcome is legal (the library must throw InfeasibleError) but
+/// ends the particular property check early.
+#define MST_SKIP_IF_INFEASIBLE(expression)                                      \
+    try {                                                                       \
+        expression;                                                             \
+    } catch (const InfeasibleError&) {                                          \
+        GTEST_SKIP() << "SOC untestable on this ATE (legal outcome)";           \
+    }
+
+TEST_P(SolutionPropertyTest, SolutionSatisfiesProblemConstraints)
+{
+    const PropertyCase param = GetParam();
+    const Soc soc = random_soc(param.seed, param.modules);
+    TestCell cell;
+    cell.ate.channels = param.channels;
+    cell.ate.vector_memory_depth = param.depth;
+
+    for (const BroadcastMode mode : {BroadcastMode::none, BroadcastMode::stimuli}) {
+        OptimizeOptions options;
+        options.broadcast = mode;
+        Solution solution;
+        MST_SKIP_IF_INFEASIBLE(solution = optimize_multi_site(soc, cell, options));
+        // validate_solution re-checks every Section-5 constraint.
+        EXPECT_NO_THROW(validate_solution(solution, soc, cell.ate, mode));
+        EXPECT_LE(solution.test_cycles, cell.ate.vector_memory_depth);
+        EXPECT_GE(solution.sites, 1);
+    }
+}
+
+TEST_P(SolutionPropertyTest, LowerBoundHolds)
+{
+    const PropertyCase param = GetParam();
+    const Soc soc = random_soc(param.seed, param.modules);
+    const SocTimeTables tables(soc);
+    const auto lb = lower_bound_channels(tables, param.depth);
+    if (!lb) {
+        GTEST_SKIP() << "SOC untestable at this depth (legal outcome)";
+    }
+
+    TestCell cell;
+    cell.ate.channels = param.channels;
+    cell.ate.vector_memory_depth = param.depth;
+    OptimizeOptions options;
+    options.step1_only = true;
+    Solution solution;
+    MST_SKIP_IF_INFEASIBLE(solution = optimize_multi_site(soc, cell, options));
+    EXPECT_GE(solution.channels_step1, *lb);
+
+    const BaselineResult baseline = pack_rectangles(tables, cell.ate, BroadcastMode::none);
+    EXPECT_GE(baseline.channels, *lb);
+}
+
+TEST_P(SolutionPropertyTest, Step2NeverLosesToStep1)
+{
+    const PropertyCase param = GetParam();
+    const Soc soc = random_soc(param.seed, param.modules);
+    TestCell cell;
+    cell.ate.channels = param.channels;
+    cell.ate.vector_memory_depth = param.depth;
+
+    OptimizeOptions full;
+    Solution with_step2;
+    MST_SKIP_IF_INFEASIBLE(with_step2 = optimize_multi_site(soc, cell, full));
+    OptimizeOptions only1 = full;
+    only1.step1_only = true;
+    const Solution without = optimize_multi_site(soc, cell, only1);
+    EXPECT_GE(with_step2.best_throughput() + 1e-9, without.best_throughput());
+}
+
+TEST_P(SolutionPropertyTest, AbortOnFailBoundsThePlainTime)
+{
+    const PropertyCase param = GetParam();
+    const Soc soc = random_soc(param.seed, param.modules);
+    TestCell cell;
+    cell.ate.channels = param.channels;
+    cell.ate.vector_memory_depth = param.depth;
+
+    OptimizeOptions plain;
+    plain.yields.manufacturing_yield = 0.8;
+    plain.yields.contact_yield_per_terminal = 0.999;
+    OptimizeOptions abort = plain;
+    abort.abort = AbortOnFail::on;
+
+    Solution a;
+    MST_SKIP_IF_INFEASIBLE(a = optimize_multi_site(soc, cell, plain));
+    const Solution b = optimize_multi_site(soc, cell, abort);
+    EXPECT_GE(b.best_throughput() + 1e-9, a.best_throughput());
+    EXPECT_LE(b.throughput.total_test_time, a.throughput.total_test_time + 1e-9);
+}
+
+TEST_P(SolutionPropertyTest, RoundTripThroughSocFormat)
+{
+    const PropertyCase param = GetParam();
+    const Soc soc = random_soc(param.seed, param.modules);
+    const Soc reparsed = parse_soc_string(soc_to_string(soc));
+    EXPECT_EQ(soc_to_string(soc), soc_to_string(reparsed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSocs, SolutionPropertyTest,
+    testing::Values(PropertyCase{1, 4, 64, 50'000}, PropertyCase{2, 8, 128, 60'000},
+                    PropertyCase{3, 12, 128, 80'000}, PropertyCase{4, 16, 256, 100'000},
+                    PropertyCase{5, 20, 256, 120'000}, PropertyCase{6, 25, 256, 150'000},
+                    PropertyCase{7, 30, 512, 150'000}, PropertyCase{8, 10, 96, 90'000},
+                    PropertyCase{9, 6, 48, 70'000}, PropertyCase{10, 40, 512, 200'000}));
+
+/// Depth sweeps must never increase the channel count (criterion 1 is
+/// about fitting the memory: more memory is never harder).
+class DepthMonotoneTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DepthMonotoneTest, ChannelsNonIncreasingInDepth)
+{
+    const Soc soc = random_soc(GetParam(), 10);
+    const SocTimeTables tables(soc);
+    AteSpec ate;
+    ate.channels = 256;
+
+    ChannelCount previous = 1 << 30;
+    for (CycleCount depth = 40'000; depth <= 160'000; depth += 20'000) {
+        ate.vector_memory_depth = depth;
+        std::optional<Step1Result> result;
+        try {
+            result = run_step1(tables, ate, OptimizeOptions{});
+        } catch (const InfeasibleError&) {
+            continue; // this depth is genuinely untestable for this SOC
+        }
+        EXPECT_LE(result->channels, previous + 2)
+            << "seed=" << GetParam() << " depth=" << depth;
+        previous = std::min(previous, result->channels);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DepthMonotoneTest,
+                         testing::Values(31u, 41u, 59u, 26u, 53u, 58u, 97u, 93u));
+
+} // namespace
+} // namespace mst

@@ -1,0 +1,176 @@
+// Unit tests for the synthetic SOC generator and the calibrated
+// benchmark profiles of DESIGN.md §5.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "soc/generator.hpp"
+#include "soc/profiles.hpp"
+#include "soc/writer.hpp"
+
+namespace mst {
+namespace {
+
+GeneratorConfig small_config()
+{
+    GeneratorConfig config;
+    config.name = "test";
+    config.seed = 42;
+    config.logic_modules = 6;
+    config.logic_volume_bits = 600'000;
+    return config;
+}
+
+TEST(Generator, DeterministicForEqualSeeds)
+{
+    const Soc a = generate_soc(small_config());
+    const Soc b = generate_soc(small_config());
+    EXPECT_EQ(soc_to_string(a), soc_to_string(b));
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    GeneratorConfig other = small_config();
+    other.seed = 43;
+    EXPECT_NE(soc_to_string(generate_soc(small_config())), soc_to_string(generate_soc(other)));
+}
+
+TEST(Generator, ProducesRequestedModuleCounts)
+{
+    GeneratorConfig config = small_config();
+    config.memory_modules = 4;
+    config.memory_volume_bits = 100'000;
+    const Soc soc = generate_soc(config);
+    EXPECT_EQ(soc.module_count(), 10);
+    int scanless = 0;
+    for (const Module& m : soc.modules()) {
+        if (m.scan_chain_count() == 0) {
+            ++scanless;
+        }
+    }
+    EXPECT_EQ(scanless, 4); // memory-interface modules carry no scan
+}
+
+TEST(Generator, VolumeRoughlyMatchesTarget)
+{
+    const Soc soc = generate_soc(small_config());
+    std::int64_t stimulus_bits = 0;
+    for (const Module& m : soc.modules()) {
+        stimulus_bits += m.patterns() * (m.total_scan_flip_flops() + m.scan_in_cells());
+    }
+    // The generator trades exactness for realistic jitter; stay within 2x.
+    EXPECT_GT(stimulus_bits, 300'000);
+    EXPECT_LT(stimulus_bits, 1'200'000);
+}
+
+TEST(Generator, DominantFractionCreatesALargeModule)
+{
+    GeneratorConfig config = small_config();
+    config.dominant_fraction = 0.5;
+    const Soc soc = generate_soc(config);
+    std::int64_t dominant = soc.module(0).test_data_volume_bits();
+    std::int64_t total = 0;
+    for (const Module& m : soc.modules()) {
+        total += m.test_data_volume_bits();
+    }
+    EXPECT_GT(dominant, total / 4); // clearly the largest share
+}
+
+TEST(Generator, ChainCountsWithinRange)
+{
+    GeneratorConfig config = small_config();
+    config.min_chains = 3;
+    config.max_chains = 5;
+    const Soc soc = generate_soc(config);
+    for (const Module& m : soc.modules()) {
+        EXPECT_GE(m.scan_chain_count(), 1);
+        EXPECT_LE(m.scan_chain_count(), 5);
+    }
+}
+
+TEST(Generator, RejectsBadConfigs)
+{
+    GeneratorConfig config;
+    config.logic_modules = 0;
+    config.memory_modules = 0;
+    EXPECT_THROW((void)generate_soc(config), ValidationError);
+
+    config = small_config();
+    config.logic_volume_bits = 0;
+    EXPECT_THROW((void)generate_soc(config), ValidationError);
+
+    config = small_config();
+    config.min_chains = 0;
+    EXPECT_THROW((void)generate_soc(config), ValidationError);
+
+    config = small_config();
+    config.max_chains = config.min_chains - 1;
+    EXPECT_THROW((void)generate_soc(config), ValidationError);
+
+    config = small_config();
+    config.min_io = 0;
+    EXPECT_THROW((void)generate_soc(config), ValidationError);
+
+    config = small_config();
+    config.dominant_fraction = 1.0;
+    EXPECT_THROW((void)generate_soc(config), ValidationError);
+
+    config = small_config();
+    config.pattern_exponent = 1.5;
+    EXPECT_THROW((void)generate_soc(config), ValidationError);
+
+    config = small_config();
+    config.name.clear();
+    EXPECT_THROW((void)generate_soc(config), ValidationError);
+
+    config = small_config();
+    config.memory_modules = 2;
+    config.memory_volume_bits = 0;
+    EXPECT_THROW((void)generate_soc(config), ValidationError);
+}
+
+TEST(Generator, RandomSocIsValidAndDeterministic)
+{
+    const Soc a = random_soc(5, 12);
+    const Soc b = random_soc(5, 12);
+    EXPECT_EQ(a.module_count(), 12);
+    EXPECT_EQ(soc_to_string(a), soc_to_string(b));
+    EXPECT_THROW((void)random_soc(1, 0), ValidationError);
+}
+
+TEST(Profiles, ModuleCountsMatchPublishedBenchmarks)
+{
+    EXPECT_EQ(make_benchmark_soc("d695").module_count(), 10);
+    EXPECT_EQ(make_benchmark_soc("p22810").module_count(), 28);
+    EXPECT_EQ(make_benchmark_soc("p34392").module_count(), 19);
+    EXPECT_EQ(make_benchmark_soc("p93791").module_count(), 32);
+    EXPECT_EQ(make_benchmark_soc("pnx8550").module_count(), 62 + 212);
+}
+
+TEST(Profiles, UnknownNameThrows)
+{
+    EXPECT_THROW((void)make_benchmark_soc("p12345"), ValidationError);
+}
+
+TEST(Profiles, NamesListMatchesFactories)
+{
+    for (const std::string& name : benchmark_soc_names()) {
+        EXPECT_EQ(make_benchmark_soc(name).name(), name);
+    }
+}
+
+TEST(Profiles, BenchmarksAreReproducible)
+{
+    EXPECT_EQ(soc_to_string(make_benchmark_soc("p93791")),
+              soc_to_string(make_benchmark_soc("p93791")));
+}
+
+TEST(Profiles, Pnx8550HasMemoryInterfaceModules)
+{
+    const Soc soc = make_benchmark_soc("pnx8550");
+    const SocStats stats = soc.stats();
+    EXPECT_EQ(stats.scan_tested_modules, 62);
+    EXPECT_EQ(stats.module_count - stats.scan_tested_modules, 212);
+}
+
+} // namespace
+} // namespace mst

@@ -1,0 +1,166 @@
+// Unit tests for the SOC data model: Module and Soc validation,
+// statistics, and derived quantities.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "soc/d695.hpp"
+#include "soc/module.hpp"
+#include "soc/soc.hpp"
+
+namespace mst {
+namespace {
+
+Module make_simple_module()
+{
+    return Module("core", 4, 3, 1, 10, {8, 6});
+}
+
+TEST(ModuleModel, StoresFields)
+{
+    const Module m = make_simple_module();
+    EXPECT_EQ(m.name(), "core");
+    EXPECT_EQ(m.inputs(), 4);
+    EXPECT_EQ(m.outputs(), 3);
+    EXPECT_EQ(m.bidirs(), 1);
+    EXPECT_EQ(m.patterns(), 10);
+    EXPECT_EQ(m.scan_chain_count(), 2);
+    EXPECT_EQ(m.total_scan_flip_flops(), 14);
+}
+
+TEST(ModuleModel, WrapperCellCounts)
+{
+    const Module m = make_simple_module();
+    EXPECT_EQ(m.scan_in_cells(), 5);  // inputs + bidirs
+    EXPECT_EQ(m.scan_out_cells(), 4); // outputs + bidirs
+}
+
+TEST(ModuleModel, MaxUsefulWidthCoversChainsAndCells)
+{
+    const Module m = make_simple_module();
+    EXPECT_EQ(m.max_useful_width(), 2 + 5); // chains + max(in-cells, out-cells)
+}
+
+TEST(ModuleModel, MaxUsefulWidthAtLeastOne)
+{
+    const Module m("tiny", 1, 0, 0, 1, {});
+    EXPECT_GE(m.max_useful_width(), 1);
+}
+
+TEST(ModuleModel, TestDataVolumeCountsBothDirections)
+{
+    const Module m = make_simple_module();
+    // patterns * ((ffs + in cells) + (ffs + out cells)) = 10 * (19 + 18)
+    EXPECT_EQ(m.test_data_volume_bits(), 370);
+}
+
+TEST(ModuleModel, RejectsEmptyName)
+{
+    EXPECT_THROW(Module("", 1, 1, 0, 1, {}), ValidationError);
+}
+
+TEST(ModuleModel, RejectsNegativeTerminals)
+{
+    EXPECT_THROW(Module("m", -1, 1, 0, 1, {}), ValidationError);
+    EXPECT_THROW(Module("m", 1, -1, 0, 1, {}), ValidationError);
+    EXPECT_THROW(Module("m", 1, 1, -1, 1, {}), ValidationError);
+}
+
+TEST(ModuleModel, RejectsNonPositivePatterns)
+{
+    EXPECT_THROW(Module("m", 1, 1, 0, 0, {}), ValidationError);
+    EXPECT_THROW(Module("m", 1, 1, 0, -5, {}), ValidationError);
+}
+
+TEST(ModuleModel, RejectsNonPositiveChainLength)
+{
+    EXPECT_THROW(Module("m", 1, 1, 0, 1, {5, 0}), ValidationError);
+    EXPECT_THROW(Module("m", 1, 1, 0, 1, {-3}), ValidationError);
+}
+
+TEST(ModuleModel, RejectsCompletelyEmptyModule)
+{
+    EXPECT_THROW(Module("m", 0, 0, 0, 1, {}), ValidationError);
+}
+
+TEST(SocModel, HoldsModules)
+{
+    const Soc soc("chip", {make_simple_module(), Module("other", 2, 2, 0, 5, {4})});
+    EXPECT_EQ(soc.name(), "chip");
+    EXPECT_EQ(soc.module_count(), 2);
+    EXPECT_EQ(soc.module(1).name(), "other");
+    EXPECT_FALSE(soc.is_flat());
+}
+
+TEST(SocModel, SingleModuleIsFlat)
+{
+    const Soc soc("flat", {make_simple_module()});
+    EXPECT_TRUE(soc.is_flat());
+}
+
+TEST(SocModel, RejectsEmptyName)
+{
+    EXPECT_THROW(Soc("", {make_simple_module()}), ValidationError);
+}
+
+TEST(SocModel, RejectsNoModules)
+{
+    EXPECT_THROW(Soc("chip", {}), ValidationError);
+}
+
+TEST(SocModel, RejectsDuplicateModuleNames)
+{
+    EXPECT_THROW(Soc("chip", {make_simple_module(), make_simple_module()}), ValidationError);
+}
+
+TEST(SocModel, StatsAggregation)
+{
+    const Soc soc("chip", {Module("a", 1, 1, 0, 10, {5, 5}), Module("b", 2, 2, 0, 20, {})});
+    const SocStats stats = soc.stats();
+    EXPECT_EQ(stats.module_count, 2);
+    EXPECT_EQ(stats.scan_tested_modules, 1);
+    EXPECT_EQ(stats.total_scan_flip_flops, 10);
+    EXPECT_EQ(stats.total_patterns, 30);
+    EXPECT_EQ(stats.max_scan_chains, 2);
+    EXPECT_EQ(stats.max_patterns, 20);
+    EXPECT_GT(stats.total_test_data_volume_bits, 0);
+}
+
+TEST(D695, HasPublishedShape)
+{
+    const Soc soc = make_d695();
+    EXPECT_EQ(soc.name(), "d695");
+    EXPECT_EQ(soc.module_count(), 10);
+    const SocStats stats = soc.stats();
+    EXPECT_EQ(stats.scan_tested_modules, 8); // c6288 and c7552 are combinational
+    // Published aggregate: ~6.4k scan flip-flops, ~0.88k patterns.
+    EXPECT_EQ(stats.total_scan_flip_flops, 6384);
+    EXPECT_EQ(stats.total_patterns, 881);
+}
+
+TEST(D695, GeneratedChainPartitionsAreBalanced)
+{
+    // s9234 and s5378 carry the published (slightly uneven) chain lengths;
+    // the large ISCAS'89 cores use our balanced reconstruction and must be
+    // within one flip-flop of even.
+    const Soc soc = make_d695();
+    for (const Module& m : soc.modules()) {
+        if (m.scan_chain_count() < 5) {
+            continue;
+        }
+        const auto& lengths = m.scan_chain_lengths();
+        const auto [min_it, max_it] = std::minmax_element(lengths.begin(), lengths.end());
+        EXPECT_LE(*max_it - *min_it, 1) << m.name();
+    }
+}
+
+TEST(D695, PublishedChainLengthsAreKept)
+{
+    const Soc soc = make_d695();
+    EXPECT_EQ(soc.module(3).scan_chain_lengths(),
+              (std::vector<FlipFlopCount>{54, 53, 52, 52})); // s9234
+    EXPECT_EQ(soc.module(7).scan_chain_lengths(),
+              (std::vector<FlipFlopCount>{46, 45, 44, 44})); // s5378
+}
+
+} // namespace
+} // namespace mst

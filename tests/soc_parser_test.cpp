@@ -1,0 +1,168 @@
+// Unit tests for the .soc parser and writer, including the round-trip
+// property parse(write(soc)) == soc.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "soc/d695.hpp"
+#include "soc/parser.hpp"
+#include "soc/writer.hpp"
+
+namespace mst {
+namespace {
+
+constexpr const char* minimal_soc = R"(# a comment
+soc demo
+module alpha inputs 3 outputs 2 bidirs 1 patterns 7 scan 10 9
+module beta inputs 1 outputs 1 patterns 2
+end
+)";
+
+TEST(SocParser, ParsesMinimalFile)
+{
+    const Soc soc = parse_soc_string(minimal_soc);
+    EXPECT_EQ(soc.name(), "demo");
+    ASSERT_EQ(soc.module_count(), 2);
+    const Module& alpha = soc.module(0);
+    EXPECT_EQ(alpha.inputs(), 3);
+    EXPECT_EQ(alpha.outputs(), 2);
+    EXPECT_EQ(alpha.bidirs(), 1);
+    EXPECT_EQ(alpha.patterns(), 7);
+    ASSERT_EQ(alpha.scan_chain_count(), 2);
+    EXPECT_EQ(alpha.scan_chain_lengths()[0], 10);
+    EXPECT_EQ(alpha.scan_chain_lengths()[1], 9);
+    EXPECT_EQ(soc.module(1).bidirs(), 0); // bidirs defaults to zero
+}
+
+TEST(SocParser, EndIsOptional)
+{
+    const Soc soc = parse_soc_string("soc x\nmodule m inputs 1 outputs 1 patterns 1\n");
+    EXPECT_EQ(soc.module_count(), 1);
+}
+
+TEST(SocParser, IgnoresCommentsAndBlankLines)
+{
+    const Soc soc = parse_soc_string(
+        "\n# header\n  \nsoc x # trailing\nmodule m inputs 1 outputs 1 patterns 1 # eol\n\n");
+    EXPECT_EQ(soc.name(), "x");
+    EXPECT_EQ(soc.module_count(), 1);
+}
+
+TEST(SocParser, FieldsInAnyOrder)
+{
+    const Soc soc =
+        parse_soc_string("soc x\nmodule m patterns 5 outputs 2 inputs 3\n");
+    EXPECT_EQ(soc.module(0).patterns(), 5);
+    EXPECT_EQ(soc.module(0).inputs(), 3);
+}
+
+TEST(SocParser, ErrorsCarryLineNumbers)
+{
+    try {
+        (void)parse_soc_string("soc x\nmodule m inputs 1 outputs 1 patterns oops\n", "t.soc");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& error) {
+        EXPECT_EQ(error.line(), 2);
+        EXPECT_EQ(error.file(), "t.soc");
+    }
+}
+
+TEST(SocParser, RejectsModuleBeforeSoc)
+{
+    EXPECT_THROW((void)parse_soc_string("module m inputs 1 outputs 1 patterns 1\n"), ParseError);
+}
+
+TEST(SocParser, RejectsDuplicateSocStatement)
+{
+    EXPECT_THROW((void)parse_soc_string("soc a\nsoc b\n"), ParseError);
+}
+
+TEST(SocParser, RejectsUnknownStatement)
+{
+    EXPECT_THROW((void)parse_soc_string("soc a\nwibble\n"), ParseError);
+}
+
+TEST(SocParser, RejectsUnknownModuleField)
+{
+    EXPECT_THROW((void)parse_soc_string("soc a\nmodule m inputs 1 outputs 1 patterns 1 clocks 2\n"),
+                 ParseError);
+}
+
+TEST(SocParser, RejectsMissingValue)
+{
+    EXPECT_THROW((void)parse_soc_string("soc a\nmodule m inputs\n"), ParseError);
+}
+
+TEST(SocParser, RejectsMissingMandatoryFields)
+{
+    EXPECT_THROW((void)parse_soc_string("soc a\nmodule m inputs 1 outputs 1\n"), ParseError);
+    EXPECT_THROW((void)parse_soc_string("soc a\nmodule m patterns 1\n"), ParseError);
+}
+
+TEST(SocParser, RejectsContentAfterEnd)
+{
+    EXPECT_THROW(
+        (void)parse_soc_string("soc a\nmodule m inputs 1 outputs 1 patterns 1\nend\nsoc b\n"),
+        ParseError);
+}
+
+TEST(SocParser, RejectsMissingSoc)
+{
+    EXPECT_THROW((void)parse_soc_string("# nothing here\n"), ParseError);
+}
+
+TEST(SocParser, RejectsSemanticErrorsAsParseErrors)
+{
+    // Validation failures surface as ParseError with position info.
+    EXPECT_THROW((void)parse_soc_string("soc a\nmodule m inputs 1 outputs 1 patterns 0\n"),
+                 ParseError);
+    EXPECT_THROW((void)parse_soc_string("soc a\nmodule m inputs 1 outputs 1 patterns 1 scan 0\n"),
+                 ParseError);
+}
+
+TEST(SocParser, RejectsDuplicateModules)
+{
+    EXPECT_THROW((void)parse_soc_string("soc a\n"
+                                        "module m inputs 1 outputs 1 patterns 1\n"
+                                        "module m inputs 1 outputs 1 patterns 1\n"),
+                 ParseError);
+}
+
+TEST(SocWriter, RoundTripsD695)
+{
+    const Soc original = make_d695();
+    const Soc reparsed = parse_soc_string(soc_to_string(original));
+    ASSERT_EQ(reparsed.module_count(), original.module_count());
+    EXPECT_EQ(reparsed.name(), original.name());
+    for (int m = 0; m < original.module_count(); ++m) {
+        const Module& a = original.module(m);
+        const Module& b = reparsed.module(m);
+        EXPECT_EQ(a.name(), b.name());
+        EXPECT_EQ(a.inputs(), b.inputs());
+        EXPECT_EQ(a.outputs(), b.outputs());
+        EXPECT_EQ(a.bidirs(), b.bidirs());
+        EXPECT_EQ(a.patterns(), b.patterns());
+        EXPECT_EQ(a.scan_chain_lengths(), b.scan_chain_lengths());
+    }
+}
+
+TEST(SocWriter, FileRoundTrip)
+{
+    const std::string path = testing::TempDir() + "/mst_writer_roundtrip.soc";
+    const Soc original = make_d695();
+    save_soc_file(path, original);
+    const Soc loaded = load_soc_file(path);
+    EXPECT_EQ(loaded.name(), original.name());
+    EXPECT_EQ(loaded.module_count(), original.module_count());
+    std::remove(path.c_str());
+}
+
+TEST(SocLoader, MissingFileThrows)
+{
+    EXPECT_THROW((void)load_soc_file("/nonexistent/dir/foo.soc"), ParseError);
+}
+
+} // namespace
+} // namespace mst

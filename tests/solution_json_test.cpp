@@ -1,0 +1,71 @@
+// Tests for the JSON solution exporter.
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "report/solution_json.hpp"
+#include "soc/d695.hpp"
+
+namespace mst {
+namespace {
+
+Solution demo_solution()
+{
+    TestCell cell;
+    cell.ate.channels = 256;
+    cell.ate.vector_memory_depth = 64 * kibi;
+    return optimize_multi_site(make_d695(), cell);
+}
+
+TEST(SolutionJson, ContainsAllTopLevelKeys)
+{
+    const std::string json = solution_to_json(demo_solution());
+    for (const char* key :
+         {"\"soc\"", "\"sites\"", "\"channels_per_site\"", "\"test_cycles\"",
+          "\"manufacturing_time_s\"", "\"devices_per_hour\"", "\"step1\"", "\"erpct\"",
+          "\"tams\"", "\"site_curve\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(SolutionJson, ValuesMatchSolution)
+{
+    const Solution solution = demo_solution();
+    const std::string json = solution_to_json(solution);
+    EXPECT_NE(json.find("\"soc\": \"d695\""), std::string::npos);
+    EXPECT_NE(json.find("\"sites\": " + std::to_string(solution.sites)), std::string::npos);
+    EXPECT_NE(json.find("\"channels_per_site\": " + std::to_string(solution.channels_per_site)),
+              std::string::npos);
+    // One TAM entry per group, one curve entry per examined site count.
+    std::size_t tams = 0;
+    for (std::size_t at = json.find("\"wires\""); at != std::string::npos;
+         at = json.find("\"wires\"", at + 1)) {
+        ++tams;
+    }
+    EXPECT_EQ(tams, solution.groups.size());
+}
+
+TEST(SolutionJson, BalancedBracesAndQuotes)
+{
+    const std::string json = solution_to_json(demo_solution());
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+TEST(SolutionJson, EscapesHostileNames)
+{
+    Solution solution = demo_solution();
+    solution.soc_name = "evil\"\\\nname";
+    const std::string json = solution_to_json(solution);
+    EXPECT_NE(json.find("evil\\\"\\\\\\nname"), std::string::npos);
+}
+
+TEST(SolutionJson, Deterministic)
+{
+    EXPECT_EQ(solution_to_json(demo_solution()), solution_to_json(demo_solution()));
+}
+
+} // namespace
+} // namespace mst

@@ -1,0 +1,190 @@
+// Unit tests for Step 1: channel-minimizing architecture construction,
+// infeasibility detection, and policy options.
+#include <gtest/gtest.h>
+
+#include "baseline/lower_bound.hpp"
+#include "common/error.hpp"
+#include "core/step1.hpp"
+#include "soc/d695.hpp"
+#include "soc/generator.hpp"
+
+namespace mst {
+namespace {
+
+AteSpec ate_spec(ChannelCount channels, CycleCount depth)
+{
+    AteSpec ate;
+    ate.channels = channels;
+    ate.vector_memory_depth = depth;
+    return ate;
+}
+
+TEST(Step1, FlatSocGetsOneGroupAtMinimalWidth)
+{
+    const Soc soc("flat", {Module("core", 8, 8, 0, 100, {50, 50})});
+    const SocTimeTables tables(soc);
+    const ModuleTimeTable& table = tables.table(0);
+    const CycleCount depth = table.time(2) + 10; // 2 wires suffice, 1 does not
+    ASSERT_GT(table.time(1), depth);
+
+    const Step1Result result = run_step1(tables, ate_spec(64, depth), OptimizeOptions{});
+    EXPECT_EQ(result.architecture.groups().size(), 1u);
+    EXPECT_EQ(result.channels, 4); // 2 wires
+    EXPECT_EQ(result.max_sites, 16);
+}
+
+TEST(Step1, IdenticalModulesShareAGroupWhenDepthAllows)
+{
+    std::vector<Module> modules;
+    for (int i = 0; i < 4; ++i) {
+        modules.emplace_back("m" + std::to_string(i), 2, 2, 0, 10,
+                             std::vector<FlipFlopCount>{20});
+    }
+    const Soc soc("quad", std::move(modules));
+    const SocTimeTables tables(soc);
+    const CycleCount one_at_w1 = tables.table(0).time(1);
+    // Depth fits all four modules serially on one wire.
+    const Step1Result result =
+        run_step1(tables, ate_spec(64, 4 * one_at_w1 + 100), OptimizeOptions{});
+    EXPECT_EQ(result.channels, 2);
+    EXPECT_EQ(result.architecture.groups().size(), 1u);
+    EXPECT_EQ(result.architecture.groups()[0].module_indices().size(), 4u);
+}
+
+TEST(Step1, SplitsWhenDepthForcesIt)
+{
+    std::vector<Module> modules;
+    for (int i = 0; i < 4; ++i) {
+        modules.emplace_back("m" + std::to_string(i), 2, 2, 0, 10,
+                             std::vector<FlipFlopCount>{20});
+    }
+    const Soc soc("quad", std::move(modules));
+    const SocTimeTables tables(soc);
+    const CycleCount one_at_w1 = tables.table(0).time(1);
+    // Depth fits exactly two serial tests per wire: need >= 2 wires.
+    const Step1Result result =
+        run_step1(tables, ate_spec(64, 2 * one_at_w1 + 1), OptimizeOptions{});
+    EXPECT_GE(result.channels, 4);
+    result.architecture.validate(ate_spec(64, 2 * one_at_w1 + 1));
+}
+
+TEST(Step1, ThrowsWhenAModuleFitsNoWidth)
+{
+    const Soc soc("bad", {Module("huge", 1, 1, 0, 1000, {5000})});
+    const SocTimeTables tables(soc);
+    EXPECT_THROW((void)run_step1(tables, ate_spec(64, 100), OptimizeOptions{}),
+                 InfeasibleError);
+}
+
+TEST(Step1, ThrowsWhenChannelBudgetTooSmall)
+{
+    // Two modules, each of which alone nearly fills the memory: they need
+    // separate (or wide) groups, but the ATE has only 2 channels.
+    const Soc soc("tight", {Module("a", 1, 1, 0, 100, {100}),
+                            Module("b", 1, 1, 0, 100, {100})});
+    const SocTimeTables tables(soc);
+    const CycleCount depth = tables.table(0).time(1) + 10;
+    EXPECT_THROW((void)run_step1(tables, ate_spec(2, depth), OptimizeOptions{}),
+                 InfeasibleError);
+}
+
+TEST(Step1, ChannelCountIsAlwaysEven)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    for (const CycleCount depth : {48 * kibi, 64 * kibi, 96 * kibi, 128 * kibi}) {
+        const Step1Result result = run_step1(tables, ate_spec(256, depth), OptimizeOptions{});
+        EXPECT_EQ(result.channels % 2, 0) << "depth=" << depth;
+    }
+}
+
+TEST(Step1, D695MatchesPaperBallpark)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    // Paper Table 1 (d695, 48K): k = 28. Allow +/- one wire for the
+    // reconstructed module data.
+    const Step1Result result =
+        run_step1(tables, ate_spec(256, 48 * kibi), OptimizeOptions{});
+    EXPECT_GE(result.channels, 26);
+    EXPECT_LE(result.channels, 32);
+    result.architecture.validate(ate_spec(256, 48 * kibi));
+}
+
+TEST(Step1, NeverBeatsTheLowerBound)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    for (const CycleCount depth : {48 * kibi, 72 * kibi, 104 * kibi}) {
+        const auto lb = lower_bound_channels(tables, depth);
+        ASSERT_TRUE(lb.has_value());
+        const Step1Result result = run_step1(tables, ate_spec(256, depth), OptimizeOptions{});
+        EXPECT_GE(result.channels, *lb);
+    }
+}
+
+TEST(Step1, BroadcastRaisesMaxSites)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    OptimizeOptions plain;
+    OptimizeOptions broadcast;
+    broadcast.broadcast = BroadcastMode::stimuli;
+    const Step1Result without = run_step1(tables, ate_spec(256, 48 * kibi), plain);
+    const Step1Result with = run_step1(tables, ate_spec(256, 48 * kibi), broadcast);
+    EXPECT_EQ(without.channels, with.channels); // Step 1 itself is unchanged
+    EXPECT_GT(with.max_sites, without.max_sites);
+}
+
+TEST(Step1, BudgetSearchNeverWorseThanRawGreedy)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    OptimizeOptions raw;
+    raw.budget_search = false;
+    raw.compaction = false;
+    OptimizeOptions tuned;
+    for (const CycleCount depth : {48 * kibi, 64 * kibi, 96 * kibi}) {
+        const Step1Result raw_result = run_step1(tables, ate_spec(256, depth), raw);
+        const Step1Result tuned_result = run_step1(tables, ate_spec(256, depth), tuned);
+        EXPECT_LE(tuned_result.channels, raw_result.channels) << depth;
+    }
+}
+
+TEST(Step1, AllPolicyCombinationsProduceValidArchitectures)
+{
+    const Soc soc = random_soc(99, 10);
+    const SocTimeTables tables(soc);
+    const AteSpec ate = ate_spec(128, 60'000);
+    for (const GroupSelectPolicy select :
+         {GroupSelectPolicy::best_fit_min_depth, GroupSelectPolicy::first_fit}) {
+        for (const ExpansionPolicy expansion :
+             {ExpansionPolicy::widen_by_kmin, ExpansionPolicy::min_widening,
+              ExpansionPolicy::always_new_group}) {
+            for (const ModuleOrder order :
+                 {ModuleOrder::by_min_width, ModuleOrder::by_volume, ModuleOrder::by_time,
+                  ModuleOrder::input_order}) {
+                OptimizeOptions options;
+                options.group_select = select;
+                options.expansion = expansion;
+                options.module_order = order;
+                const Step1Result result = run_step1(tables, ate, options);
+                EXPECT_NO_THROW(result.architecture.validate(ate));
+            }
+        }
+    }
+}
+
+TEST(Step1, DeterministicAcrossRuns)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    const Step1Result a = run_step1(tables, ate_spec(256, 56 * kibi), OptimizeOptions{});
+    const Step1Result b = run_step1(tables, ate_spec(256, 56 * kibi), OptimizeOptions{});
+    EXPECT_EQ(a.channels, b.channels);
+    EXPECT_EQ(a.max_sites, b.max_sites);
+    EXPECT_EQ(a.architecture.test_cycles(), b.architecture.test_cycles());
+}
+
+} // namespace
+} // namespace mst

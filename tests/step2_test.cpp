@@ -1,0 +1,171 @@
+// Unit tests for Step 2: the linear site-count search with channel
+// redistribution.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/step1.hpp"
+#include "core/step2.hpp"
+#include "soc/d695.hpp"
+#include "soc/generator.hpp"
+
+namespace mst {
+namespace {
+
+TestCell d695_cell()
+{
+    TestCell cell;
+    cell.ate.channels = 256;
+    cell.ate.vector_memory_depth = 48 * kibi;
+    cell.ate.test_clock_hz = 5e6;
+    return cell;
+}
+
+TEST(Step2, CurveCoversAllSiteCounts)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    const OptimizeOptions options;
+    const Step1Result step1 = run_step1(tables, d695_cell().ate, options);
+    const Step2Result step2 = run_step2(step1, d695_cell(), options);
+
+    ASSERT_EQ(static_cast<int>(step2.curve.size()), step1.max_sites);
+    for (std::size_t i = 0; i < step2.curve.size(); ++i) {
+        EXPECT_EQ(step2.curve[i].sites, step1.max_sites - static_cast<SiteCount>(i));
+    }
+}
+
+TEST(Step2, BestPointIsTheCurveMaximum)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    const OptimizeOptions options;
+    const Step1Result step1 = run_step1(tables, d695_cell().ate, options);
+    const Step2Result step2 = run_step2(step1, d695_cell(), options);
+
+    double best = 0.0;
+    for (const SitePoint& point : step2.curve) {
+        best = std::max(best, point.figure_of_merit);
+    }
+    EXPECT_DOUBLE_EQ(figure_of_merit(step2.best_throughput, options.retest), best);
+    EXPECT_GE(step2.best_sites, 1);
+    EXPECT_LE(step2.best_sites, step1.max_sites);
+}
+
+TEST(Step2, RedistributionNeverIncreasesTestTime)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    const OptimizeOptions options;
+    const Step1Result step1 = run_step1(tables, d695_cell().ate, options);
+    const Step2Result step2 = run_step2(step1, d695_cell(), options);
+
+    // Walking down in sites only frees channels, so the per-SOC test
+    // time is non-increasing along the curve.
+    for (std::size_t i = 1; i < step2.curve.size(); ++i) {
+        EXPECT_LE(step2.curve[i].test_cycles, step2.curve[i - 1].test_cycles)
+            << "n=" << step2.curve[i].sites;
+    }
+    // And never worse than Step 1's own time.
+    EXPECT_LE(step2.curve.front().test_cycles, step1.architecture.test_cycles());
+}
+
+TEST(Step2, PerSiteChannelsRespectTheBudget)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    for (const BroadcastMode mode : {BroadcastMode::none, BroadcastMode::stimuli}) {
+        OptimizeOptions options;
+        options.broadcast = mode;
+        const Step1Result step1 = run_step1(tables, d695_cell().ate, options);
+        const Step2Result step2 = run_step2(step1, d695_cell(), options);
+        for (const SitePoint& point : step2.curve) {
+            EXPECT_LE(point.channels_per_site,
+                      per_site_channel_budget(point.sites, d695_cell().ate.channels, mode))
+                << "n=" << point.sites;
+            EXPECT_GE(point.channels_per_site, step1.channels);
+        }
+    }
+}
+
+TEST(Step2, BestThroughputAtLeastStepOneOperatingPoint)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    const OptimizeOptions options;
+    const Step1Result step1 = run_step1(tables, d695_cell().ate, options);
+    const Step2Result step2 = run_step2(step1, d695_cell(), options);
+
+    // The n = n_max point of the curve is exactly Step 1 plus possible
+    // redistribution, so the best can only be better or equal.
+    EXPECT_GE(figure_of_merit(step2.best_throughput, options.retest),
+              step2.curve.front().figure_of_merit);
+}
+
+TEST(Step2, SingleSiteAteStillWorks)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    TestCell cell = d695_cell();
+    cell.ate.channels = 32; // forces n_max == 1
+    OptimizeOptions options;
+    const Step1Result step1 = run_step1(tables, cell.ate, options);
+    ASSERT_EQ(step1.max_sites, 1);
+    const Step2Result step2 = run_step2(step1, cell, options);
+    EXPECT_EQ(step2.best_sites, 1);
+    EXPECT_EQ(step2.curve.size(), 1u);
+}
+
+TEST(Step2, RejectsUnusableStep1Result)
+{
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    const OptimizeOptions options;
+    Step1Result broken = run_step1(tables, d695_cell().ate, options);
+    broken.max_sites = 0;
+    EXPECT_THROW((void)run_step2(broken, d695_cell(), options), ValidationError);
+}
+
+/// Property sweep over random SOCs: the Step-2 curve is internally
+/// consistent for every broadcast/abort/retest combination.
+struct Step2Combo {
+    std::uint64_t seed;
+    BroadcastMode broadcast;
+};
+
+class Step2PropertyTest : public testing::TestWithParam<Step2Combo> {};
+
+TEST_P(Step2PropertyTest, CurveInvariants)
+{
+    const auto [seed, broadcast] = GetParam();
+    const Soc soc = random_soc(seed, 8);
+    const SocTimeTables tables(soc);
+    TestCell cell;
+    cell.ate.channels = 128;
+    cell.ate.vector_memory_depth = 80'000;
+
+    OptimizeOptions options;
+    options.broadcast = broadcast;
+    options.yields.contact_yield_per_terminal = 0.999;
+    options.yields.manufacturing_yield = 0.9;
+    options.abort = AbortOnFail::on;
+    options.retest = RetestPolicy::retest_contact_failures;
+
+    const Step1Result step1 = run_step1(tables, cell.ate, options);
+    const Step2Result step2 = run_step2(step1, cell, options);
+    ASSERT_FALSE(step2.curve.empty());
+    for (const SitePoint& point : step2.curve) {
+        EXPECT_GT(point.figure_of_merit, 0.0);
+        EXPECT_LE(point.unique_devices_per_hour, point.devices_per_hour);
+        EXPECT_LE(point.test_cycles, cell.ate.vector_memory_depth);
+        EXPECT_EQ(point.channels_per_site % 2, 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, Step2PropertyTest,
+    testing::Values(Step2Combo{11, BroadcastMode::none}, Step2Combo{11, BroadcastMode::stimuli},
+                    Step2Combo{23, BroadcastMode::none}, Step2Combo{23, BroadcastMode::stimuli},
+                    Step2Combo{37, BroadcastMode::none}, Step2Combo{37, BroadcastMode::stimuli}));
+
+} // namespace
+} // namespace mst

@@ -1,0 +1,224 @@
+// Unit tests for the Section-4 throughput model (Equations 4.1 - 4.6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "throughput/model.hpp"
+
+namespace mst {
+namespace {
+
+ProbeStation paper_prober()
+{
+    return ProbeStation{0.5, 0.001};
+}
+
+TEST(ContactPass, Equation42HandValues)
+{
+    // P_c(n) = 1 - (1 - p_c^I)^n
+    const double pc = 0.999;
+    const int terminals = 40;
+    const double single = std::pow(pc, terminals);
+    EXPECT_NEAR(contact_pass_probability(pc, terminals, 1), single, 1e-12);
+    EXPECT_NEAR(contact_pass_probability(pc, terminals, 3),
+                1.0 - std::pow(1.0 - single, 3), 1e-12);
+}
+
+TEST(ContactPass, PerfectYieldAlwaysPasses)
+{
+    EXPECT_DOUBLE_EQ(contact_pass_probability(1.0, 500, 1), 1.0);
+}
+
+TEST(ContactPass, MonotoneInSites)
+{
+    double previous = 0.0;
+    for (SiteCount n = 1; n <= 10; ++n) {
+        const double p = contact_pass_probability(0.995, 60, n);
+        EXPECT_GE(p, previous);
+        previous = p;
+    }
+}
+
+TEST(ManufacturingPass, Equation43HandValues)
+{
+    EXPECT_DOUBLE_EQ(manufacturing_pass_probability(0.7, 1), 0.7);
+    EXPECT_NEAR(manufacturing_pass_probability(0.7, 2), 1.0 - 0.09, 1e-12);
+}
+
+TEST(Throughput, Equation45SingleSite)
+{
+    ThroughputInputs inputs;
+    inputs.sites = 1;
+    inputs.manufacturing_test_time = 1.468;
+    inputs.contacted_terminals_per_soc = 79;
+    const ThroughputResult result = evaluate_throughput(inputs, paper_prober(), YieldModel{});
+    // D_th = 3600 * 1 / (0.5 + 0.001 + 1.468)
+    EXPECT_NEAR(result.devices_per_hour, 3600.0 / 1.969, 1e-9);
+    EXPECT_DOUBLE_EQ(result.unique_devices_per_hour, result.devices_per_hour);
+}
+
+TEST(Throughput, ScalesLinearlyInSitesAtFixedTime)
+{
+    ThroughputInputs inputs;
+    inputs.manufacturing_test_time = 1.0;
+    inputs.contacted_terminals_per_soc = 50;
+    inputs.sites = 1;
+    const double one = evaluate_throughput(inputs, paper_prober(), YieldModel{}).devices_per_hour;
+    inputs.sites = 7;
+    const double seven = evaluate_throughput(inputs, paper_prober(), YieldModel{}).devices_per_hour;
+    EXPECT_NEAR(seven, 7.0 * one, 1e-9);
+}
+
+TEST(Throughput, AbortOnFailIsALowerBoundOnTime)
+{
+    ThroughputInputs inputs;
+    inputs.sites = 2;
+    inputs.manufacturing_test_time = 1.4;
+    inputs.contacted_terminals_per_soc = 80;
+    YieldModel yields;
+    yields.contact_yield_per_terminal = 0.999;
+    yields.manufacturing_yield = 0.7;
+
+    const ThroughputResult full =
+        evaluate_throughput(inputs, paper_prober(), yields, AbortOnFail::off);
+    const ThroughputResult aborted =
+        evaluate_throughput(inputs, paper_prober(), yields, AbortOnFail::on);
+    EXPECT_LE(aborted.total_test_time, full.total_test_time);
+    EXPECT_GE(aborted.devices_per_hour, full.devices_per_hour);
+}
+
+TEST(Throughput, AbortOnFailEquation44HandValue)
+{
+    // n=1, p_c=1 (contact always passes), p_m = 0.7:
+    // E[t_t] = t_c + t_m * 0.7.
+    ThroughputInputs inputs;
+    inputs.sites = 1;
+    inputs.manufacturing_test_time = 1.4;
+    inputs.contacted_terminals_per_soc = 80;
+    YieldModel yields;
+    yields.manufacturing_yield = 0.7;
+    const ThroughputResult result =
+        evaluate_throughput(inputs, paper_prober(), yields, AbortOnFail::on);
+    EXPECT_NEAR(result.total_test_time, 0.001 + 1.4 * 0.7, 1e-12);
+}
+
+TEST(Throughput, AbortOnFailBenefitVanishesWithManySites)
+{
+    // The paper: "the effectiveness of abort-on-fail becomes invisible
+    // beyond n = 4" (at p_m = 0.7). Check the expected time approaches
+    // the full time as n grows.
+    ThroughputInputs inputs;
+    inputs.manufacturing_test_time = 1.4;
+    inputs.contacted_terminals_per_soc = 80;
+    YieldModel yields;
+    yields.manufacturing_yield = 0.7;
+    inputs.sites = 8;
+    const ThroughputResult result =
+        evaluate_throughput(inputs, paper_prober(), yields, AbortOnFail::on);
+    EXPECT_GT(result.manufacturing_time, 0.999 * 1.4);
+}
+
+TEST(Throughput, RetestFractionMatchesEquation46)
+{
+    ThroughputInputs inputs;
+    inputs.sites = 1;
+    inputs.manufacturing_test_time = 1.0;
+    inputs.contacted_terminals_per_soc = 100;
+    YieldModel yields;
+    yields.contact_yield_per_terminal = 0.999;
+    const ThroughputResult result = evaluate_throughput(inputs, paper_prober(), yields);
+    const double expected_fraction = 1.0 - std::pow(0.999, 100);
+    EXPECT_NEAR(result.retest_fraction, expected_fraction, 1e-12);
+    EXPECT_NEAR(result.unique_devices_per_hour,
+                result.devices_per_hour / (1.0 + expected_fraction), 1e-9);
+}
+
+TEST(Throughput, UniqueNeverExceedsTotal)
+{
+    ThroughputInputs inputs;
+    inputs.sites = 4;
+    inputs.manufacturing_test_time = 0.7;
+    inputs.contacted_terminals_per_soc = 200;
+    YieldModel yields;
+    yields.contact_yield_per_terminal = 0.99;
+    const ThroughputResult result = evaluate_throughput(inputs, paper_prober(), yields);
+    EXPECT_LE(result.unique_devices_per_hour, result.devices_per_hour);
+}
+
+TEST(Throughput, FewerContactedTerminalsMeansFewerRetests)
+{
+    // Fig 7(a)'s mechanism: deep memory -> fewer channels -> fewer pads
+    // -> less re-testing.
+    YieldModel yields;
+    yields.contact_yield_per_terminal = 0.999;
+    ThroughputInputs narrow;
+    narrow.sites = 1;
+    narrow.manufacturing_test_time = 1.0;
+    narrow.contacted_terminals_per_soc = 20;
+    ThroughputInputs wide = narrow;
+    wide.contacted_terminals_per_soc = 200;
+    const auto narrow_result = evaluate_throughput(narrow, paper_prober(), yields);
+    const auto wide_result = evaluate_throughput(wide, paper_prober(), yields);
+    EXPECT_LT(narrow_result.retest_fraction, wide_result.retest_fraction);
+}
+
+TEST(Throughput, FigureOfMeritSelectsPolicy)
+{
+    ThroughputResult result;
+    result.devices_per_hour = 100.0;
+    result.unique_devices_per_hour = 80.0;
+    EXPECT_DOUBLE_EQ(figure_of_merit(result, RetestPolicy::none), 100.0);
+    EXPECT_DOUBLE_EQ(figure_of_merit(result, RetestPolicy::retest_contact_failures), 80.0);
+}
+
+TEST(Throughput, ValidationErrors)
+{
+    ThroughputInputs inputs;
+    inputs.sites = 0;
+    EXPECT_THROW((void)evaluate_throughput(inputs, paper_prober(), YieldModel{}), ValidationError);
+
+    inputs.sites = 1;
+    inputs.manufacturing_test_time = -1.0;
+    EXPECT_THROW((void)evaluate_throughput(inputs, paper_prober(), YieldModel{}), ValidationError);
+
+    inputs.manufacturing_test_time = 1.0;
+    inputs.contacted_terminals_per_soc = -1;
+    EXPECT_THROW((void)evaluate_throughput(inputs, paper_prober(), YieldModel{}), ValidationError);
+
+    inputs.contacted_terminals_per_soc = 10;
+    YieldModel bad;
+    bad.contact_yield_per_terminal = 1.5;
+    EXPECT_THROW((void)evaluate_throughput(inputs, paper_prober(), bad), ValidationError);
+    bad = YieldModel{};
+    bad.manufacturing_yield = -0.2;
+    EXPECT_THROW((void)evaluate_throughput(inputs, paper_prober(), bad), ValidationError);
+}
+
+/// Parameterized sweep: the abort-on-fail expected time is monotone
+/// non-decreasing in the number of sites for any yield.
+class AbortOnFailSweep : public testing::TestWithParam<double> {};
+
+TEST_P(AbortOnFailSweep, ExpectedTimeGrowsWithSites)
+{
+    const double pm = GetParam();
+    YieldModel yields;
+    yields.manufacturing_yield = pm;
+    double previous = -1.0;
+    for (SiteCount n = 1; n <= 8; ++n) {
+        ThroughputInputs inputs;
+        inputs.sites = n;
+        inputs.manufacturing_test_time = 1.4;
+        inputs.contacted_terminals_per_soc = 80;
+        const ThroughputResult result =
+            evaluate_throughput(inputs, paper_prober(), yields, AbortOnFail::on);
+        EXPECT_GE(result.total_test_time, previous) << "n=" << n << " pm=" << pm;
+        previous = result.total_test_time;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig7bYields, AbortOnFailSweep,
+                         testing::Values(1.0, 0.98, 0.95, 0.90, 0.80, 0.70));
+
+} // namespace
+} // namespace mst

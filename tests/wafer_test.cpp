@@ -1,0 +1,121 @@
+// Unit tests for the wafer-geometry / periphery-loss model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "flow/wafer.hpp"
+
+namespace mst {
+namespace {
+
+TEST(Wafer, ValidatesDimensions)
+{
+    WaferSpec wafer;
+    wafer.diameter_mm = 0.0;
+    EXPECT_THROW(wafer.validate(), ValidationError);
+    wafer = WaferSpec{};
+    wafer.die_width_mm = -1.0;
+    EXPECT_THROW(wafer.validate(), ValidationError);
+    wafer = WaferSpec{};
+    wafer.edge_exclusion_mm = 200.0; // >= radius
+    EXPECT_THROW(wafer.validate(), ValidationError);
+}
+
+TEST(Wafer, DieCountMatchesAreaRoughly)
+{
+    WaferSpec wafer; // 300 mm, 3 mm exclusion, 10x10 mm die
+    const WaferProbePlan plan = plan_wafer_probing(wafer, ProbeHeadLayout{1, 1});
+    // Usable area pi * 147^2 = ~67.9e3 mm^2 -> upper bound ~679 dies;
+    // full-die-inside packing loses the rim.
+    EXPECT_GT(plan.dies_on_wafer, 500);
+    EXPECT_LT(plan.dies_on_wafer, 679);
+    // Single-site head: one touchdown per die, no periphery loss.
+    EXPECT_EQ(plan.touchdowns, plan.dies_on_wafer);
+    EXPECT_DOUBLE_EQ(plan.utilization, 1.0);
+    EXPECT_DOUBLE_EQ(plan.effective_sites(), 1.0);
+}
+
+TEST(Wafer, MultiSiteHeadLosesAtPeriphery)
+{
+    WaferSpec wafer;
+    const WaferProbePlan plan = plan_wafer_probing(wafer, ProbeHeadLayout{4, 4});
+    EXPECT_LT(plan.utilization, 1.0);
+    EXPECT_GT(plan.utilization, 0.5); // still a sane head for 10 mm dies
+    EXPECT_GT(plan.effective_sites(), 8.0);
+    EXPECT_LT(plan.effective_sites(), 16.0);
+    // Same dies, fewer touchdowns than single-site probing.
+    const WaferProbePlan solo = plan_wafer_probing(wafer, ProbeHeadLayout{1, 1});
+    EXPECT_EQ(plan.dies_on_wafer, solo.dies_on_wafer);
+    EXPECT_LT(plan.touchdowns, solo.touchdowns);
+}
+
+TEST(Wafer, BiggerDiesLoseMore)
+{
+    WaferSpec small_die;
+    small_die.die_width_mm = 5.0;
+    small_die.die_height_mm = 5.0;
+    WaferSpec big_die;
+    big_die.die_width_mm = 20.0;
+    big_die.die_height_mm = 20.0;
+    const ProbeHeadLayout head{4, 2};
+    EXPECT_GT(plan_wafer_probing(small_die, head).utilization,
+              plan_wafer_probing(big_die, head).utilization);
+}
+
+TEST(Wafer, BestLayoutBeatsOrMatchesStrip)
+{
+    WaferSpec wafer;
+    const ProbeHeadLayout best = best_head_layout(wafer, 16);
+    const WaferProbePlan best_plan = plan_wafer_probing(wafer, best);
+    const WaferProbePlan strip_plan = plan_wafer_probing(wafer, ProbeHeadLayout{16, 1});
+    EXPECT_GE(best_plan.utilization, strip_plan.utilization);
+    EXPECT_EQ(best.sites(), 16);
+}
+
+TEST(Wafer, BestLayoutHandlesPrimeSiteCounts)
+{
+    WaferSpec wafer;
+    const ProbeHeadLayout best = best_head_layout(wafer, 7);
+    EXPECT_EQ(best.sites(), 7); // only 1x7 / 7x1 factorizations exist
+}
+
+TEST(Wafer, EffectiveThroughputScalesWithUtilization)
+{
+    WaferSpec wafer;
+    const ProbeHeadLayout head{4, 4};
+    const WaferProbePlan plan = plan_wafer_probing(wafer, head);
+    const DevicesPerHour ideal = 16'000.0;
+    const DevicesPerHour effective = effective_throughput(ideal, 16, plan);
+    EXPECT_NEAR(effective, ideal * plan.utilization, 1e-9);
+    EXPECT_LT(effective, ideal);
+}
+
+TEST(Wafer, RejectsBadLayouts)
+{
+    WaferSpec wafer;
+    EXPECT_THROW((void)plan_wafer_probing(wafer, ProbeHeadLayout{0, 1}), ValidationError);
+    EXPECT_THROW((void)best_head_layout(wafer, 0), ValidationError);
+}
+
+/// Property sweep: utilization is always in (0, 1] and effective sites
+/// never exceed the head's site count.
+class WaferPropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(WaferPropertyTest, UtilizationBounds)
+{
+    WaferSpec wafer;
+    wafer.die_width_mm = 6.0 + (GetParam() % 5) * 3.0;
+    wafer.die_height_mm = 6.0 + (GetParam() % 3) * 4.0;
+    for (const int sites : {2, 4, 8, 16}) {
+        const ProbeHeadLayout head = best_head_layout(wafer, sites);
+        const WaferProbePlan plan = plan_wafer_probing(wafer, head);
+        EXPECT_GT(plan.utilization, 0.0);
+        EXPECT_LE(plan.utilization, 1.0);
+        EXPECT_LE(plan.effective_sites(), static_cast<double>(sites));
+        EXPECT_GE(plan.probed_positions, plan.dies_on_wafer);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DieSizes, WaferPropertyTest, testing::Range(0, 8));
+
+} // namespace
+} // namespace mst

@@ -1,0 +1,153 @@
+// Unit tests for the COMBINE-style wrapper design: LPT scan partition,
+// water-filling of functional cells, and the test time formula.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "soc/module.hpp"
+#include "wrapper/test_time.hpp"
+#include "wrapper/wrapper_design.hpp"
+
+namespace mst {
+namespace {
+
+/// All internal scan chains must be assigned exactly once and the
+/// recorded sums must match.
+void expect_consistent(const Module& module, const WrapperDesign& design)
+{
+    ASSERT_EQ(static_cast<int>(design.chains.size()), design.width);
+    std::vector<int> seen(static_cast<std::size_t>(module.scan_chain_count()), 0);
+    int input_cells = 0;
+    int output_cells = 0;
+    FlipFlopCount flip_flops = 0;
+    for (const WrapperChain& chain : design.chains) {
+        FlipFlopCount chain_ffs = 0;
+        for (const int index : chain.scan_chain_indices) {
+            ASSERT_GE(index, 0);
+            ASSERT_LT(index, module.scan_chain_count());
+            ++seen[static_cast<std::size_t>(index)];
+            chain_ffs += module.scan_chain_lengths()[static_cast<std::size_t>(index)];
+        }
+        EXPECT_EQ(chain_ffs, chain.scan_flip_flops);
+        input_cells += chain.input_cells;
+        output_cells += chain.output_cells;
+        flip_flops += chain.scan_flip_flops;
+        EXPECT_LE(chain.scan_in_length(), design.max_scan_in);
+        EXPECT_LE(chain.scan_out_length(), design.max_scan_out);
+    }
+    for (const int count : seen) {
+        EXPECT_EQ(count, 1);
+    }
+    EXPECT_EQ(input_cells, module.scan_in_cells());
+    EXPECT_EQ(output_cells, module.scan_out_cells());
+    EXPECT_EQ(flip_flops, module.total_scan_flip_flops());
+    EXPECT_EQ(design.test_time,
+              scan_test_time(module.patterns(), design.max_scan_in, design.max_scan_out));
+}
+
+TEST(ScanTestTime, MatchesFormula)
+{
+    // (1 + max(si, so)) * p + min(si, so)
+    EXPECT_EQ(scan_test_time(10, 7, 5), (1 + 7) * 10 + 5);
+    EXPECT_EQ(scan_test_time(10, 5, 7), (1 + 7) * 10 + 5);
+    EXPECT_EQ(scan_test_time(1, 0, 0), 1);
+}
+
+TEST(WrapperDesign, SingleWireSerializesEverything)
+{
+    const Module m("m", 3, 2, 0, 5, {10, 6});
+    const WrapperDesign design = design_wrapper(m, 1);
+    EXPECT_EQ(design.max_scan_in, 16 + 3);
+    EXPECT_EQ(design.max_scan_out, 16 + 2);
+    expect_consistent(m, design);
+}
+
+TEST(WrapperDesign, LptBalancesScanChains)
+{
+    const Module m("m", 0, 0, 0, 4, {9, 7, 5, 3});
+    const WrapperDesign design = design_wrapper(m, 2);
+    // LPT: {9, 3} and {7, 5} -> both 12.
+    EXPECT_EQ(design.max_scan_in, 12);
+    EXPECT_EQ(design.max_scan_out, 12);
+    expect_consistent(m, design);
+}
+
+TEST(WrapperDesign, WaterFillingSpreadsCells)
+{
+    // Combinational module (c6288-like): cells spread evenly.
+    const Module m("comb", 32, 32, 0, 12, {});
+    const WrapperDesign design = design_wrapper(m, 8);
+    EXPECT_EQ(design.max_scan_in, 4);
+    EXPECT_EQ(design.max_scan_out, 4);
+    expect_consistent(m, design);
+}
+
+TEST(WrapperDesign, CellsFillShortChainsFirst)
+{
+    // One long chain (10) and one empty wire; 4 input cells should land
+    // on the empty wire, keeping max scan-in at 10.
+    const Module m("m", 4, 0, 0, 3, {10});
+    const WrapperDesign design = design_wrapper(m, 2);
+    EXPECT_EQ(design.max_scan_in, 10);
+    expect_consistent(m, design);
+}
+
+TEST(WrapperDesign, BidirsCountOnBothSides)
+{
+    const Module m("m", 0, 0, 6, 2, {});
+    const WrapperDesign design = design_wrapper(m, 3);
+    EXPECT_EQ(design.max_scan_in, 2);
+    EXPECT_EQ(design.max_scan_out, 2);
+    expect_consistent(m, design);
+}
+
+TEST(WrapperDesign, MoreWiresThanWorkLeavesIdleChains)
+{
+    const Module m("m", 2, 1, 0, 2, {5});
+    const WrapperDesign design = design_wrapper(m, 10);
+    expect_consistent(m, design);
+    EXPECT_EQ(design.max_scan_in, 5); // the indivisible chain dominates
+}
+
+TEST(WrapperDesign, WidthOneLowerBound)
+{
+    EXPECT_THROW((void)design_wrapper(Module("m", 1, 1, 0, 1, {}), 0), ValidationError);
+    EXPECT_THROW((void)design_wrapper(Module("m", 1, 1, 0, 1, {}), -3), ValidationError);
+}
+
+TEST(WrapperDesign, TimeEqualsConvenienceHelper)
+{
+    const Module m("m", 7, 9, 2, 21, {13, 11, 4});
+    for (WireCount w = 1; w <= 8; ++w) {
+        EXPECT_EQ(design_wrapper(m, w).test_time, wrapped_test_time(m, w)) << "w=" << w;
+    }
+}
+
+TEST(WrapperDesign, KnownD695NumbersAreSane)
+{
+    // s9234-like: 36/39 terminals, chains 54,53,52,52, 105 patterns.
+    const Module m("s9234", 36, 39, 0, 105, {54, 53, 52, 52});
+    const WrapperDesign at1 = design_wrapper(m, 1);
+    // Serial: all 211 flip-flops plus 36 input cells on one wire.
+    EXPECT_EQ(at1.max_scan_in, 211 + 36);
+    const WrapperDesign at4 = design_wrapper(m, 4);
+    // Four chains, one each; cells water-filled on top.
+    EXPECT_LE(at4.max_scan_in, 54 + 10);
+    EXPECT_LT(at4.test_time, at1.test_time);
+}
+
+TEST(WrapperDesign, DeterministicAcrossCalls)
+{
+    const Module m("m", 17, 13, 3, 50, {40, 30, 20, 10, 5});
+    const WrapperDesign a = design_wrapper(m, 3);
+    const WrapperDesign b = design_wrapper(m, 3);
+    EXPECT_EQ(a.test_time, b.test_time);
+    EXPECT_EQ(a.max_scan_in, b.max_scan_in);
+    for (std::size_t c = 0; c < a.chains.size(); ++c) {
+        EXPECT_EQ(a.chains[c].scan_chain_indices, b.chains[c].scan_chain_indices);
+    }
+}
+
+} // namespace
+} // namespace mst
