@@ -2,15 +2,21 @@
 // more tester channels or deeper vector memory? Reproduces the
 // Section-7 economics analysis as a reusable decision helper.
 //
+// The candidate upgrades are independent optimizations of the same SOC,
+// so they run as one BatchRunner batch (baseline + options A/B/C)
+// instead of four back-to-back optimizer calls.
+//
 // Usage: ate_buying_guide [budget-usd]   (default: $48,000, the paper's
 // cost of doubling a 512-channel tester's memory)
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "ate/cost.hpp"
+#include "batch/batch_runner.hpp"
 #include "common/format.hpp"
-#include "core/optimizer.hpp"
 #include "report/table.hpp"
 #include "soc/profiles.hpp"
 
@@ -18,12 +24,15 @@ namespace {
 
 using namespace mst;
 
-double throughput_at(const Soc& soc, ChannelCount channels, CycleCount depth)
+BatchScenario upgrade_scenario(const Soc& soc, const std::string& label,
+                               ChannelCount channels, CycleCount depth)
 {
-    TestCell cell;
-    cell.ate.channels = channels;
-    cell.ate.vector_memory_depth = depth;
-    return optimize_multi_site(soc, cell).best_throughput();
+    BatchScenario scenario;
+    scenario.label = label;
+    scenario.soc = soc;
+    scenario.cell.ate.channels = channels;
+    scenario.cell.ate.vector_memory_depth = depth;
+    return scenario;
 }
 
 } // namespace
@@ -35,19 +44,9 @@ int main(int argc, char** argv)
     const Soc soc = make_benchmark_soc("pnx8550");
 
     const AteSpec base; // 512 channels x 7M
-    const double base_throughput = throughput_at(soc, base.channels, base.vector_memory_depth);
-
-    std::cout << "upgrade budget: " << format_dollars(budget) << " (channel: "
-              << format_dollars(prices.channel_cost) << " each; memory doubling: "
-              << format_dollars(prices.memory_doubling_cost_per_channel) << "/channel)\n";
-    std::cout << "baseline: " << base.channels << " channels x "
-              << format_depth(base.vector_memory_depth) << " -> "
-              << format_throughput(base_throughput) << " devices/hour\n\n";
 
     // Option A: spend everything on channels.
     const ChannelCount extra = prices.channels_for_budget(budget);
-    const double channels_throughput =
-        throughput_at(soc, base.channels + extra, base.vector_memory_depth);
 
     // Option B: spend on memory doublings (each doubling covers all
     // channels; repeat while the budget allows).
@@ -57,7 +56,6 @@ int main(int argc, char** argv)
         remaining -= prices.memory_doubling(base);
         depth *= 2;
     }
-    const double memory_throughput = throughput_at(soc, base.channels, depth);
 
     // Option C: an even split.
     const ChannelCount half_extra = prices.channels_for_budget(budget / 2);
@@ -65,7 +63,28 @@ int main(int argc, char** argv)
     if (budget / 2 >= prices.memory_doubling(base)) {
         half_depth *= 2;
     }
-    const double split_throughput = throughput_at(soc, base.channels + half_extra, half_depth);
+
+    const std::vector<BatchScenario> scenarios = {
+        upgrade_scenario(soc, "baseline", base.channels, base.vector_memory_depth),
+        upgrade_scenario(soc, "A: channels", base.channels + extra, base.vector_memory_depth),
+        upgrade_scenario(soc, "B: memory", base.channels, depth),
+        upgrade_scenario(soc, "C: split", base.channels + half_extra, half_depth),
+    };
+    const std::vector<BatchResult> results = run_batch(scenarios);
+    for (const BatchResult& result : results) {
+        if (!result.ok()) {
+            std::cerr << result.label << ": " << result.error << '\n';
+            return 1;
+        }
+    }
+    const double base_throughput = results[0].solution->best_throughput();
+
+    std::cout << "upgrade budget: " << format_dollars(budget) << " (channel: "
+              << format_dollars(prices.channel_cost) << " each; memory doubling: "
+              << format_dollars(prices.memory_doubling_cost_per_channel) << "/channel)\n";
+    std::cout << "baseline: " << base.channels << " channels x "
+              << format_depth(base.vector_memory_depth) << " -> "
+              << format_throughput(base_throughput) << " devices/hour\n\n";
 
     Table table({"option", "ATE", "D_th", "gain"});
     const auto gain = [base_throughput](double value) {
@@ -73,16 +92,22 @@ int main(int argc, char** argv)
         std::snprintf(text, sizeof text, "%+.1f%%", 100.0 * (value / base_throughput - 1.0));
         return std::string(text);
     };
+    const auto throughput_of = [&results](std::size_t i) {
+        return results[i].solution->best_throughput();
+    };
     table.add_row({"A: channels", std::to_string(base.channels + extra) + " x " +
                                       format_depth(base.vector_memory_depth),
-                   format_throughput(channels_throughput), gain(channels_throughput)});
+                   format_throughput(throughput_of(1)), gain(throughput_of(1))});
     table.add_row({"B: memory", std::to_string(base.channels) + " x " + format_depth(depth),
-                   format_throughput(memory_throughput), gain(memory_throughput)});
+                   format_throughput(throughput_of(2)), gain(throughput_of(2))});
     table.add_row({"C: split", std::to_string(base.channels + half_extra) + " x " +
                                    format_depth(half_depth),
-                   format_throughput(split_throughput), gain(split_throughput)});
+                   format_throughput(throughput_of(3)), gain(throughput_of(3))});
     std::cout << table << '\n';
 
+    const double channels_throughput = throughput_of(1);
+    const double memory_throughput = throughput_of(2);
+    const double split_throughput = throughput_of(3);
     const double best = std::max({channels_throughput, memory_throughput, split_throughput});
     std::cout << "recommendation: option "
               << (best == channels_throughput ? 'A' : best == memory_throughput ? 'B' : 'C')

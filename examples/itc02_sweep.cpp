@@ -1,10 +1,15 @@
 // Sweep all shipped ITC'02 benchmark SOCs across a grid of testers and
 // report the optimal multi-site configuration for each -- the kind of
 // what-if table a test engineer builds when choosing a floor tester.
+//
+// The 16 scenarios are independent, so they fan out across a BatchRunner
+// thread pool instead of a sequential loop; results come back in input
+// order, so the report below reads them off grid position.
 #include <iostream>
+#include <vector>
 
+#include "batch/batch_runner.hpp"
 #include "common/format.hpp"
-#include "core/optimizer.hpp"
 #include "report/table.hpp"
 #include "soc/profiles.hpp"
 
@@ -17,27 +22,43 @@ int main()
         ChannelCount channels;
         CycleCount depth;
     };
-    const TesterChoice testers[] = {
+    const std::vector<TesterChoice> testers = {
         {"budget  (256 ch x 32M)", 256, 32 * mebi},
         {"midsize (512 ch x 8M)", 512, 8 * mebi},
         {"big-mem (512 ch x 32M)", 512, 32 * mebi},
         {"monster (1024 ch x 16M)", 1024, 16 * mebi},
     };
+    const std::vector<std::string> soc_names = {"d695", "p22810", "p34392", "p93791"};
 
-    for (const std::string soc_name : {"d695", "p22810", "p34392", "p93791"}) {
+    std::vector<BatchScenario> scenarios;
+    for (const std::string& soc_name : soc_names) {
         const Soc soc = make_benchmark_soc(soc_name);
+        for (const TesterChoice& tester : testers) {
+            BatchScenario scenario;
+            scenario.label = tester.name;
+            scenario.soc = soc;
+            scenario.cell.ate.channels = tester.channels;
+            scenario.cell.ate.vector_memory_depth = tester.depth;
+            scenario.cell.ate.test_clock_hz = 20e6; // modern 20 MHz scan clock
+            scenario.options.broadcast = BroadcastMode::stimuli;
+            scenarios.push_back(std::move(scenario));
+        }
+    }
+
+    const std::vector<BatchResult> results = run_batch(scenarios);
+
+    std::size_t slot = 0;
+    for (const std::string& soc_name : soc_names) {
         std::cout << "=== " << soc_name << " ===\n";
         Table table({"tester", "k/site", "n_opt", "t_m", "D_th"});
-        for (const TesterChoice& tester : testers) {
-            TestCell cell;
-            cell.ate.channels = tester.channels;
-            cell.ate.vector_memory_depth = tester.depth;
-            cell.ate.test_clock_hz = 20e6; // modern 20 MHz scan clock
-
-            OptimizeOptions options;
-            options.broadcast = BroadcastMode::stimuli;
-            const Solution solution = optimize_multi_site(soc, cell, options);
-            table.add_row({tester.name, std::to_string(solution.channels_per_site),
+        for (std::size_t t = 0; t < testers.size(); ++t, ++slot) {
+            const BatchResult& result = results[slot];
+            if (!result.ok()) {
+                table.add_row({result.label, "-", "-", "-", result.error});
+                continue;
+            }
+            const Solution& solution = *result.solution;
+            table.add_row({result.label, std::to_string(solution.channels_per_site),
                            std::to_string(solution.sites),
                            format_seconds(solution.manufacturing_time),
                            format_throughput(solution.best_throughput())});

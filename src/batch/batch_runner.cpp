@@ -1,0 +1,101 @@
+#include "batch/batch_runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+#include "core/optimizer.hpp"
+
+namespace mst {
+
+namespace {
+
+BatchResult run_one(const BatchScenario& scenario)
+{
+    BatchResult result;
+    result.label = scenario.label;
+    try {
+        result.solution = optimize_multi_site(scenario.soc, scenario.cell, scenario.options);
+    } catch (const InfeasibleError& e) {
+        result.error_kind = BatchErrorKind::infeasible;
+        result.error = e.what();
+    } catch (const ValidationError& e) {
+        result.error_kind = BatchErrorKind::validation;
+        result.error = e.what();
+    } catch (const std::exception& e) {
+        result.error_kind = BatchErrorKind::other;
+        result.error = e.what();
+    } catch (...) {
+        // A non-std exception escaping a worker thread would terminate
+        // the whole process; capture it to keep the isolation guarantee.
+        result.error_kind = BatchErrorKind::other;
+        result.error = "unknown exception";
+    }
+    return result;
+}
+
+} // namespace
+
+BatchRunner::BatchRunner(int threads) : threads_(threads) {}
+
+int BatchRunner::thread_count(std::size_t jobs) const noexcept
+{
+    int threads = threads_;
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    if (threads < 1) {
+        threads = 1;
+    }
+    if (jobs < static_cast<std::size_t>(threads)) {
+        threads = static_cast<int>(jobs);
+    }
+    return threads;
+}
+
+std::vector<BatchResult> BatchRunner::run(const std::vector<BatchScenario>& scenarios) const
+{
+    std::vector<BatchResult> results(scenarios.size());
+    if (scenarios.empty()) {
+        return results;
+    }
+
+    const int threads = thread_count(scenarios.size());
+    if (threads == 1) {
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            results[i] = run_one(scenarios[i]);
+        }
+        return results;
+    }
+
+    // Work stealing off a shared counter: each worker claims the next
+    // unclaimed scenario index and writes its own results slot, so the
+    // output order is the input order no matter how the pool schedules.
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= scenarios.size()) {
+                return;
+            }
+            results[i] = run_one(scenarios[i]);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back(worker);
+    }
+    for (std::thread& thread : pool) {
+        thread.join();
+    }
+    return results;
+}
+
+std::vector<BatchResult> run_batch(const std::vector<BatchScenario>& scenarios, int threads)
+{
+    return BatchRunner(threads).run(scenarios);
+}
+
+} // namespace mst

@@ -1,0 +1,81 @@
+// Parallel batch-scenario engine: run many (Soc, TestCell,
+// OptimizeOptions) optimizations across a thread pool.
+//
+//   std::vector<BatchScenario> scenarios = ...;
+//   BatchRunner runner;                       // hardware_concurrency threads
+//   std::vector<BatchResult> results = runner.run(scenarios);
+//
+// Guarantees:
+//   * results[i] always corresponds to scenarios[i] (deterministic
+//     ordering regardless of thread count or scheduling),
+//   * a scenario that throws (e.g. InfeasibleError: "this SOC does not
+//     fit on that ATE") yields a failed BatchResult carrying the error
+//     message; it never aborts the other scenarios,
+//   * with the same scenario list, results are identical at any thread
+//     count (the optimizer is pure; the runner adds no shared state).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ate/ate.hpp"
+#include "core/problem.hpp"
+#include "core/solution.hpp"
+#include "soc/soc.hpp"
+
+namespace mst {
+
+/// One independent optimization job of a sweep.
+struct BatchScenario {
+    std::string label;      ///< free-form tag echoed into the result
+    Soc soc;
+    TestCell cell;
+    OptimizeOptions options;
+};
+
+/// Classification of a failed scenario, so sweep reports can distinguish
+/// "SOC untestable on that ATE" (expected in what-if grids) from
+/// malformed inputs and internal errors.
+enum class BatchErrorKind {
+    none,        ///< scenario succeeded
+    infeasible,  ///< InfeasibleError: no solution on the given ATE
+    validation,  ///< ValidationError: malformed SOC/ATE/options
+    other,       ///< any other exception
+};
+
+/// Outcome of one scenario: either a Solution or a captured error.
+struct BatchResult {
+    std::string label;
+    std::optional<Solution> solution;
+    BatchErrorKind error_kind = BatchErrorKind::none;
+    std::string error;  ///< what() of the captured exception, if any
+
+    [[nodiscard]] bool ok() const noexcept { return solution.has_value(); }
+};
+
+/// Thread-pool fan-out over a scenario list.
+class BatchRunner {
+public:
+    /// `threads` <= 0 selects std::thread::hardware_concurrency().
+    explicit BatchRunner(int threads = 0);
+
+    /// Number of worker threads a run() will actually use for `jobs`
+    /// scenarios: at least 1, never more than there are jobs (so an
+    /// empty scenario list reports 0).
+    [[nodiscard]] int thread_count(std::size_t jobs) const noexcept;
+
+    /// Run every scenario; results[i] matches scenarios[i]. Never throws
+    /// on scenario failure (see BatchResult); propagates only scenario-
+    /// independent errors such as std::bad_alloc while setting up.
+    [[nodiscard]] std::vector<BatchResult> run(const std::vector<BatchScenario>& scenarios) const;
+
+private:
+    int threads_ = 0;
+};
+
+/// Convenience one-shot form of BatchRunner(threads).run(scenarios).
+[[nodiscard]] std::vector<BatchResult> run_batch(const std::vector<BatchScenario>& scenarios,
+                                                 int threads = 0);
+
+} // namespace mst

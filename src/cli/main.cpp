@@ -1,6 +1,7 @@
 // mst_cli: command-line front end of the mst library.
 //
 //   mst_cli optimize --soc d695 --channels 256 --depth 48K [--broadcast]
+//   mst_cli batch    --socs d695,p22810 --channels 256,512 --depths 8M,32M
 //   mst_cli inspect  --soc data/d695.soc
 //   mst_cli generate --profile p93791 --out p93791.soc
 //
@@ -9,11 +10,13 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "arch/channel_group.hpp"
 #include "ate/ate.hpp"
+#include "batch/batch_runner.hpp"
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "core/optimizer.hpp"
@@ -54,18 +57,23 @@ std::string flag_or(const Flags& flags, const std::string& key, const std::strin
     return (it != flags.end()) ? it->second : fallback;
 }
 
-Soc load_soc_argument(const Flags& flags)
+Soc load_soc_spec(const std::string& spec)
 {
-    const std::string spec = flag_or(flags, "soc", "");
-    if (spec.empty()) {
-        throw ValidationError("--soc <name|path> is required");
-    }
     for (const std::string& name : benchmark_soc_names()) {
         if (spec == name) {
             return make_benchmark_soc(spec);
         }
     }
     return load_soc_file(spec);
+}
+
+Soc load_soc_argument(const Flags& flags)
+{
+    const std::string spec = flag_or(flags, "soc", "");
+    if (spec.empty()) {
+        throw ValidationError("--soc <name|path> is required");
+    }
+    return load_soc_spec(spec);
 }
 
 TestCell cell_from_flags(const Flags& flags)
@@ -157,6 +165,128 @@ int cmd_optimize(const Flags& flags)
     return 0;
 }
 
+int parse_int_flag(const std::string& flag, const std::string& text)
+{
+    try {
+        std::size_t used = 0;
+        const int value = std::stoi(text, &used);
+        if (used != text.size()) {
+            throw ValidationError("");
+        }
+        return value;
+    } catch (const std::exception&) {
+        throw ValidationError("--" + flag + " expects an integer, got '" + text + "'");
+    }
+}
+
+std::vector<std::string> split_csv(const std::string& text)
+{
+    std::vector<std::string> items;
+    std::stringstream stream(text);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        if (!item.empty()) {
+            items.push_back(item);
+        }
+    }
+    return items;
+}
+
+/// `batch`: fan the cross product of --socs x --channels x --depths out
+/// across a thread pool and print one row per scenario. Infeasible
+/// combinations report as such instead of aborting the sweep.
+int cmd_batch(const Flags& flags)
+{
+    const std::vector<std::string> soc_specs = split_csv(flag_or(flags, "socs", ""));
+    if (soc_specs.empty()) {
+        throw ValidationError("batch requires --socs <name|path>[,<name|path>...]");
+    }
+    const std::vector<std::string> channel_list = split_csv(flag_or(flags, "channels", "512"));
+    // Accept the singular optimize-style --depth as the list default, so
+    // flags carried over from `optimize` are honored rather than ignored.
+    const std::vector<std::string> depth_list =
+        split_csv(flag_or(flags, "depths", flag_or(flags, "depth", "7M")));
+    if (channel_list.empty()) {
+        throw ValidationError("--channels expects a non-empty list, e.g. --channels 256,512");
+    }
+    if (depth_list.empty()) {
+        throw ValidationError("--depths expects a non-empty list, e.g. --depths 8M,32M");
+    }
+    const OptimizeOptions options = options_from_flags(flags);
+
+    // The clock/prober flags are scenario-invariant; parse them once.
+    // --channels and --depth hold comma-separated lists here, so they
+    // must not reach cell_from_flags's single-value parsers.
+    Flags cell_flags = flags;
+    cell_flags.erase("channels");
+    cell_flags.erase("depth");
+    const TestCell base_cell = cell_from_flags(cell_flags);
+
+    std::vector<BatchScenario> scenarios;
+    for (const std::string& spec : soc_specs) {
+        const Soc soc = load_soc_spec(spec);
+        for (const std::string& channels : channel_list) {
+            for (const std::string& depth : depth_list) {
+                BatchScenario scenario;
+                scenario.label = soc.name() + " " + channels + "ch x " + depth;
+                scenario.soc = soc;
+                scenario.cell = base_cell;
+                scenario.cell.ate.channels = parse_int_flag("channels", channels);
+                scenario.cell.ate.vector_memory_depth = parse_depth(depth);
+                scenario.options = options;
+                scenarios.push_back(std::move(scenario));
+            }
+        }
+    }
+
+    const int threads = parse_int_flag("threads", flag_or(flags, "threads", "0"));
+    const BatchRunner runner(threads);
+    const std::vector<BatchResult> results = runner.run(scenarios);
+
+    if (flags.count("json") != 0) {
+        std::cout << "[\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const BatchResult& result = results[i];
+            std::cout << "{ \"label\": \"" << json_escape(result.label) << "\", ";
+            if (result.ok()) {
+                std::cout << "\"solution\": " << solution_to_json(*result.solution);
+            } else {
+                std::cout << "\"error\": \"" << json_escape(result.error) << "\"";
+            }
+            std::cout << " }" << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        std::cout << "]\n";
+        return 0;
+    }
+
+    Table table({"scenario", "k/site", "n_opt", "t_m", "D_th"});
+    int failures = 0;
+    for (const BatchResult& result : results) {
+        if (result.ok()) {
+            const Solution& s = *result.solution;
+            table.add_row({result.label, std::to_string(s.channels_per_site),
+                           std::to_string(s.sites), format_seconds(s.manufacturing_time),
+                           format_throughput(s.best_throughput())});
+        } else {
+            // Infeasibility is an expected grid outcome; anything else
+            // surfaces its message so the row is diagnosable on its own.
+            const std::string what = result.error_kind == BatchErrorKind::infeasible
+                                         ? "infeasible"
+                                         : "error: " + result.error;
+            table.add_row({result.label, "-", "-", "-", what});
+            ++failures;
+        }
+    }
+    std::cout << table;
+    std::cout << '\n' << results.size() << " scenarios on "
+              << runner.thread_count(scenarios.size()) << " threads";
+    if (failures != 0) {
+        std::cout << ", " << failures << " not solvable";
+    }
+    std::cout << '\n';
+    return 0;
+}
+
 int cmd_flow(const Flags& flags)
 {
     const Soc soc = load_soc_argument(flags);
@@ -229,6 +359,9 @@ int cmd_help()
         "  optimize --soc <name|path> [--channels N] [--depth 7M] [--clock HZ]\n"
         "           [--index S] [--contact S] [--broadcast] [--abort-on-fail]\n"
         "           [--retest] [--pc P] [--pm P] [--step1-only] [--gantt] [--json]\n"
+        "  batch    --socs <list> [--channels <list>] [--depths <list>]\n"
+        "           [--threads N] [optimize flags] [--json]\n"
+        "           (cross product of comma-separated lists, run in parallel)\n"
         "  flow     --soc <name|path> [optimize flags] [--final-channels N]\n"
         "           [--handler-sites N] [--final-retest]\n"
         "  inspect  --soc <name|path>\n"
@@ -251,6 +384,9 @@ int main(int argc, char** argv)
         const Flags flags = parse_flags(argc, argv, 2);
         if (command == "optimize") {
             return cmd_optimize(flags);
+        }
+        if (command == "batch") {
+            return cmd_batch(flags);
         }
         if (command == "flow") {
             return cmd_flow(flags);

@@ -6,10 +6,8 @@
 
 namespace mst {
 
-namespace {
-
 /// RFC 8259 string escaping (control characters, quote, backslash).
-std::string escape(const std::string& text)
+std::string json_escape(const std::string& text)
 {
     std::string out;
     out.reserve(text.size() + 2);
@@ -43,6 +41,8 @@ std::string escape(const std::string& text)
     return out;
 }
 
+namespace {
+
 std::string number(double value)
 {
     char buffer[32];
@@ -55,7 +55,7 @@ std::string number(double value)
 void write_solution_json(std::ostream& out, const Solution& solution)
 {
     out << "{\n";
-    out << "  \"soc\": \"" << escape(solution.soc_name) << "\",\n";
+    out << "  \"soc\": \"" << json_escape(solution.soc_name) << "\",\n";
     out << "  \"sites\": " << solution.sites << ",\n";
     out << "  \"channels_per_site\": " << solution.channels_per_site << ",\n";
     out << "  \"test_cycles\": " << solution.test_cycles << ",\n";
@@ -78,7 +78,7 @@ void write_solution_json(std::ostream& out, const Solution& solution)
         out << "    { \"wires\": " << group.wires << ", \"channels\": " << group.channels
             << ", \"fill_cycles\": " << group.fill << ", \"modules\": [";
         for (std::size_t m = 0; m < group.module_names.size(); ++m) {
-            out << (m == 0 ? "" : ", ") << '"' << escape(group.module_names[m]) << '"';
+            out << (m == 0 ? "" : ", ") << '"' << json_escape(group.module_names[m]) << '"';
         }
         out << "] }";
     }

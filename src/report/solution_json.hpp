@@ -18,4 +18,8 @@ void write_solution_json(std::ostream& out, const Solution& solution);
 /// Convenience: serialize to a string.
 [[nodiscard]] std::string solution_to_json(const Solution& solution);
 
+/// Escape a string for embedding in a JSON string literal (RFC 8259:
+/// backslash, double quote, and control characters).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
 } // namespace mst

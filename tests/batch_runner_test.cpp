@@ -1,0 +1,145 @@
+// Tests of the parallel batch-scenario engine: deterministic ordering,
+// thread-count invariance, and per-scenario error isolation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "batch/batch_runner.hpp"
+#include "common/rng.hpp"
+#include "report/solution_json.hpp"
+#include "soc/generator.hpp"
+#include "soc/profiles.hpp"
+
+namespace mst {
+namespace {
+
+/// A mixed workload: benchmark SOCs and random SOCs across several
+/// testers, long enough that an N-thread run genuinely interleaves.
+std::vector<BatchScenario> mixed_scenarios()
+{
+    std::vector<BatchScenario> scenarios;
+    const ChannelCount channel_grid[] = {64, 256, 512};
+    for (const std::string soc_name : {"d695", "p22810", "p34392"}) {
+        for (const ChannelCount channels : channel_grid) {
+            BatchScenario scenario;
+            scenario.label = soc_name + "@" + std::to_string(channels);
+            scenario.soc = make_benchmark_soc(soc_name);
+            scenario.cell.ate.channels = channels;
+            scenario.cell.ate.vector_memory_depth = 2 * mebi;
+            scenarios.push_back(std::move(scenario));
+        }
+    }
+    for (std::size_t i = 0; i < std::size(test_seeds::property_cases); ++i) {
+        BatchScenario scenario;
+        scenario.label = "random" + std::to_string(i);
+        scenario.soc = random_soc(test_seeds::property_cases[i], 12);
+        scenario.cell.ate.channels = 128;
+        scenario.cell.ate.vector_memory_depth = 100'000;
+        scenarios.push_back(std::move(scenario));
+    }
+    return scenarios;
+}
+
+/// Byte-comparable rendering of a batch outcome (solution JSON is
+/// deterministic with fixed key order, so string equality is exact).
+std::string fingerprint(const std::vector<BatchResult>& results)
+{
+    std::string text;
+    for (const BatchResult& result : results) {
+        text += result.label;
+        text += '|';
+        text += result.ok() ? solution_to_json(*result.solution) : result.error;
+        text += '\n';
+    }
+    return text;
+}
+
+TEST(BatchRunner, ResultsMatchInputOrder)
+{
+    const std::vector<BatchScenario> scenarios = mixed_scenarios();
+    const std::vector<BatchResult> results = run_batch(scenarios, 4);
+    ASSERT_EQ(results.size(), scenarios.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].label, scenarios[i].label) << "slot " << i;
+    }
+}
+
+TEST(BatchRunner, OneThreadVersusManyIsByteIdentical)
+{
+    const std::vector<BatchScenario> scenarios = mixed_scenarios();
+    const std::string sequential = fingerprint(run_batch(scenarios, 1));
+    for (const int threads : {2, 4, 8, 0 /* hardware_concurrency */}) {
+        EXPECT_EQ(sequential, fingerprint(run_batch(scenarios, threads)))
+            << "threads=" << threads;
+    }
+}
+
+TEST(BatchRunner, RepeatedRunsAreDeterministic)
+{
+    const std::vector<BatchScenario> scenarios = mixed_scenarios();
+    EXPECT_EQ(fingerprint(run_batch(scenarios, 8)), fingerprint(run_batch(scenarios, 8)));
+}
+
+TEST(BatchRunner, InfeasibleScenarioDoesNotPoisonTheBatch)
+{
+    std::vector<BatchScenario> scenarios;
+    {
+        BatchScenario ok;
+        ok.label = "feasible";
+        ok.soc = make_benchmark_soc("d695");
+        scenarios.push_back(std::move(ok));
+    }
+    {
+        // p93791 needs far more than 2 channels x 10K vectors: infeasible.
+        BatchScenario bad;
+        bad.label = "infeasible";
+        bad.soc = make_benchmark_soc("p93791");
+        bad.cell.ate.channels = 2;
+        bad.cell.ate.vector_memory_depth = 10'000;
+        scenarios.push_back(std::move(bad));
+    }
+    {
+        BatchScenario invalid;
+        invalid.label = "invalid";
+        invalid.soc = make_benchmark_soc("d695");
+        invalid.cell.ate.test_clock_hz = 0; // fails AteSpec::validate()
+        scenarios.push_back(std::move(invalid));
+    }
+    {
+        BatchScenario ok;
+        ok.label = "feasible-too";
+        ok.soc = make_benchmark_soc("p22810");
+        scenarios.push_back(std::move(ok));
+    }
+
+    const std::vector<BatchResult> results = run_batch(scenarios, 4);
+    ASSERT_EQ(results.size(), 4u);
+
+    EXPECT_TRUE(results[0].ok());
+    EXPECT_EQ(results[0].error_kind, BatchErrorKind::none);
+
+    EXPECT_FALSE(results[1].ok());
+    EXPECT_EQ(results[1].error_kind, BatchErrorKind::infeasible);
+    EXPECT_FALSE(results[1].error.empty());
+
+    EXPECT_FALSE(results[2].ok());
+    EXPECT_EQ(results[2].error_kind, BatchErrorKind::validation);
+
+    EXPECT_TRUE(results[3].ok());
+    EXPECT_EQ(results[3].solution->soc_name, "p22810");
+}
+
+TEST(BatchRunner, EmptyBatchAndThreadClamping)
+{
+    EXPECT_TRUE(run_batch({}, 8).empty());
+
+    const BatchRunner runner(16);
+    EXPECT_EQ(runner.thread_count(3), 3);   // never more threads than jobs
+    EXPECT_EQ(runner.thread_count(100), 16);
+    EXPECT_GE(BatchRunner(0).thread_count(100), 1); // auto-detect is >= 1
+    EXPECT_EQ(BatchRunner(-5).thread_count(0), 0);
+}
+
+} // namespace
+} // namespace mst

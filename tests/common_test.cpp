@@ -121,12 +121,12 @@ TEST(ParseDepth, LowerCaseSuffix)
 
 TEST(ParseDepth, RejectsMalformed)
 {
-    EXPECT_THROW(parse_depth(""), ValidationError);
-    EXPECT_THROW(parse_depth("K"), ValidationError);
-    EXPECT_THROW(parse_depth("12Q"), ValidationError);
-    EXPECT_THROW(parse_depth("abc"), ValidationError);
-    EXPECT_THROW(parse_depth("-48K"), ValidationError);
-    EXPECT_THROW(parse_depth("0"), ValidationError);
+    EXPECT_THROW((void)parse_depth(""), ValidationError);
+    EXPECT_THROW((void)parse_depth("K"), ValidationError);
+    EXPECT_THROW((void)parse_depth("12Q"), ValidationError);
+    EXPECT_THROW((void)parse_depth("abc"), ValidationError);
+    EXPECT_THROW((void)parse_depth("-48K"), ValidationError);
+    EXPECT_THROW((void)parse_depth("0"), ValidationError);
 }
 
 TEST(FormatThroughput, EngineeringStyle)

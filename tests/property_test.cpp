@@ -2,9 +2,13 @@
 // the invariants of DESIGN.md §7, exercised with parameterized sweeps.
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <vector>
+
 #include "baseline/bin_packing.hpp"
 #include "baseline/lower_bound.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "core/optimizer.hpp"
 #include "core/step1.hpp"
 #include "soc/generator.hpp"
@@ -122,13 +126,30 @@ TEST_P(SolutionPropertyTest, RoundTripThroughSocFormat)
     EXPECT_EQ(soc_to_string(soc), soc_to_string(reparsed));
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    RandomSocs, SolutionPropertyTest,
-    testing::Values(PropertyCase{1, 4, 64, 50'000}, PropertyCase{2, 8, 128, 60'000},
-                    PropertyCase{3, 12, 128, 80'000}, PropertyCase{4, 16, 256, 100'000},
-                    PropertyCase{5, 20, 256, 120'000}, PropertyCase{6, 25, 256, 150'000},
-                    PropertyCase{7, 30, 512, 150'000}, PropertyCase{8, 10, 96, 90'000},
-                    PropertyCase{9, 6, 48, 70'000}, PropertyCase{10, 40, 512, 200'000}));
+/// Build the property population from the pinned seed table in
+/// common/rng.hpp (one case per seed), so every `ctest -j` shard and
+/// every machine sees the same random SOCs.
+std::vector<PropertyCase> property_cases()
+{
+    constexpr struct {
+        int modules;
+        ChannelCount channels;
+        CycleCount depth;
+    } shapes[] = {{4, 64, 50'000},  {8, 128, 60'000},  {12, 128, 80'000}, {16, 256, 100'000},
+                  {20, 256, 120'000}, {25, 256, 150'000}, {30, 512, 150'000}, {10, 96, 90'000},
+                  {6, 48, 70'000},  {40, 512, 200'000}};
+    static_assert(std::size(shapes) == std::size(test_seeds::property_cases),
+                  "one ATE/SOC shape per pinned seed");
+    std::vector<PropertyCase> cases;
+    for (std::size_t i = 0; i < std::size(shapes); ++i) {
+        cases.push_back(PropertyCase{test_seeds::property_cases[i], shapes[i].modules,
+                                     shapes[i].channels, shapes[i].depth});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSocs, SolutionPropertyTest,
+                         testing::ValuesIn(property_cases()));
 
 /// Depth sweeps must never increase the channel count (criterion 1 is
 /// about fitting the memory: more memory is never harder).
@@ -157,7 +178,8 @@ TEST_P(DepthMonotoneTest, ChannelsNonIncreasingInDepth)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DepthMonotoneTest,
-                         testing::Values(31u, 41u, 59u, 26u, 53u, 58u, 97u, 93u));
+                         testing::ValuesIn(std::begin(test_seeds::depth_monotone),
+                                           std::end(test_seeds::depth_monotone)));
 
 } // namespace
 } // namespace mst
