@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "ate/cost.hpp"
@@ -24,7 +25,7 @@ namespace {
 
 using namespace mst;
 
-BatchScenario upgrade_scenario(const Soc& soc, const std::string& label,
+BatchScenario upgrade_scenario(const std::shared_ptr<const Soc>& soc, const std::string& label,
                                ChannelCount channels, CycleCount depth)
 {
     BatchScenario scenario;
@@ -41,7 +42,7 @@ int main(int argc, char** argv)
 {
     const UsDollars budget = (argc > 1) ? std::atof(argv[1]) : 48'000.0;
     const AteCostModel prices;
-    const Soc soc = make_benchmark_soc("pnx8550");
+    const std::shared_ptr<const Soc> soc = share_soc(make_benchmark_soc("pnx8550"));
 
     const AteSpec base; // 512 channels x 7M
 

@@ -6,6 +6,7 @@
 // thread pool instead of a sequential loop; results come back in input
 // order, so the report below reads them off grid position.
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "batch/batch_runner.hpp"
@@ -32,7 +33,7 @@ int main()
 
     std::vector<BatchScenario> scenarios;
     for (const std::string& soc_name : soc_names) {
-        const Soc soc = make_benchmark_soc(soc_name);
+        const std::shared_ptr<const Soc> soc = share_soc(make_benchmark_soc(soc_name));
         for (const TesterChoice& tester : testers) {
             BatchScenario scenario;
             scenario.label = tester.name;

@@ -4,11 +4,12 @@
 
 namespace mst {
 
-SocTimeTables::SocTimeTables(const Soc& soc) : soc_(&soc)
+SocTimeTables::SocTimeTables(const Soc& soc, TableBuild build) : soc_(&soc)
 {
     tables_.reserve(static_cast<std::size_t>(soc.module_count()));
     for (const Module& m : soc.modules()) {
-        tables_.emplace_back(m);
+        tables_.emplace_back(m, 0, build);
+        total_min_area_ += tables_.back().min_area();
     }
 }
 

@@ -15,10 +15,12 @@
 namespace mst {
 
 /// Precomputed width/time staircases for every module of an SOC.
-/// The SOC must outlive the tables.
+/// The SOC must outlive the tables. Immutable after construction, so one
+/// instance can be shared freely across threads (BatchRunner builds one
+/// per distinct SOC and hands it to every scenario of that SOC).
 class SocTimeTables {
 public:
-    explicit SocTimeTables(const Soc& soc);
+    explicit SocTimeTables(const Soc& soc, TableBuild build = TableBuild::fast);
 
     [[nodiscard]] const Soc& soc() const noexcept { return *soc_; }
     [[nodiscard]] const ModuleTimeTable& table(int module_index) const
@@ -27,9 +29,14 @@ public:
     }
     [[nodiscard]] int module_count() const noexcept { return static_cast<int>(tables_.size()); }
 
+    /// Sum over modules of the minimum width*time rectangle area: the
+    /// theoretical packing floor both search loops start from.
+    [[nodiscard]] CycleCount total_min_area() const noexcept { return total_min_area_; }
+
 private:
     const Soc* soc_;
     std::vector<ModuleTimeTable> tables_;
+    CycleCount total_min_area_ = 0;
 };
 
 /// One TAM / channel group.

@@ -1,8 +1,11 @@
 #include "batch/batch_runner.hpp"
 
 #include <atomic>
+#include <map>
+#include <memory>
 #include <thread>
 
+#include "arch/channel_group.hpp"
 #include "common/error.hpp"
 #include "core/optimizer.hpp"
 
@@ -10,12 +13,30 @@ namespace mst {
 
 namespace {
 
-BatchResult run_one(const BatchScenario& scenario)
+/// One shared table build: either the tables or the captured error that
+/// every scenario of this SOC will report.
+struct SharedTables {
+    std::unique_ptr<const SocTimeTables> tables;
+    BatchErrorKind error_kind = BatchErrorKind::none;
+    std::string error;
+};
+
+BatchResult run_one(const BatchScenario& scenario, const SharedTables* shared)
 {
     BatchResult result;
     result.label = scenario.label;
     try {
-        result.solution = optimize_multi_site(scenario.soc, scenario.cell, scenario.options);
+        if (shared == nullptr) {
+            throw ValidationError("batch scenario '" + scenario.label + "' has no SOC");
+        }
+        if (shared->tables == nullptr) {
+            // The shared table build failed; report its error here so the
+            // per-scenario isolation guarantee holds for build errors too.
+            result.error_kind = shared->error_kind;
+            result.error = shared->error;
+            return result;
+        }
+        result.solution = optimize_multi_site(*shared->tables, scenario.cell, scenario.options);
     } catch (const InfeasibleError& e) {
         result.error_kind = BatchErrorKind::infeasible;
         result.error = e.what();
@@ -53,35 +74,36 @@ int BatchRunner::thread_count(std::size_t jobs) const noexcept
     return threads;
 }
 
-std::vector<BatchResult> BatchRunner::run(const std::vector<BatchScenario>& scenarios) const
+namespace {
+
+/// Work stealing off a shared counter: each worker claims the next
+/// unclaimed index and writes its own output slot, so the output order
+/// is the input order no matter how the pool schedules.
+template <typename Fn>
+void fan_out(std::size_t count, int threads, Fn&& fn)
 {
-    std::vector<BatchResult> results(scenarios.size());
-    if (scenarios.empty()) {
-        return results;
+    if (count == 0) {
+        return;
     }
-
-    const int threads = thread_count(scenarios.size());
-    if (threads == 1) {
-        for (std::size_t i = 0; i < scenarios.size(); ++i) {
-            results[i] = run_one(scenarios[i]);
+    if (static_cast<std::size_t>(threads) > count) {
+        threads = static_cast<int>(count);
+    }
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(i);
         }
-        return results;
+        return;
     }
-
-    // Work stealing off a shared counter: each worker claims the next
-    // unclaimed scenario index and writes its own results slot, so the
-    // output order is the input order no matter how the pool schedules.
     std::atomic<std::size_t> next{0};
     const auto worker = [&]() {
         for (;;) {
             const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= scenarios.size()) {
+            if (i >= count) {
                 return;
             }
-            results[i] = run_one(scenarios[i]);
+            fn(i);
         }
     };
-
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) {
@@ -90,6 +112,53 @@ std::vector<BatchResult> BatchRunner::run(const std::vector<BatchScenario>& scen
     for (std::thread& thread : pool) {
         thread.join();
     }
+}
+
+} // namespace
+
+std::vector<BatchResult> BatchRunner::run(const std::vector<BatchScenario>& scenarios) const
+{
+    std::vector<BatchResult> results(scenarios.size());
+    if (scenarios.empty()) {
+        return results;
+    }
+
+    // One immutable SocTimeTables per distinct SOC, shared by every
+    // scenario holding that pointer. Building the tables dominates a
+    // scenario's wall time, so the builds themselves fan out over the
+    // pool before the scenario sweep starts.
+    std::vector<const Soc*> distinct;
+    std::map<const Soc*, std::size_t> table_slot;
+    for (const BatchScenario& scenario : scenarios) {
+        const Soc* soc = scenario.soc.get();
+        if (soc != nullptr && table_slot.emplace(soc, distinct.size()).second) {
+            distinct.push_back(soc);
+        }
+    }
+    std::vector<SharedTables> tables(distinct.size());
+
+    const int threads = thread_count(scenarios.size());
+    fan_out(distinct.size(), threads, [&](std::size_t i) {
+        // A failed build (e.g. bad_alloc on a huge SOC) must not escape
+        // the worker thread; it becomes every holder's BatchResult error.
+        try {
+            tables[i].tables = std::make_unique<const SocTimeTables>(*distinct[i]);
+        } catch (const ValidationError& e) {
+            tables[i].error_kind = BatchErrorKind::validation;
+            tables[i].error = e.what();
+        } catch (const std::exception& e) {
+            tables[i].error_kind = BatchErrorKind::other;
+            tables[i].error = e.what();
+        } catch (...) {
+            tables[i].error_kind = BatchErrorKind::other;
+            tables[i].error = "unknown exception building wrapper time tables";
+        }
+    });
+    fan_out(scenarios.size(), threads, [&](std::size_t i) {
+        const Soc* soc = scenarios[i].soc.get();
+        const SharedTables* shared = (soc != nullptr) ? &tables[table_slot.at(soc)] : nullptr;
+        results[i] = run_one(scenarios[i], shared);
+    });
     return results;
 }
 

@@ -12,9 +12,13 @@
 //     fit on that ATE") yields a failed BatchResult carrying the error
 //     message; it never aborts the other scenarios,
 //   * with the same scenario list, results are identical at any thread
-//     count (the optimizer is pure; the runner adds no shared state).
+//     count (the optimizer is pure; the runner adds no shared state),
+//   * scenarios holding the same Soc pointer share one immutable
+//     SocTimeTables build instead of rebuilding the wrapper time tables
+//     (the pipeline's dominant cost) once per scenario.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,13 +30,22 @@
 
 namespace mst {
 
-/// One independent optimization job of a sweep.
+/// One independent optimization job of a sweep. The SOC is held by
+/// shared pointer so a sweep's cross product references each SOC once;
+/// share_soc() wraps a freshly built Soc for that purpose.
 struct BatchScenario {
     std::string label;      ///< free-form tag echoed into the result
-    Soc soc;
+    std::shared_ptr<const Soc> soc;
     TestCell cell;
     OptimizeOptions options;
 };
+
+/// Wrap an SOC for scenario sharing: every scenario holding the returned
+/// pointer reuses one wrapper-time-table build during BatchRunner::run.
+[[nodiscard]] inline std::shared_ptr<const Soc> share_soc(Soc soc)
+{
+    return std::make_shared<const Soc>(std::move(soc));
+}
 
 /// Classification of a failed scenario, so sweep reports can distinguish
 /// "SOC untestable on that ATE" (expected in what-if grids) from

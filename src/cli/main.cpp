@@ -8,8 +8,10 @@
 // --soc accepts either a benchmark name (d695, p22810, p34392, p93791,
 // pnx8550) or a path to a .soc file.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +24,8 @@
 #include "core/optimizer.hpp"
 #include "core/step1.hpp"
 #include "flow/test_flow.hpp"
+#include "perf/bench_json.hpp"
+#include "perf/bench_suite.hpp"
 #include "report/gantt.hpp"
 #include "report/solution_json.hpp"
 #include "report/table.hpp"
@@ -112,7 +116,9 @@ int cmd_optimize(const Flags& flags)
     const Soc soc = load_soc_argument(flags);
     const TestCell cell = cell_from_flags(flags);
     const OptimizeOptions options = options_from_flags(flags);
-    const Solution solution = optimize_multi_site(soc, cell, options);
+    cell.validate(); // fail fast: the table build below is the expensive part
+    const SocTimeTables tables(soc);
+    const Solution solution = optimize_multi_site(tables, cell, options);
 
     if (flags.count("json") != 0) {
         write_solution_json(std::cout, solution);
@@ -157,7 +163,6 @@ int cmd_optimize(const Flags& flags)
     if (flags.count("gantt") != 0) {
         // Re-derive the Step-1 architecture for the drawing; widths match
         // the solution at n = n_max, which is what the chart illustrates.
-        const SocTimeTables tables(soc);
         const Step1Result step1 = run_step1(tables, cell.ate, options);
         std::cout << '\n'
                   << render_gantt(step1.architecture, cell.ate.vector_memory_depth);
@@ -224,11 +229,13 @@ int cmd_batch(const Flags& flags)
 
     std::vector<BatchScenario> scenarios;
     for (const std::string& spec : soc_specs) {
-        const Soc soc = load_soc_spec(spec);
+        // One SOC build per spec, shared by the whole cross product: the
+        // runner then also builds that SOC's wrapper time tables once.
+        const std::shared_ptr<const Soc> soc = share_soc(load_soc_spec(spec));
         for (const std::string& channels : channel_list) {
             for (const std::string& depth : depth_list) {
                 BatchScenario scenario;
-                scenario.label = soc.name() + " " + channels + "ch x " + depth;
+                scenario.label = soc->name() + " " + channels + "ch x " + depth;
                 scenario.soc = soc;
                 scenario.cell = base_cell;
                 scenario.cell.ate.channels = parse_int_flag("channels", channels);
@@ -284,6 +291,87 @@ int cmd_batch(const Flags& flags)
         std::cout << ", " << failures << " not solvable";
     }
     std::cout << '\n';
+    return 0;
+}
+
+/// `bench`: run the canonical perf suite and emit the machine-readable
+/// BENCH JSON that records the repo's optimizer-latency trajectory.
+int cmd_bench(const Flags& flags)
+{
+    BenchOptions options;
+    options.quick = flags.count("quick") != 0;
+    options.compare_baseline = flags.count("compare") != 0;
+    options.filter = flag_or(flags, "filter", "");
+    const std::string repeat = flag_or(flags, "repeat", "");
+    if (!repeat.empty()) {
+        options.repetitions = parse_int_flag("repeat", repeat);
+        if (options.repetitions < 1) {
+            throw ValidationError("--repeat expects a positive iteration count");
+        }
+    }
+
+    // Open the output before the (potentially minutes-long) suite runs,
+    // so a bad path fails in milliseconds instead of after the work.
+    const std::string out_path = flag_or(flags, "out", "");
+    std::ofstream out_file;
+    if (!out_path.empty()) {
+        out_file.open(out_path);
+        if (!out_file) {
+            throw ValidationError("cannot open '" + out_path + "' for writing");
+        }
+    }
+
+    const BenchReport report = run_bench(options);
+    if (report.results.empty()) {
+        std::cerr << "error: --filter '" << options.filter << "' matched no scenarios\n";
+        return 1;
+    }
+
+    if (!out_path.empty()) {
+        write_bench_json(out_file, report);
+        out_file.flush();
+        if (!out_file.good()) {
+            throw ValidationError("failed writing '" + out_path + "'");
+        }
+    }
+    if (flags.count("json") != 0) {
+        write_bench_json(std::cout, report);
+    } else {
+        Table table({"scenario", "t_p50", "t_min", "speedup", "n_opt", "k/site", "pack calls",
+                     "cache hits"});
+        for (const BenchCaseResult& result : report.results) {
+            if (!result.ok) {
+                table.add_row({result.name, "-", "-", "-", "-", "-", "-",
+                               "error: " + result.error});
+                continue;
+            }
+            std::string speedup = "-";
+            if (result.baseline_wall && result.wall.p50 > 0) {
+                char text[32];
+                std::snprintf(text, sizeof text, "%.1fx",
+                              result.baseline_wall->p50 / result.wall.p50);
+                speedup = text;
+            }
+            table.add_row({result.name, format_seconds(result.wall.p50),
+                           format_seconds(result.wall.min), speedup,
+                           std::to_string(result.fingerprint.sites),
+                           std::to_string(result.fingerprint.channels_per_site),
+                           std::to_string(result.stats.packing.pack_calls),
+                           std::to_string(result.stats.packing.pack_cache_hits)});
+        }
+        std::cout << table;
+        std::cout << '\n' << report.results.size() << " scenarios (" << report.suite
+                  << " suite), " << report.repetitions << " repetitions, "
+                  << format_seconds(report.total_seconds) << " total";
+        if (!out_path.empty()) {
+            std::cout << ", wrote " << out_path;
+        }
+        std::cout << '\n';
+    }
+    if (!report.all_ok()) {
+        std::cerr << "error: bench suite had failing scenarios or fingerprint mismatches\n";
+        return 1;
+    }
     return 0;
 }
 
@@ -362,6 +450,10 @@ int cmd_help()
         "  batch    --socs <list> [--channels <list>] [--depths <list>]\n"
         "           [--threads N] [optimize flags] [--json]\n"
         "           (cross product of comma-separated lists, run in parallel)\n"
+        "  bench    [--quick] [--repeat N] [--filter substr] [--compare]\n"
+        "           [--out BENCH_optimizer.json] [--json]\n"
+        "           (canonical perf suite; --compare also times the\n"
+        "            from-scratch baseline and cross-checks fingerprints)\n"
         "  flow     --soc <name|path> [optimize flags] [--final-channels N]\n"
         "           [--handler-sites N] [--final-retest]\n"
         "  inspect  --soc <name|path>\n"
@@ -387,6 +479,9 @@ int main(int argc, char** argv)
         }
         if (command == "batch") {
             return cmd_batch(flags);
+        }
+        if (command == "bench") {
+            return cmd_bench(flags);
         }
         if (command == "flow") {
             return cmd_flow(flags);

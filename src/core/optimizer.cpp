@@ -27,11 +27,14 @@ std::vector<GroupSummary> summarize_groups(const Architecture& arch, const Soc& 
 
 } // namespace
 
-Solution optimize_multi_site(const Soc& soc, const TestCell& cell, const OptimizeOptions& options)
+Solution optimize_multi_site(const SocTimeTables& tables,
+                             const TestCell& cell,
+                             const OptimizeOptions& options)
 {
+    const Soc& soc = tables.soc();
     cell.validate();
-    const SocTimeTables tables(soc);
-    const Step1Result step1 = run_step1(tables, cell.ate, options);
+    PackEngine engine(tables, options);
+    const Step1Result step1 = run_step1(engine, cell.ate);
 
     Solution solution;
     solution.soc_name = soc.name();
@@ -48,7 +51,7 @@ Solution optimize_multi_site(const Soc& soc, const TestCell& cell, const Optimiz
         inputs.contacted_terminals_per_soc = step1.channels + options.control_pads;
         solution.throughput = evaluate_throughput(inputs, cell.prober, options.yields, options.abort);
     } else {
-        step2 = run_step2(step1, cell, options);
+        step2 = run_step2(engine, step1, cell);
         solution.sites = step2.best_sites;
         solution.throughput = step2.best_throughput;
         solution.site_curve = step2.curve;
@@ -63,8 +66,18 @@ Solution optimize_multi_site(const Soc& soc, const TestCell& cell, const Optimiz
                                   options.control_pads);
     solution.best_figure_of_merit_ = figure_of_merit(solution.throughput, options.retest);
 
+    solution.stats.packing = engine.stats();
+    solution.stats.site_points = static_cast<std::int64_t>(solution.site_curve.size());
+
     validate_solution(solution, soc, cell.ate, options.broadcast);
     return solution;
+}
+
+Solution optimize_multi_site(const Soc& soc, const TestCell& cell, const OptimizeOptions& options)
+{
+    cell.validate(); // fail fast: the table build below is the expensive part
+    const SocTimeTables tables(soc);
+    return optimize_multi_site(tables, cell, options);
 }
 
 } // namespace mst

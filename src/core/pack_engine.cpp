@@ -1,0 +1,320 @@
+#include "core/pack_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "arch/channel_group.hpp"
+
+namespace mst {
+
+namespace {
+
+/// Modules sorted by the configured key; the paper sorts by decreasing
+/// minimal width, with deterministic tie-breaking on volume then index.
+std::vector<int> module_order(const SocTimeTables& tables,
+                              const std::vector<WireCount>& min_widths,
+                              ModuleOrder order)
+{
+    std::vector<int> indices(static_cast<std::size_t>(tables.module_count()));
+    std::iota(indices.begin(), indices.end(), 0);
+    const Soc& soc = tables.soc();
+
+    const auto volume = [&soc](int m) { return soc.module(m).test_data_volume_bits(); };
+    const auto single_wire_time = [&tables](int m) { return tables.table(m).time(1); };
+
+    switch (order) {
+    case ModuleOrder::by_min_width:
+        std::stable_sort(indices.begin(), indices.end(), [&](int a, int b) {
+            const auto wa = min_widths[static_cast<std::size_t>(a)];
+            const auto wb = min_widths[static_cast<std::size_t>(b)];
+            if (wa != wb) {
+                return wa > wb;
+            }
+            return volume(a) > volume(b);
+        });
+        break;
+    case ModuleOrder::by_volume:
+        std::stable_sort(indices.begin(), indices.end(),
+                         [&](int a, int b) { return volume(a) > volume(b); });
+        break;
+    case ModuleOrder::by_time:
+        std::stable_sort(indices.begin(), indices.end(), [&](int a, int b) {
+            return single_wire_time(a) > single_wire_time(b);
+        });
+        break;
+    case ModuleOrder::input_order:
+        break;
+    }
+    return indices;
+}
+
+/// Try to place a module on an existing group without widening.
+/// Returns the chosen group index, or nullopt.
+std::optional<std::size_t> pick_existing_group(const Architecture& arch,
+                                               int module_index,
+                                               CycleCount depth,
+                                               GroupSelectPolicy policy)
+{
+    std::optional<std::size_t> best;
+    CycleCount best_fill = std::numeric_limits<CycleCount>::max();
+    for (std::size_t g = 0; g < arch.groups().size(); ++g) {
+        const CycleCount fill = arch.groups()[g].fill_with(module_index);
+        if (fill > depth) {
+            continue;
+        }
+        if (policy == GroupSelectPolicy::first_fit) {
+            return g;
+        }
+        if (fill < best_fill) {
+            best_fill = fill;
+            best = g;
+        }
+    }
+    return best;
+}
+
+/// One expansion alternative: either a new group (group == nullopt) or a
+/// widening of an existing group, always by `added_wires`.
+struct Expansion {
+    std::optional<std::size_t> group;
+    WireCount added_wires = 0;
+    CycleCount resulting_total_fill = 0;
+};
+
+/// Enumerate the feasible alternatives of Fig. 4(c) for placing
+/// `module_index`, under the configured expansion policy.
+std::vector<Expansion> enumerate_expansions(const Architecture& arch,
+                                            const SocTimeTables& tables,
+                                            int module_index,
+                                            WireCount min_width,
+                                            CycleCount depth,
+                                            WireCount wire_budget,
+                                            ExpansionPolicy policy)
+{
+    std::vector<Expansion> expansions;
+    const WireCount head_room = wire_budget - arch.total_wires();
+    CycleCount current_fill = 0;
+    for (const ChannelGroup& group : arch.groups()) {
+        current_fill += group.fill();
+    }
+
+    // Alternative (i): a brand-new group at the module's minimal width.
+    if (min_width <= head_room) {
+        Expansion fresh;
+        fresh.added_wires = min_width;
+        fresh.resulting_total_fill = current_fill + tables.table(module_index).time(min_width);
+        expansions.push_back(fresh);
+    }
+    if (policy == ExpansionPolicy::always_new_group) {
+        return expansions;
+    }
+
+    // Alternatives (ii)...: widen an existing group.
+    for (std::size_t g = 0; g < arch.groups().size(); ++g) {
+        const ChannelGroup& group = arch.groups()[g];
+        WireCount delta = 0;
+        if (policy == ExpansionPolicy::widen_by_kmin) {
+            // Paper: every alternative adds exactly k_min(module) wires.
+            delta = min_width;
+            if (delta > head_room) {
+                continue;
+            }
+            const WireCount new_width = group.width() + delta;
+            const CycleCount fill = group.fill_at_width(new_width) +
+                                    tables.table(module_index).time(new_width);
+            if (fill > depth) {
+                continue;
+            }
+        } else { // ExpansionPolicy::min_widening
+            delta = group.min_widening_for(module_index, depth, head_room);
+            if (delta == 0) {
+                continue;
+            }
+        }
+        const WireCount new_width = group.width() + delta;
+        Expansion widened;
+        widened.group = g;
+        widened.added_wires = delta;
+        widened.resulting_total_fill = current_fill - group.fill() +
+                                       group.fill_at_width(new_width) +
+                                       tables.table(module_index).time(new_width);
+        expansions.push_back(widened);
+    }
+    return expansions;
+}
+
+/// Paper's selection: with equal added channels, the smallest total fill
+/// leaves the most free memory. With unequal added wires (min_widening
+/// ablation) compare free memory directly.
+const Expansion& select_expansion(const std::vector<Expansion>& expansions,
+                                  CycleCount depth)
+{
+    const auto free_memory = [depth](const Expansion& e) {
+        return depth * e.added_wires - e.resulting_total_fill;
+    };
+    const Expansion* best = &expansions.front();
+    for (const Expansion& candidate : expansions) {
+        if (free_memory(candidate) > free_memory(*best)) {
+            best = &candidate;
+        } else if (free_memory(candidate) == free_memory(*best) &&
+                   candidate.added_wires < best->added_wires) {
+            best = &candidate;
+        }
+    }
+    return *best;
+}
+
+/// One greedy Step-1 pass under an explicit wire budget. Returns nullopt
+/// when the budget is too tight for this pass.
+std::optional<Architecture> step1_pass(const SocTimeTables& tables,
+                                       CycleCount depth,
+                                       WireCount wire_budget,
+                                       const std::vector<WireCount>& min_widths,
+                                       const std::vector<int>& order,
+                                       const OptimizeOptions& options)
+{
+    Architecture arch(tables);
+    for (const int module_index : order) {
+        const WireCount min_width = min_widths[static_cast<std::size_t>(module_index)];
+        if (arch.groups().empty()) {
+            if (min_width > wire_budget) {
+                return std::nullopt;
+            }
+            arch.groups().emplace_back(min_width, tables);
+            arch.groups().back().add_module(module_index);
+            continue;
+        }
+        const std::optional<std::size_t> existing =
+            pick_existing_group(arch, module_index, depth, options.group_select);
+        if (existing) {
+            arch.groups()[*existing].add_module(module_index);
+            continue;
+        }
+        std::vector<Expansion> expansions = enumerate_expansions(
+            arch, tables, module_index, min_width, depth, wire_budget, options.expansion);
+        if (expansions.empty() && options.expansion == ExpansionPolicy::widen_by_kmin) {
+            // Budget pressure: the paper's fixed k_min widening no longer
+            // fits the remaining channels, but a smaller widening might.
+            expansions = enumerate_expansions(arch, tables, module_index, min_width, depth,
+                                              wire_budget, ExpansionPolicy::min_widening);
+        }
+        if (expansions.empty()) {
+            return std::nullopt;
+        }
+        const Expansion& chosen = select_expansion(expansions, depth);
+        if (chosen.group) {
+            ChannelGroup& group = arch.groups()[*chosen.group];
+            group.widen(chosen.added_wires);
+            group.add_module(module_index);
+        } else {
+            arch.groups().emplace_back(chosen.added_wires, tables);
+            arch.groups().back().add_module(module_index);
+        }
+    }
+    return arch;
+}
+
+} // namespace
+
+PackEngine::PackEngine(const SocTimeTables& tables, const OptimizeOptions& options)
+    : tables_(&tables), options_(options)
+{
+}
+
+PackEngine::DepthProfile PackEngine::make_profile(CycleCount depth)
+{
+    ++stats_.depth_profiles;
+    DepthProfile profile;
+    std::vector<WireCount> min_widths(static_cast<std::size_t>(tables_->module_count()));
+    for (int m = 0; m < tables_->module_count(); ++m) {
+        const std::optional<WireCount> width = tables_->table(m).min_width_for(depth);
+        if (!width) {
+            return profile; // min_widths stays nullopt: depth infeasible
+        }
+        min_widths[static_cast<std::size_t>(m)] = *width;
+        profile.widest = std::max(profile.widest, *width);
+    }
+    profile.min_widths = std::move(min_widths);
+    return profile;
+}
+
+const std::vector<int>& PackEngine::order_for(DepthProfile& profile, ModuleOrder order)
+{
+    auto found = profile.orders.find(order);
+    if (found == profile.orders.end()) {
+        found = profile.orders
+                    .emplace(order, module_order(*tables_, *profile.min_widths, order))
+                    .first;
+    }
+    return found->second;
+}
+
+std::optional<Architecture> PackEngine::pack_uncached(CycleCount depth,
+                                                      WireCount wire_budget,
+                                                      DepthProfile& profile)
+{
+    if (!profile.min_widths || profile.widest > wire_budget) {
+        return std::nullopt;
+    }
+
+    std::vector<ModuleOrder> orders = {options_.module_order};
+    std::vector<ExpansionPolicy> expansions = {options_.expansion};
+    if (options_.budget_search) {
+        for (const ModuleOrder fallback :
+             {ModuleOrder::by_min_width, ModuleOrder::by_volume, ModuleOrder::by_time}) {
+            if (fallback != options_.module_order) {
+                orders.push_back(fallback);
+            }
+        }
+        for (const ExpansionPolicy fallback :
+             {ExpansionPolicy::widen_by_kmin, ExpansionPolicy::min_widening,
+              ExpansionPolicy::always_new_group}) {
+            if (fallback != options_.expansion) {
+                expansions.push_back(fallback);
+            }
+        }
+    }
+
+    for (const ModuleOrder order_kind : orders) {
+        const std::vector<int>& order = order_for(profile, order_kind);
+        for (const ExpansionPolicy expansion : expansions) {
+            OptimizeOptions pass_options = options_;
+            pass_options.expansion = expansion;
+            ++stats_.greedy_passes;
+            std::optional<Architecture> packed = step1_pass(*tables_, depth, wire_budget,
+                                                            *profile.min_widths, order,
+                                                            pass_options);
+            if (packed) {
+                return packed;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Architecture> PackEngine::pack_within(CycleCount depth, WireCount wire_budget)
+{
+    ++stats_.pack_calls;
+    if (!options_.memoize) {
+        DepthProfile fresh = make_profile(depth);
+        return pack_uncached(depth, wire_budget, fresh);
+    }
+
+    const auto key = std::make_pair(depth, wire_budget);
+    const auto cached = packs_.find(key);
+    if (cached != packs_.end()) {
+        ++stats_.pack_cache_hits;
+        return cached->second;
+    }
+
+    auto profile = profiles_.find(depth);
+    if (profile == profiles_.end()) {
+        profile = profiles_.emplace(depth, make_profile(depth)).first;
+    }
+    std::optional<Architecture> packed = pack_uncached(depth, wire_budget, profile->second);
+    packs_.emplace(key, packed);
+    return packed;
+}
+
+} // namespace mst

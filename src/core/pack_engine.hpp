@@ -1,0 +1,70 @@
+// Memoized driver of the Step-1 greedy packing.
+//
+// Step 1's criterion-1 budget search and Step 2's re-pack fallback both
+// call the greedy many times with repeating (virtual depth, wire budget)
+// pairs: the budget search revisits every virtual depth as the budget
+// grows, and the Step-2 site loop re-scans the same virtual depths while
+// the per-site budget stays constant across consecutive n. The seed
+// recomputed every per-module minimal width, module order, and greedy
+// pass from scratch on each call; PackEngine caches
+//   * per depth: the minimal-width vector and the sorted module orders,
+//   * per (depth, budget): the packed architecture (or infeasibility),
+// so repeated queries are answered without re-running the greedy.
+// Caching is pure memoization — results are byte-identical to the
+// uncached path (tests/golden_fingerprint_test.cpp) — and can be turned
+// off through OptimizeOptions::memoize for baseline measurements.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "arch/architecture.hpp"
+#include "core/pack_stats.hpp"
+#include "core/problem.hpp"
+
+namespace mst {
+
+/// One optimization run's packing context: time tables + options + caches.
+class PackEngine {
+public:
+    PackEngine(const SocTimeTables& tables, const OptimizeOptions& options);
+
+    [[nodiscard]] const SocTimeTables& tables() const noexcept { return *tables_; }
+    [[nodiscard]] const OptimizeOptions& options() const noexcept { return options_; }
+    [[nodiscard]] const PackStats& stats() const noexcept { return stats_; }
+
+    /// Try to pack every module into at most `wire_budget` wires with
+    /// every group fill within `depth`, running the greedy pass under all
+    /// module orders and expansion policies. Returns nullopt when no pass
+    /// fits.
+    [[nodiscard]] std::optional<Architecture> pack_within(CycleCount depth,
+                                                          WireCount wire_budget);
+
+private:
+    /// Everything about one virtual depth that is budget-independent.
+    struct DepthProfile {
+        /// Per-module minimal widths, or nullopt when some module fits no
+        /// width within the depth (the whole depth is then infeasible).
+        std::optional<std::vector<WireCount>> min_widths;
+        WireCount widest = 0;
+        /// Lazily sorted module orders, one per ModuleOrder kind.
+        std::map<ModuleOrder, std::vector<int>> orders;
+    };
+
+    [[nodiscard]] DepthProfile make_profile(CycleCount depth);
+    [[nodiscard]] const std::vector<int>& order_for(DepthProfile& profile, ModuleOrder order);
+    [[nodiscard]] std::optional<Architecture> pack_uncached(CycleCount depth,
+                                                            WireCount wire_budget,
+                                                            DepthProfile& profile);
+
+    const SocTimeTables* tables_;
+    OptimizeOptions options_;
+    PackStats stats_;
+    std::map<CycleCount, DepthProfile> profiles_;
+    std::map<std::pair<CycleCount, WireCount>, std::optional<Architecture>> packs_;
+};
+
+} // namespace mst

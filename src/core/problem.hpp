@@ -64,6 +64,13 @@ struct OptimizeOptions {
     /// relocated into the remaining groups, saving their wires. Disable
     /// to benchmark the uncompacted greedy (ablation).
     bool compaction = true;
+
+    /// Memoize repeated packing work (per-depth minimal widths and module
+    /// orders, per-(depth, budget) greedy results) across the Step-1
+    /// budget search and Step-2 re-pack scans. Pure caching: solutions
+    /// are byte-identical either way (golden fingerprint tests). Disable
+    /// to measure the from-scratch baseline with `mst bench --compare`.
+    bool memoize = true;
 };
 
 } // namespace mst

@@ -2,16 +2,27 @@
 // infrastructure plus the throughput numbers of Section 4.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "arch/architecture.hpp"
 #include "ate/ate.hpp"
 #include "common/types.hpp"
+#include "core/pack_stats.hpp"
 #include "throughput/model.hpp"
 #include "wrapper/erpct.hpp"
 
 namespace mst {
+
+/// Work counters of one optimization run, for the perf harness. Not
+/// part of the solution JSON (cache hit counts legitimately differ
+/// between memoized and from-scratch runs that produce identical
+/// solutions).
+struct OptimizerStats {
+    PackStats packing;            ///< Step-1/Step-2 packing work
+    std::int64_t site_points = 0; ///< Step-2 site curve points evaluated
+};
 
 /// Snapshot of one channel group, detached from the internal tables so a
 /// Solution owns its data.
@@ -54,6 +65,9 @@ struct Solution {
 
     // Full linear-search trace of Step 2 (n = n_max .. 1).
     std::vector<SitePoint> site_curve;
+
+    // Search-effort counters (see OptimizerStats).
+    OptimizerStats stats;
 
     /// Devices/hour (or unique devices/hour under the re-test policy)
     /// at the optimum.

@@ -1,8 +1,6 @@
 #include "core/step1.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <numeric>
 #include <optional>
 #include <vector>
 
@@ -10,278 +8,17 @@
 
 namespace mst {
 
-namespace {
-
-/// Modules sorted by the configured key; the paper sorts by decreasing
-/// minimal width, with deterministic tie-breaking on volume then index.
-std::vector<int> module_order(const SocTimeTables& tables,
-                              const std::vector<WireCount>& min_widths,
-                              ModuleOrder order)
-{
-    std::vector<int> indices(static_cast<std::size_t>(tables.module_count()));
-    std::iota(indices.begin(), indices.end(), 0);
-    const Soc& soc = tables.soc();
-
-    const auto volume = [&soc](int m) { return soc.module(m).test_data_volume_bits(); };
-    const auto single_wire_time = [&tables](int m) { return tables.table(m).time(1); };
-
-    switch (order) {
-    case ModuleOrder::by_min_width:
-        std::stable_sort(indices.begin(), indices.end(), [&](int a, int b) {
-            const auto wa = min_widths[static_cast<std::size_t>(a)];
-            const auto wb = min_widths[static_cast<std::size_t>(b)];
-            if (wa != wb) {
-                return wa > wb;
-            }
-            return volume(a) > volume(b);
-        });
-        break;
-    case ModuleOrder::by_volume:
-        std::stable_sort(indices.begin(), indices.end(),
-                         [&](int a, int b) { return volume(a) > volume(b); });
-        break;
-    case ModuleOrder::by_time:
-        std::stable_sort(indices.begin(), indices.end(), [&](int a, int b) {
-            return single_wire_time(a) > single_wire_time(b);
-        });
-        break;
-    case ModuleOrder::input_order:
-        break;
-    }
-    return indices;
-}
-
-/// Try to place a module on an existing group without widening.
-/// Returns the chosen group index, or nullopt.
-std::optional<std::size_t> pick_existing_group(const Architecture& arch,
-                                               int module_index,
-                                               CycleCount depth,
-                                               GroupSelectPolicy policy)
-{
-    std::optional<std::size_t> best;
-    CycleCount best_fill = std::numeric_limits<CycleCount>::max();
-    for (std::size_t g = 0; g < arch.groups().size(); ++g) {
-        const CycleCount fill = arch.groups()[g].fill_with(module_index);
-        if (fill > depth) {
-            continue;
-        }
-        if (policy == GroupSelectPolicy::first_fit) {
-            return g;
-        }
-        if (fill < best_fill) {
-            best_fill = fill;
-            best = g;
-        }
-    }
-    return best;
-}
-
-/// One expansion alternative: either a new group (group == nullopt) or a
-/// widening of an existing group, always by `added_wires`.
-struct Expansion {
-    std::optional<std::size_t> group;
-    WireCount added_wires = 0;
-    CycleCount resulting_total_fill = 0;
-};
-
-/// Enumerate the feasible alternatives of Fig. 4(c) for placing
-/// `module_index`, under the configured expansion policy.
-std::vector<Expansion> enumerate_expansions(const Architecture& arch,
-                                            const SocTimeTables& tables,
-                                            int module_index,
-                                            WireCount min_width,
-                                            CycleCount depth,
-                                            WireCount wire_budget,
-                                            ExpansionPolicy policy)
-{
-    std::vector<Expansion> expansions;
-    const WireCount head_room = wire_budget - arch.total_wires();
-    CycleCount current_fill = 0;
-    for (const ChannelGroup& group : arch.groups()) {
-        current_fill += group.fill();
-    }
-
-    // Alternative (i): a brand-new group at the module's minimal width.
-    if (min_width <= head_room) {
-        Expansion fresh;
-        fresh.added_wires = min_width;
-        fresh.resulting_total_fill = current_fill + tables.table(module_index).time(min_width);
-        expansions.push_back(fresh);
-    }
-    if (policy == ExpansionPolicy::always_new_group) {
-        return expansions;
-    }
-
-    // Alternatives (ii)...: widen an existing group.
-    for (std::size_t g = 0; g < arch.groups().size(); ++g) {
-        const ChannelGroup& group = arch.groups()[g];
-        WireCount delta = 0;
-        if (policy == ExpansionPolicy::widen_by_kmin) {
-            // Paper: every alternative adds exactly k_min(module) wires.
-            delta = min_width;
-            if (delta > head_room) {
-                continue;
-            }
-            const WireCount new_width = group.width() + delta;
-            const CycleCount fill = group.fill_at_width(new_width) +
-                                    tables.table(module_index).time(new_width);
-            if (fill > depth) {
-                continue;
-            }
-        } else { // ExpansionPolicy::min_widening
-            delta = group.min_widening_for(module_index, depth, head_room);
-            if (delta == 0) {
-                continue;
-            }
-        }
-        const WireCount new_width = group.width() + delta;
-        Expansion widened;
-        widened.group = g;
-        widened.added_wires = delta;
-        widened.resulting_total_fill = current_fill - group.fill() +
-                                       group.fill_at_width(new_width) +
-                                       tables.table(module_index).time(new_width);
-        expansions.push_back(widened);
-    }
-    return expansions;
-}
-
-/// Paper's selection: with equal added channels, the smallest total fill
-/// leaves the most free memory. With unequal added wires (min_widening
-/// ablation) compare free memory directly.
-const Expansion& select_expansion(const std::vector<Expansion>& expansions,
-                                  CycleCount depth)
-{
-    const auto free_memory = [depth](const Expansion& e) {
-        return depth * e.added_wires - e.resulting_total_fill;
-    };
-    const Expansion* best = &expansions.front();
-    for (const Expansion& candidate : expansions) {
-        if (free_memory(candidate) > free_memory(*best)) {
-            best = &candidate;
-        } else if (free_memory(candidate) == free_memory(*best) &&
-                   candidate.added_wires < best->added_wires) {
-            best = &candidate;
-        }
-    }
-    return *best;
-}
-
-} // namespace
-
-namespace {
-
-/// One greedy Step-1 pass under an explicit wire budget. Returns nullopt
-/// when the budget is too tight for this pass.
-std::optional<Architecture> step1_pass(const SocTimeTables& tables,
-                                       CycleCount depth,
-                                       WireCount wire_budget,
-                                       const std::vector<WireCount>& min_widths,
-                                       const std::vector<int>& order,
-                                       const OptimizeOptions& options)
-{
-    Architecture arch(tables);
-    for (const int module_index : order) {
-        const WireCount min_width = min_widths[static_cast<std::size_t>(module_index)];
-        if (arch.groups().empty()) {
-            if (min_width > wire_budget) {
-                return std::nullopt;
-            }
-            arch.groups().emplace_back(min_width, tables);
-            arch.groups().back().add_module(module_index);
-            continue;
-        }
-        const std::optional<std::size_t> existing =
-            pick_existing_group(arch, module_index, depth, options.group_select);
-        if (existing) {
-            arch.groups()[*existing].add_module(module_index);
-            continue;
-        }
-        std::vector<Expansion> expansions = enumerate_expansions(
-            arch, tables, module_index, min_width, depth, wire_budget, options.expansion);
-        if (expansions.empty() && options.expansion == ExpansionPolicy::widen_by_kmin) {
-            // Budget pressure: the paper's fixed k_min widening no longer
-            // fits the remaining channels, but a smaller widening might.
-            expansions = enumerate_expansions(arch, tables, module_index, min_width, depth,
-                                              wire_budget, ExpansionPolicy::min_widening);
-        }
-        if (expansions.empty()) {
-            return std::nullopt;
-        }
-        const Expansion& chosen = select_expansion(expansions, depth);
-        if (chosen.group) {
-            ChannelGroup& group = arch.groups()[*chosen.group];
-            group.widen(chosen.added_wires);
-            group.add_module(module_index);
-        } else {
-            arch.groups().emplace_back(chosen.added_wires, tables);
-            arch.groups().back().add_module(module_index);
-        }
-    }
-    return arch;
-}
-
-} // namespace
-
-std::optional<Architecture> pack_within(const SocTimeTables& tables,
-                                        CycleCount depth,
-                                        WireCount wire_budget,
-                                        const OptimizeOptions& options)
-{
-    std::vector<WireCount> min_widths(static_cast<std::size_t>(tables.module_count()));
-    for (int m = 0; m < tables.module_count(); ++m) {
-        const std::optional<WireCount> width = tables.table(m).min_width_for(depth);
-        if (!width || *width > wire_budget) {
-            return std::nullopt;
-        }
-        min_widths[static_cast<std::size_t>(m)] = *width;
-    }
-
-    std::vector<ModuleOrder> orders = {options.module_order};
-    std::vector<ExpansionPolicy> expansions = {options.expansion};
-    if (options.budget_search) {
-        for (const ModuleOrder fallback :
-             {ModuleOrder::by_min_width, ModuleOrder::by_volume, ModuleOrder::by_time}) {
-            if (fallback != options.module_order) {
-                orders.push_back(fallback);
-            }
-        }
-        for (const ExpansionPolicy fallback :
-             {ExpansionPolicy::widen_by_kmin, ExpansionPolicy::min_widening,
-              ExpansionPolicy::always_new_group}) {
-            if (fallback != options.expansion) {
-                expansions.push_back(fallback);
-            }
-        }
-    }
-
-    for (const ModuleOrder order_kind : orders) {
-        const std::vector<int> order = module_order(tables, min_widths, order_kind);
-        for (const ExpansionPolicy expansion : expansions) {
-            OptimizeOptions pass_options = options;
-            pass_options.expansion = expansion;
-            std::optional<Architecture> packed =
-                step1_pass(tables, depth, wire_budget, min_widths, order, pass_options);
-            if (packed) {
-                return packed;
-            }
-        }
-    }
-    return std::nullopt;
-}
-
-Step1Result run_step1(const SocTimeTables& tables,
-                      const AteSpec& ate,
-                      const OptimizeOptions& options)
+Step1Result run_step1(PackEngine& engine, const AteSpec& ate)
 {
     ate.validate();
+    const SocTimeTables& tables = engine.tables();
+    const OptimizeOptions& options = engine.options();
     const CycleCount depth = ate.vector_memory_depth;
     const WireCount ate_wires = wires_from_channels(ate.channels);
     const Soc& soc = tables.soc();
 
     // Minimal width per module; infeasible if any module fits nowhere.
     WireCount widest = 1;
-    CycleCount total_min_area = 0;
     for (int m = 0; m < tables.module_count(); ++m) {
         const std::optional<WireCount> width = tables.table(m).min_width_for(depth);
         if (!width) {
@@ -293,7 +30,6 @@ Step1Result run_step1(const SocTimeTables& tables,
                                   "' alone needs more channels than the ATE provides");
         }
         widest = std::max(widest, *width);
-        total_min_area += tables.table(m).min_area();
     }
 
     // Virtual-depth sweep: a packing whose fills respect a reduced depth
@@ -313,6 +49,7 @@ Step1Result run_step1(const SocTimeTables& tables,
     // expansion policy, and virtual depth gets a chance before the budget
     // grows. Without budget_search, a single unconstrained pass in the
     // configured order reproduces the raw greedy of the paper.
+    const CycleCount total_min_area = tables.total_min_area();
     const auto area_bound = static_cast<WireCount>((total_min_area + depth - 1) / depth);
     const WireCount search_from =
         options.budget_search ? std::max(widest, area_bound) : ate_wires;
@@ -322,7 +59,7 @@ Step1Result run_step1(const SocTimeTables& tables,
         for (const double fraction : fractions) {
             const auto virtual_depth =
                 static_cast<CycleCount>(static_cast<double>(depth) * fraction);
-            packed = pack_within(tables, virtual_depth, budget, options);
+            packed = engine.pack_within(virtual_depth, budget);
             if (packed) {
                 break;
             }
@@ -344,6 +81,14 @@ Step1Result run_step1(const SocTimeTables& tables,
         throw InfeasibleError("SOC '" + soc.name() + "' does not allow even single-site testing");
     }
     return result;
+}
+
+Step1Result run_step1(const SocTimeTables& tables,
+                      const AteSpec& ate,
+                      const OptimizeOptions& options)
+{
+    PackEngine engine(tables, options);
+    return run_step1(engine, ate);
 }
 
 } // namespace mst

@@ -6,6 +6,7 @@
 
 #include "arch/architecture.hpp"
 #include "ate/ate.hpp"
+#include "core/pack_engine.hpp"
 #include "core/problem.hpp"
 
 namespace mst {
@@ -18,21 +19,17 @@ struct Step1Result {
     SiteCount max_sites = 0;    ///< n_max on the given ATE
 };
 
-/// Run Step 1. Throws InfeasibleError when the SOC cannot be tested on
-/// the ATE (a module that fits no width within the memory depth, or a
-/// channel demand beyond the ATE's channel count) — the paper's
-/// "the procedure is exited" cases.
+/// Run Step 1 against a shared packing engine, so its budget-search
+/// memoization carries over into Step 2's re-pack scans. Throws
+/// InfeasibleError when the SOC cannot be tested on the ATE (a module
+/// that fits no width within the memory depth, or a channel demand
+/// beyond the ATE's channel count) — the paper's "the procedure is
+/// exited" cases.
+[[nodiscard]] Step1Result run_step1(PackEngine& engine, const AteSpec& ate);
+
+/// Convenience overload with a run-local engine.
 [[nodiscard]] Step1Result run_step1(const SocTimeTables& tables,
                                     const AteSpec& ate,
                                     const OptimizeOptions& options);
-
-/// Try to pack every module into at most `wire_budget` wires with every
-/// group fill within `depth`, trying the greedy pass under all module
-/// orders and expansion policies. Returns nullopt when no pass fits.
-/// Shared by Step 1's budget search and Step 2's re-pack fallback.
-[[nodiscard]] std::optional<Architecture> pack_within(const SocTimeTables& tables,
-                                                      CycleCount depth,
-                                                      WireCount wire_budget,
-                                                      const OptimizeOptions& options);
 
 } // namespace mst

@@ -38,18 +38,14 @@ SitePoint make_point(SiteCount sites, const Architecture& arch, const TestCell& 
 /// whole per-site architecture for the full wire budget at the smallest
 /// feasible virtual depth can. Scans virtual depths bottom-up and returns
 /// the tightest packing, or nullopt if none beats `beat_cycles`.
-std::optional<Architecture> repack_for_budget(const SocTimeTables& tables,
+std::optional<Architecture> repack_for_budget(PackEngine& engine,
                                               CycleCount depth,
                                               WireCount wire_budget,
-                                              CycleCount beat_cycles,
-                                              const OptimizeOptions& options)
+                                              CycleCount beat_cycles)
 {
     // No packing can beat the total-area bound, so start the virtual-depth
     // scan there instead of at zero.
-    CycleCount total_min_area = 0;
-    for (int m = 0; m < tables.module_count(); ++m) {
-        total_min_area += tables.table(m).min_area();
-    }
+    const CycleCount total_min_area = engine.tables().total_min_area();
     const double floor_fraction = static_cast<double>(total_min_area) /
                                   (static_cast<double>(wire_budget) * static_cast<double>(depth));
 
@@ -61,7 +57,7 @@ std::optional<Architecture> repack_for_budget(const SocTimeTables& tables,
         if (virtual_depth >= beat_cycles) {
             return std::nullopt; // only depths strictly better than the incumbent matter
         }
-        std::optional<Architecture> packed = pack_within(tables, virtual_depth, wire_budget, options);
+        std::optional<Architecture> packed = engine.pack_within(virtual_depth, wire_budget);
         if (packed && packed->test_cycles() < beat_cycles) {
             return packed;
         }
@@ -71,10 +67,9 @@ std::optional<Architecture> repack_for_budget(const SocTimeTables& tables,
 
 } // namespace
 
-Step2Result run_step2(const Step1Result& step1,
-                      const TestCell& cell,
-                      const OptimizeOptions& options)
+Step2Result run_step2(PackEngine& engine, const Step1Result& step1, const TestCell& cell)
 {
+    const OptimizeOptions& options = engine.options();
     cell.validate();
     if (step1.max_sites < 1) {
         throw ValidationError("Step 2 requires a feasible Step-1 result");
@@ -100,8 +95,8 @@ Step2Result run_step2(const Step1Result& step1,
         // from-scratch re-pack of the site at the full budget can still
         // convert channels into test time; keep it only if it wins.
         std::optional<Architecture> repacked =
-            repack_for_budget(step1.architecture.tables(), cell.ate.vector_memory_depth,
-                              budget, incumbent.test_cycles(), options);
+            repack_for_budget(engine, cell.ate.vector_memory_depth, budget,
+                              incumbent.test_cycles());
         if (repacked) {
             incumbent = std::move(*repacked);
         }
@@ -119,6 +114,14 @@ Step2Result run_step2(const Step1Result& step1,
         }
     }
     return result;
+}
+
+Step2Result run_step2(const Step1Result& step1,
+                      const TestCell& cell,
+                      const OptimizeOptions& options)
+{
+    PackEngine engine(step1.architecture.tables(), options);
+    return run_step2(engine, step1, cell);
 }
 
 } // namespace mst

@@ -19,7 +19,13 @@ struct Step2Result {
     std::vector<SitePoint> curve;    ///< one entry per examined n (descending)
 };
 
-/// Run Step 2 starting from a Step-1 architecture.
+/// Run Step 2 starting from a Step-1 architecture, sharing the packing
+/// engine (and its memo) with Step 1's budget search.
+[[nodiscard]] Step2Result run_step2(PackEngine& engine,
+                                    const Step1Result& step1,
+                                    const TestCell& cell);
+
+/// Convenience overload with a run-local engine.
 [[nodiscard]] Step2Result run_step2(const Step1Result& step1,
                                     const TestCell& cell,
                                     const OptimizeOptions& options);

@@ -1,0 +1,28 @@
+// Machine-readable BENCH JSON: the perf trajectory record `mst bench`
+// emits (BENCH_optimizer.json) and CI uploads as an artifact. The format
+// is schema-versioned so downstream tooling (tools/validate_bench.py,
+// trend dashboards) can reject incompatible files instead of
+// misreading them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "perf/bench_suite.hpp"
+
+namespace mst {
+
+/// Schema identity embedded in every report. Bump the version on any
+/// backwards-incompatible change and teach tools/validate_bench.py the
+/// new layout in the same commit.
+inline constexpr const char* bench_schema_name = "mst.bench";
+inline constexpr int bench_schema_version = 1;
+
+/// Serialize a bench report as one self-contained JSON object with a
+/// deterministic key order.
+void write_bench_json(std::ostream& out, const BenchReport& report);
+
+/// Convenience: serialize to a string.
+[[nodiscard]] std::string bench_report_to_json(const BenchReport& report);
+
+} // namespace mst

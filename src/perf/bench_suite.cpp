@@ -1,0 +1,227 @@
+#include "perf/bench_suite.hpp"
+
+#include <utility>
+
+#include "arch/channel_group.hpp"
+#include "common/error.hpp"
+#include "core/optimizer.hpp"
+#include "soc/generator.hpp"
+#include "soc/profiles.hpp"
+
+namespace mst {
+
+namespace {
+
+struct BenchCell {
+    const char* name;
+    ChannelCount channels;
+    CycleCount depth;
+};
+
+struct BenchVariant {
+    const char* name;
+    OptimizeOptions options;
+};
+
+/// The four option variants of the suite. Abort-on-fail and re-test only
+/// change behavior under imperfect yield, so those variants carry the
+/// paper's typical contact/manufacturing yields.
+std::vector<BenchVariant> bench_variants()
+{
+    std::vector<BenchVariant> variants;
+    variants.push_back({"plain", {}});
+
+    OptimizeOptions broadcast;
+    broadcast.broadcast = BroadcastMode::stimuli;
+    variants.push_back({"broadcast", broadcast});
+
+    OptimizeOptions abort_on_fail;
+    abort_on_fail.abort = AbortOnFail::on;
+    abort_on_fail.yields.contact_yield_per_terminal = 0.9999;
+    abort_on_fail.yields.manufacturing_yield = 0.9;
+    variants.push_back({"abort", abort_on_fail});
+
+    OptimizeOptions retest;
+    retest.retest = RetestPolicy::retest_contact_failures;
+    retest.yields.contact_yield_per_terminal = 0.9999;
+    retest.yields.manufacturing_yield = 0.9;
+    variants.push_back({"retest", retest});
+    return variants;
+}
+
+/// Generator-scaled SOC: `scale` times the d695 module count, with the
+/// total stimulus volume grown sub-linearly so the scenarios stay inside
+/// an interactive planning loop's latency envelope.
+Soc scaled_soc(const std::string& name, int modules)
+{
+    GeneratorConfig config;
+    config.name = name;
+    config.seed = 2005; // DATE'05 vintage; fixed so runs are comparable
+    config.logic_modules = modules;
+    config.logic_volume_bits = 20'000'000;
+    config.max_chains = 24;
+    return generate_soc(config);
+}
+
+SolutionFingerprint fingerprint_of(const Solution& solution)
+{
+    SolutionFingerprint fingerprint;
+    fingerprint.sites = solution.sites;
+    fingerprint.channels_per_site = solution.channels_per_site;
+    fingerprint.test_cycles = solution.test_cycles;
+    fingerprint.devices_per_hour = solution.throughput.devices_per_hour;
+    return fingerprint;
+}
+
+BenchCaseResult run_case(const BenchCase& bench_case, int repetitions, bool compare_baseline)
+{
+    BenchCaseResult result;
+    result.name = bench_case.name;
+    result.soc_name = bench_case.soc_name;
+    result.variant = bench_case.variant;
+    result.channels = bench_case.cell.ate.channels;
+    result.depth = bench_case.cell.ate.vector_memory_depth;
+
+    try {
+        // Memoized pipeline, timed end to end: wrapper time tables are
+        // rebuilt inside the loop because table construction is part of
+        // the optimizer latency a DfT planning loop experiences.
+        std::vector<Seconds> samples;
+        samples.reserve(static_cast<std::size_t>(repetitions));
+        for (int rep = 0; rep < repetitions; ++rep) {
+            Stopwatch stopwatch;
+            const Solution solution =
+                optimize_multi_site(*bench_case.soc, bench_case.cell, bench_case.options);
+            samples.push_back(stopwatch.elapsed());
+            const SolutionFingerprint fingerprint = fingerprint_of(solution);
+            if (rep == 0) {
+                result.fingerprint = fingerprint;
+                result.stats = solution.stats;
+            } else if (!(fingerprint == result.fingerprint)) {
+                throw ValidationError("nondeterministic solution across bench repetitions");
+            }
+        }
+        result.wall = TimingStats::from_samples(std::move(samples));
+
+        if (compare_baseline) {
+            // Seed-equivalent from-scratch pipeline: reference table
+            // build (full wrapper design per width) and no packing memo.
+            OptimizeOptions baseline_options = bench_case.options;
+            baseline_options.memoize = false;
+            std::vector<Seconds> baseline_samples;
+            baseline_samples.reserve(static_cast<std::size_t>(repetitions));
+            SolutionFingerprint baseline_fingerprint;
+            for (int rep = 0; rep < repetitions; ++rep) {
+                Stopwatch stopwatch;
+                const SocTimeTables reference_tables(*bench_case.soc, TableBuild::reference);
+                const Solution solution =
+                    optimize_multi_site(reference_tables, bench_case.cell, baseline_options);
+                baseline_samples.push_back(stopwatch.elapsed());
+                if (rep == 0) {
+                    baseline_fingerprint = fingerprint_of(solution);
+                }
+            }
+            result.baseline_wall = TimingStats::from_samples(std::move(baseline_samples));
+            result.fingerprint_matches_baseline = (baseline_fingerprint == result.fingerprint);
+        }
+        result.ok = true;
+    } catch (const std::exception& e) {
+        result.ok = false;
+        result.error = e.what();
+    }
+    return result;
+}
+
+} // namespace
+
+bool BenchReport::all_ok() const noexcept
+{
+    for (const BenchCaseResult& result : results) {
+        if (!result.ok) {
+            return false;
+        }
+        if (result.fingerprint_matches_baseline && !*result.fingerprint_matches_baseline) {
+            return false;
+        }
+    }
+    return !results.empty();
+}
+
+std::vector<BenchCase> canonical_bench_cases(bool quick)
+{
+    std::vector<BenchCell> cells = {{"512x7M", 512, 7 * mebi}};
+    if (!quick) {
+        cells.push_back({"256x32M", 256, 32 * mebi});
+    }
+    const std::vector<BenchVariant> variants = bench_variants();
+
+    std::vector<BenchCase> cases;
+    for (const char* soc_name : {"d695", "p22810", "p34392", "p93791"}) {
+        const std::shared_ptr<const Soc> soc =
+            std::make_shared<const Soc>(make_benchmark_soc(soc_name));
+        for (const BenchCell& cell : cells) {
+            for (const BenchVariant& variant : variants) {
+                BenchCase bench_case;
+                bench_case.name =
+                    std::string(soc_name) + "/" + cell.name + "/" + variant.name;
+                bench_case.soc_name = soc_name;
+                bench_case.variant = variant.name;
+                bench_case.soc = soc;
+                bench_case.cell.ate.channels = cell.channels;
+                bench_case.cell.ate.vector_memory_depth = cell.depth;
+                bench_case.options = variant.options;
+                cases.push_back(std::move(bench_case));
+            }
+        }
+    }
+
+    // Generator-scaled SOCs: 10x (and, in the full suite, 100x) the
+    // d695 module count, probing how the pipeline scales with modules.
+    const auto add_scaled = [&cases](const std::string& soc_name, int modules) {
+        BenchCase bench_case;
+        bench_case.name = soc_name + "/512x7M/plain";
+        bench_case.soc_name = soc_name;
+        bench_case.variant = "plain";
+        bench_case.soc = std::make_shared<const Soc>(scaled_soc(soc_name, modules));
+        cases.push_back(std::move(bench_case));
+    };
+    add_scaled("gen10x", 100);
+    if (!quick) {
+        add_scaled("gen100x", 1000);
+    }
+    return cases;
+}
+
+BenchReport run_bench(const std::vector<BenchCase>& cases, const BenchOptions& options)
+{
+    BenchReport report;
+    // Caller-supplied or filtered case lists are "custom"; the canonical
+    // overload below overrides this for unfiltered quick/full runs, so
+    // trend tooling never mistakes a subset for a full-suite datapoint.
+    report.suite = "custom";
+    report.repetitions = options.repetitions > 0 ? options.repetitions : (options.quick ? 2 : 5);
+    report.compared_baseline = options.compare_baseline;
+
+    Stopwatch total;
+    for (const BenchCase& bench_case : cases) {
+        if (!options.filter.empty() &&
+            bench_case.name.find(options.filter) == std::string::npos) {
+            continue;
+        }
+        report.results.push_back(
+            run_case(bench_case, report.repetitions, options.compare_baseline));
+    }
+    report.total_seconds = total.elapsed();
+    return report;
+}
+
+BenchReport run_bench(const BenchOptions& options)
+{
+    BenchReport report = run_bench(canonical_bench_cases(options.quick), options);
+    if (options.filter.empty()) {
+        report.suite = options.quick ? "quick" : "full";
+    }
+    return report;
+}
+
+} // namespace mst

@@ -1,0 +1,102 @@
+// The `mst bench` suite: canonical optimizer scenarios timed end to end
+// (wrapper time tables + Step 1 + Step 2), with solution fingerprints
+// guarding against "fast because wrong" and optional from-scratch
+// baseline runs quantifying what the memoized pipeline buys.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ate/ate.hpp"
+#include "core/problem.hpp"
+#include "core/solution.hpp"
+#include "perf/stopwatch.hpp"
+#include "soc/soc.hpp"
+
+namespace mst {
+
+/// One named bench scenario: an SOC on a test cell under one option
+/// variant.
+struct BenchCase {
+    std::string name;     ///< e.g. "d695/512x7M/broadcast"
+    std::string soc_name; ///< "d695" ... or "gen10x"/"gen100x"
+    std::string variant;  ///< "plain" | "broadcast" | "abort" | "retest"
+    std::shared_ptr<const Soc> soc;
+    TestCell cell;
+    OptimizeOptions options;
+};
+
+/// Compact solution identity: enough to detect any change in the chosen
+/// operating point across code versions and pipeline modes.
+struct SolutionFingerprint {
+    SiteCount sites = 0;
+    ChannelCount channels_per_site = 0;
+    CycleCount test_cycles = 0;
+    DevicesPerHour devices_per_hour = 0;
+
+    [[nodiscard]] bool operator==(const SolutionFingerprint& other) const noexcept
+    {
+        return sites == other.sites && channels_per_site == other.channels_per_site &&
+               test_cycles == other.test_cycles && devices_per_hour == other.devices_per_hour;
+    }
+};
+
+/// Measured outcome of one bench case.
+struct BenchCaseResult {
+    std::string name;
+    std::string soc_name;
+    std::string variant;
+    ChannelCount channels = 0;
+    CycleCount depth = 0;
+
+    bool ok = false;
+    std::string error; ///< set when !ok
+
+    TimingStats wall;                          ///< memoized pipeline, full run
+    std::optional<TimingStats> baseline_wall;  ///< from-scratch pipeline (--compare)
+    std::optional<bool> fingerprint_matches_baseline;
+
+    SolutionFingerprint fingerprint;
+    OptimizerStats stats;
+};
+
+/// A full bench run, serialized by write_bench_json().
+struct BenchReport {
+    /// "quick" | "full" for unfiltered canonical runs; "custom" for
+    /// filtered or caller-supplied case lists.
+    std::string suite;
+    int repetitions = 0;
+    bool compared_baseline = false;
+    Seconds total_seconds = 0;
+    std::vector<BenchCaseResult> results;
+
+    /// True when every case succeeded and (under --compare) every
+    /// fingerprint matched its baseline.
+    [[nodiscard]] bool all_ok() const noexcept;
+};
+
+/// Knobs of one bench invocation.
+struct BenchOptions {
+    bool quick = false;            ///< smaller suite, fewer repetitions
+    int repetitions = 0;           ///< 0 = suite default (quick: 2, full: 5)
+    bool compare_baseline = false; ///< also run the from-scratch pipeline
+    std::string filter;            ///< substring filter on case names
+};
+
+/// The canonical scenario list: the four ITC'02 SOCs across
+/// representative test cells and broadcast/abort/retest variants, plus
+/// generator-scaled SOCs at 10x and 100x the d695 module count. The
+/// quick suite (>= 16 cases) drops the second cell and the 100x SOC so
+/// CI smoke runs stay fast.
+[[nodiscard]] std::vector<BenchCase> canonical_bench_cases(bool quick);
+
+/// Run `cases` under `options` (the filter applies here too).
+[[nodiscard]] BenchReport run_bench(const std::vector<BenchCase>& cases,
+                                    const BenchOptions& options);
+
+/// Run the canonical suite selected by options.quick.
+[[nodiscard]] BenchReport run_bench(const BenchOptions& options);
+
+} // namespace mst

@@ -1,0 +1,31 @@
+#include "perf/stopwatch.hpp"
+
+#include <algorithm>
+
+namespace mst {
+
+TimingStats TimingStats::from_samples(std::vector<Seconds> samples)
+{
+    TimingStats stats;
+    if (samples.empty()) {
+        return stats;
+    }
+    std::sort(samples.begin(), samples.end());
+    stats.iterations = static_cast<int>(samples.size());
+    stats.min = samples.front();
+    stats.max = samples.back();
+
+    const std::size_t half = samples.size() / 2;
+    stats.p50 = (samples.size() % 2 == 1)
+                    ? samples[half]
+                    : 0.5 * (samples[half - 1] + samples[half]);
+
+    Seconds total = 0;
+    for (const Seconds sample : samples) {
+        total += sample;
+    }
+    stats.mean = total / static_cast<double>(samples.size());
+    return stats;
+}
+
+} // namespace mst

@@ -1,0 +1,44 @@
+// Lightweight wall-clock timing for the bench harness: a monotonic
+// stopwatch plus order statistics over repeated samples.
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mst {
+
+/// Monotonic wall-clock timer; starts on construction.
+class Stopwatch {
+public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+    [[nodiscard]] Seconds elapsed() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Order statistics of repeated wall-time samples. The median (p50) is
+/// the headline number — robust against a cold first iteration — with
+/// min as the "best achievable" floor CI trend lines use.
+struct TimingStats {
+    int iterations = 0;
+    Seconds min = 0;
+    Seconds p50 = 0;
+    Seconds mean = 0;
+    Seconds max = 0;
+
+    /// Compute the stats from raw samples (order irrelevant; the vector
+    /// is copied and sorted). Returns all-zero stats for no samples.
+    [[nodiscard]] static TimingStats from_samples(std::vector<Seconds> samples);
+};
+
+} // namespace mst

@@ -3,11 +3,12 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "wrapper/time_calculator.hpp"
 #include "wrapper/wrapper_design.hpp"
 
 namespace mst {
 
-ModuleTimeTable::ModuleTimeTable(const Module& module, WireCount max_width)
+ModuleTimeTable::ModuleTimeTable(const Module& module, WireCount max_width, TableBuild build)
     : module_(&module)
 {
     WireCount limit = (max_width > 0) ? max_width : module.max_useful_width();
@@ -16,10 +17,12 @@ ModuleTimeTable::ModuleTimeTable(const Module& module, WireCount max_width)
     times_.reserve(static_cast<std::size_t>(limit));
     used_widths_.reserve(static_cast<std::size_t>(limit));
 
+    const WrapperTimeCalculator calculator(module);
     CycleCount best_time = 0;
     WireCount best_width = 0;
     for (WireCount w = 1; w <= limit; ++w) {
-        const CycleCount raw = wrapped_test_time(module, w);
+        const CycleCount raw = (build == TableBuild::fast) ? calculator.time(w)
+                                                           : wrapped_test_time(module, w);
         if (best_width == 0 || raw < best_time) {
             best_time = raw;
             best_width = w;

@@ -26,12 +26,21 @@ struct ParetoPoint {
     CycleCount test_time = 0;
 };
 
+/// How the staircase entries are computed. Both modes yield identical
+/// tables; `reference` exists so benchmarks can measure the seed's
+/// full-design path and tests can cross-check the fast calculator.
+enum class TableBuild {
+    fast,      ///< WrapperTimeCalculator: chains sorted once, loads-only LPT
+    reference, ///< full design_wrapper materialization per width (seed path)
+};
+
 /// Precomputed width -> test-time staircase for one module.
 class ModuleTimeTable {
 public:
     /// Build the table for widths 1..max_width. If max_width is 0 the
     /// module's own max_useful_width() is used (clamped to width_cap).
-    explicit ModuleTimeTable(const Module& module, WireCount max_width = 0);
+    explicit ModuleTimeTable(const Module& module, WireCount max_width = 0,
+                             TableBuild build = TableBuild::fast);
 
     [[nodiscard]] const Module& module() const noexcept { return *module_; }
     [[nodiscard]] WireCount max_width() const noexcept

@@ -1,0 +1,77 @@
+#include "wrapper/time_calculator.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+#include "wrapper/test_time.hpp"
+
+namespace mst {
+
+namespace {
+
+/// Maximum load after water-filling `cells` unit items onto `width`
+/// chains whose base loads sum to `total` and peak at `max_base`. The
+/// greedy fill (each cell onto the currently shortest chain) realizes the
+/// optimal max, which is `max_base` while the valleys absorb the cells
+/// and the ceiling of the average load once they overflow.
+FlipFlopCount water_fill_max(FlipFlopCount max_base,
+                             FlipFlopCount total,
+                             int cells,
+                             WireCount width) noexcept
+{
+    const FlipFlopCount filled = total + cells;
+    const FlipFlopCount waterline = (filled + width - 1) / width;
+    return std::max(max_base, waterline);
+}
+
+} // namespace
+
+WrapperTimeCalculator::WrapperTimeCalculator(const Module& module) : module_(&module)
+{
+    sorted_lengths_ = module.scan_chain_lengths();
+    std::stable_sort(sorted_lengths_.begin(), sorted_lengths_.end(),
+                     std::greater<FlipFlopCount>());
+    for (const FlipFlopCount length : sorted_lengths_) {
+        total_flip_flops_ += length;
+    }
+    longest_chain_ = sorted_lengths_.empty() ? 0 : sorted_lengths_.front();
+}
+
+FlipFlopCount WrapperTimeCalculator::lpt_max_load(WireCount width) const
+{
+    // With at least one wrapper chain per scan chain, LPT places every
+    // chain alone: the bottleneck is the longest chain.
+    if (static_cast<std::size_t>(width) >= sorted_lengths_.size()) {
+        return longest_chain_;
+    }
+    // Loads-only LPT: longest chain first onto the currently shortest
+    // wrapper chain. Which equal-load chain receives a chain does not
+    // affect the evolving load multiset, so tracking loads alone yields
+    // the same maximum as the index-tie-broken heap in design_wrapper.
+    // A local buffer keeps const time() safe to call from many threads.
+    std::vector<FlipFlopCount> loads(static_cast<std::size_t>(width), 0);
+    const auto min_heap = std::greater<FlipFlopCount>();
+    for (const FlipFlopCount length : sorted_lengths_) {
+        std::pop_heap(loads.begin(), loads.end(), min_heap);
+        loads.back() += length;
+        std::push_heap(loads.begin(), loads.end(), min_heap);
+    }
+    return *std::max_element(loads.begin(), loads.end());
+}
+
+CycleCount WrapperTimeCalculator::time(WireCount width) const
+{
+    if (width < 1) {
+        throw ValidationError("wrapper width must be at least 1 wire (module '" +
+                              module_->name() + "')");
+    }
+    const FlipFlopCount scan_max = lpt_max_load(width);
+    const FlipFlopCount max_scan_in =
+        water_fill_max(scan_max, total_flip_flops_, module_->scan_in_cells(), width);
+    const FlipFlopCount max_scan_out =
+        water_fill_max(scan_max, total_flip_flops_, module_->scan_out_cells(), width);
+    return scan_test_time(module_->patterns(), max_scan_in, max_scan_out);
+}
+
+} // namespace mst

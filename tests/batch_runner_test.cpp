@@ -2,6 +2,7 @@
 // thread-count invariance, and per-scenario error isolation.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,7 @@ std::vector<BatchScenario> mixed_scenarios()
         for (const ChannelCount channels : channel_grid) {
             BatchScenario scenario;
             scenario.label = soc_name + "@" + std::to_string(channels);
-            scenario.soc = make_benchmark_soc(soc_name);
+            scenario.soc = share_soc(make_benchmark_soc(soc_name));
             scenario.cell.ate.channels = channels;
             scenario.cell.ate.vector_memory_depth = 2 * mebi;
             scenarios.push_back(std::move(scenario));
@@ -33,7 +34,7 @@ std::vector<BatchScenario> mixed_scenarios()
     for (std::size_t i = 0; i < std::size(test_seeds::property_cases); ++i) {
         BatchScenario scenario;
         scenario.label = "random" + std::to_string(i);
-        scenario.soc = random_soc(test_seeds::property_cases[i], 12);
+        scenario.soc = share_soc(random_soc(test_seeds::property_cases[i], 12));
         scenario.cell.ate.channels = 128;
         scenario.cell.ate.vector_memory_depth = 100'000;
         scenarios.push_back(std::move(scenario));
@@ -87,14 +88,14 @@ TEST(BatchRunner, InfeasibleScenarioDoesNotPoisonTheBatch)
     {
         BatchScenario ok;
         ok.label = "feasible";
-        ok.soc = make_benchmark_soc("d695");
+        ok.soc = share_soc(make_benchmark_soc("d695"));
         scenarios.push_back(std::move(ok));
     }
     {
         // p93791 needs far more than 2 channels x 10K vectors: infeasible.
         BatchScenario bad;
         bad.label = "infeasible";
-        bad.soc = make_benchmark_soc("p93791");
+        bad.soc = share_soc(make_benchmark_soc("p93791"));
         bad.cell.ate.channels = 2;
         bad.cell.ate.vector_memory_depth = 10'000;
         scenarios.push_back(std::move(bad));
@@ -102,14 +103,14 @@ TEST(BatchRunner, InfeasibleScenarioDoesNotPoisonTheBatch)
     {
         BatchScenario invalid;
         invalid.label = "invalid";
-        invalid.soc = make_benchmark_soc("d695");
+        invalid.soc = share_soc(make_benchmark_soc("d695"));
         invalid.cell.ate.test_clock_hz = 0; // fails AteSpec::validate()
         scenarios.push_back(std::move(invalid));
     }
     {
         BatchScenario ok;
         ok.label = "feasible-too";
-        ok.soc = make_benchmark_soc("p22810");
+        ok.soc = share_soc(make_benchmark_soc("p22810"));
         scenarios.push_back(std::move(ok));
     }
 
@@ -128,6 +129,36 @@ TEST(BatchRunner, InfeasibleScenarioDoesNotPoisonTheBatch)
 
     EXPECT_TRUE(results[3].ok());
     EXPECT_EQ(results[3].solution->soc_name, "p22810");
+}
+
+TEST(BatchRunner, SharedSocMatchesPerScenarioSoc)
+{
+    // One shared Soc pointer (one time-table build) must give the same
+    // results as a fresh Soc per scenario.
+    const std::shared_ptr<const Soc> shared = share_soc(make_benchmark_soc("p22810"));
+    std::vector<BatchScenario> sharing;
+    std::vector<BatchScenario> separate;
+    for (const ChannelCount channels : {128, 256, 512}) {
+        BatchScenario scenario;
+        scenario.label = "p22810@" + std::to_string(channels);
+        scenario.soc = shared;
+        scenario.cell.ate.channels = channels;
+        sharing.push_back(scenario);
+        scenario.soc = share_soc(make_benchmark_soc("p22810"));
+        separate.push_back(std::move(scenario));
+    }
+    EXPECT_EQ(fingerprint(run_batch(sharing, 3)), fingerprint(run_batch(separate, 3)));
+}
+
+TEST(BatchRunner, ScenarioWithoutSocReportsValidationError)
+{
+    BatchScenario scenario;
+    scenario.label = "null-soc";
+    const std::vector<BatchResult> results = run_batch({scenario}, 2);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_EQ(results[0].error_kind, BatchErrorKind::validation);
+    EXPECT_NE(results[0].error.find("no SOC"), std::string::npos);
 }
 
 TEST(BatchRunner, EmptyBatchAndThreadClamping)

@@ -1,0 +1,78 @@
+// Golden fingerprint tests for the memoized Step-1/Step-2 pipeline: on
+// every ITC'02 benchmark SOC and every ExpansionPolicy ablation, the
+// fast path (WrapperTimeCalculator tables + PackEngine memo) must
+// produce a Solution byte-identical to the from-scratch seed pipeline
+// (reference table build, no memoization). Solutions are compared via
+// their full deterministic JSON rendering, so sites, channels, cycles,
+// throughput, TAM plan, E-RPCT wrapper, and the whole site curve all
+// participate in the equality.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/channel_group.hpp"
+#include "core/optimizer.hpp"
+#include "report/solution_json.hpp"
+#include "soc/profiles.hpp"
+
+namespace mst {
+namespace {
+
+const char* policy_name(ExpansionPolicy policy)
+{
+    switch (policy) {
+    case ExpansionPolicy::widen_by_kmin:
+        return "widen_by_kmin";
+    case ExpansionPolicy::min_widening:
+        return "min_widening";
+    case ExpansionPolicy::always_new_group:
+        return "always_new_group";
+    }
+    return "?";
+}
+
+class GoldenFingerprint : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenFingerprint, MemoizedPipelineMatchesFromScratchRun)
+{
+    const Soc soc = make_benchmark_soc(GetParam());
+    const SocTimeTables fast_tables(soc, TableBuild::fast);
+    const SocTimeTables reference_tables(soc, TableBuild::reference);
+
+    TestCell cell; // 512 channels x 7M vectors, the paper's cell
+
+    for (const ExpansionPolicy policy :
+         {ExpansionPolicy::widen_by_kmin, ExpansionPolicy::min_widening,
+          ExpansionPolicy::always_new_group}) {
+        OptimizeOptions memoized;
+        memoized.expansion = policy;
+        memoized.memoize = true;
+
+        OptimizeOptions from_scratch = memoized;
+        from_scratch.memoize = false;
+
+        const Solution fast = optimize_multi_site(fast_tables, cell, memoized);
+        const Solution seed = optimize_multi_site(reference_tables, cell, from_scratch);
+
+        EXPECT_EQ(solution_to_json(fast), solution_to_json(seed))
+            << GetParam() << " under " << policy_name(policy);
+
+        // The memoized run must not do more greedy work than the
+        // from-scratch run; the cache only ever removes passes.
+        EXPECT_EQ(fast.stats.packing.pack_calls, seed.stats.packing.pack_calls)
+            << GetParam() << " under " << policy_name(policy);
+        EXPECT_LE(fast.stats.packing.greedy_passes, seed.stats.packing.greedy_passes)
+            << GetParam() << " under " << policy_name(policy);
+        EXPECT_EQ(seed.stats.packing.pack_cache_hits, 0)
+            << GetParam() << " under " << policy_name(policy);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Itc02Socs, GoldenFingerprint,
+                         ::testing::Values("d695", "p22810", "p34392", "p93791"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace
+} // namespace mst

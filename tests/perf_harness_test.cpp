@@ -1,0 +1,181 @@
+// Tests of the perf subsystem: timing statistics, the canonical bench
+// suite's shape, the bench runner's fingerprint/baseline guarantees,
+// and the BENCH JSON schema surface that tools/validate_bench.py and CI
+// rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perf/bench_json.hpp"
+#include "perf/bench_suite.hpp"
+#include "perf/stopwatch.hpp"
+#include "soc/profiles.hpp"
+
+namespace mst {
+namespace {
+
+TEST(TimingStats, OrderStatisticsFromSamples)
+{
+    const TimingStats odd = TimingStats::from_samples({0.5, 0.1, 0.3});
+    EXPECT_EQ(odd.iterations, 3);
+    EXPECT_DOUBLE_EQ(odd.min, 0.1);
+    EXPECT_DOUBLE_EQ(odd.p50, 0.3);
+    EXPECT_DOUBLE_EQ(odd.max, 0.5);
+    EXPECT_DOUBLE_EQ(odd.mean, 0.3);
+
+    const TimingStats even = TimingStats::from_samples({0.4, 0.1, 0.2, 0.3});
+    EXPECT_EQ(even.iterations, 4);
+    EXPECT_DOUBLE_EQ(even.p50, 0.25);
+    EXPECT_DOUBLE_EQ(even.mean, 0.25);
+
+    const TimingStats empty = TimingStats::from_samples({});
+    EXPECT_EQ(empty.iterations, 0);
+    EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+}
+
+TEST(Stopwatch, MeasuresForwardTime)
+{
+    Stopwatch stopwatch;
+    const Seconds first = stopwatch.elapsed();
+    const Seconds second = stopwatch.elapsed();
+    EXPECT_GE(first, 0.0);
+    EXPECT_GE(second, first);
+    stopwatch.restart();
+    EXPECT_GE(stopwatch.elapsed(), 0.0);
+}
+
+TEST(BenchSuite, CanonicalSuitesCoverTheRequiredGrid)
+{
+    const std::vector<BenchCase> quick = canonical_bench_cases(true);
+    const std::vector<BenchCase> full = canonical_bench_cases(false);
+    EXPECT_GE(quick.size(), 16u);
+    EXPECT_GT(full.size(), quick.size());
+
+    // Unique names, and every ITC'02 SOC x variant pair present.
+    for (const std::vector<BenchCase>* suite : {&quick, &full}) {
+        std::vector<std::string> names;
+        for (const BenchCase& bench_case : *suite) {
+            names.push_back(bench_case.name);
+            ASSERT_NE(bench_case.soc, nullptr) << bench_case.name;
+        }
+        std::sort(names.begin(), names.end());
+        EXPECT_EQ(std::unique(names.begin(), names.end()), names.end()) << "duplicate names";
+        for (const char* soc : {"d695", "p22810", "p34392", "p93791"}) {
+            for (const char* variant : {"plain", "broadcast", "abort", "retest"}) {
+                const std::string name = std::string(soc) + "/512x7M/" + variant;
+                EXPECT_NE(std::find(names.begin(), names.end(), name), names.end()) << name;
+            }
+        }
+    }
+
+    // SOCs are shared within the suite: one Soc object per SOC name.
+    const std::shared_ptr<const Soc>& first = full.front().soc;
+    int sharing = 0;
+    for (const BenchCase& bench_case : full) {
+        if (bench_case.soc == first) {
+            ++sharing;
+        }
+    }
+    EXPECT_GT(sharing, 1) << "cases of one SOC should share the Soc object";
+}
+
+TEST(BenchRunner, ComparedRunMatchesBaselineFingerprints)
+{
+    // One small case with baseline comparison: d695 on the paper cell.
+    std::vector<BenchCase> cases;
+    BenchCase bench_case;
+    bench_case.name = "d695/512x7M/plain";
+    bench_case.soc_name = "d695";
+    bench_case.variant = "plain";
+    bench_case.soc = std::make_shared<const Soc>(make_benchmark_soc("d695"));
+    cases.push_back(std::move(bench_case));
+
+    BenchOptions options;
+    options.repetitions = 2;
+    options.compare_baseline = true;
+    const BenchReport report = run_bench(cases, options);
+
+    ASSERT_EQ(report.results.size(), 1u);
+    const BenchCaseResult& result = report.results.front();
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.wall.iterations, 2);
+    ASSERT_TRUE(result.baseline_wall.has_value());
+    ASSERT_TRUE(result.fingerprint_matches_baseline.has_value());
+    EXPECT_TRUE(*result.fingerprint_matches_baseline);
+    EXPECT_GT(result.fingerprint.sites, 0);
+    EXPECT_GT(result.stats.packing.pack_calls, 0);
+    EXPECT_TRUE(report.all_ok());
+    EXPECT_EQ(report.repetitions, 2);
+}
+
+TEST(BenchRunner, InfeasibleCaseIsCapturedNotThrown)
+{
+    std::vector<BenchCase> cases;
+    BenchCase bench_case;
+    bench_case.name = "d695/tiny/plain";
+    bench_case.soc_name = "d695";
+    bench_case.variant = "plain";
+    bench_case.soc = std::make_shared<const Soc>(make_benchmark_soc("d695"));
+    bench_case.cell.ate.channels = 2;
+    bench_case.cell.ate.vector_memory_depth = 1000;
+    cases.push_back(std::move(bench_case));
+
+    BenchOptions options;
+    options.repetitions = 1;
+    const BenchReport report = run_bench(cases, options);
+    ASSERT_EQ(report.results.size(), 1u);
+    EXPECT_FALSE(report.results.front().ok);
+    EXPECT_FALSE(report.results.front().error.empty());
+    EXPECT_FALSE(report.all_ok());
+}
+
+TEST(BenchRunner, FilterSelectsByName)
+{
+    BenchOptions options;
+    options.quick = true;
+    options.repetitions = 1;
+    options.filter = "d695/512x7M";
+    const BenchReport report = run_bench(options);
+    ASSERT_EQ(report.results.size(), 4u); // the four d695 variants
+    for (const BenchCaseResult& result : report.results) {
+        EXPECT_EQ(result.soc_name, "d695");
+    }
+    // A filtered run is a subset, not the canonical suite.
+    EXPECT_EQ(report.suite, "custom");
+
+    BenchOptions unfiltered;
+    unfiltered.quick = true;
+    unfiltered.repetitions = 1;
+    EXPECT_EQ(run_bench(unfiltered).suite, "quick");
+}
+
+TEST(BenchJson, SchemaSurfaceIsStable)
+{
+    BenchOptions options;
+    options.quick = true;
+    options.repetitions = 1;
+    options.filter = "d695/512x7M/plain";
+    const BenchReport report = run_bench(options);
+    const std::string json = bench_report_to_json(report);
+
+    for (const char* key :
+         {"\"schema\": \"mst.bench\"", "\"schema_version\": 1", "\"suite\": \"custom\"",
+          "\"repetitions\": 1", "\"compared_baseline\": false", "\"total_seconds\":",
+          "\"scenario_count\": 1", "\"scenarios\": [", "\"name\": \"d695/512x7M/plain\"",
+          "\"ok\": true", "\"wall_seconds\":", "\"iterations\": 1", "\"min_s\":", "\"p50_s\":",
+          "\"mean_s\":", "\"max_s\":", "\"fingerprint\":", "\"sites\":",
+          "\"channels_per_site\":", "\"test_cycles\":", "\"devices_per_hour\":",
+          "\"optimizer_stats\":", "\"pack_calls\":", "\"pack_cache_hits\":",
+          "\"greedy_passes\":", "\"depth_profiles\":", "\"site_points\":"}) {
+        EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in:\n" << json;
+    }
+    // No baseline requested: the comparison keys must be absent.
+    EXPECT_EQ(json.find("baseline_wall_seconds"), std::string::npos);
+    EXPECT_EQ(json.find("fingerprint_matches_baseline"), std::string::npos);
+}
+
+} // namespace
+} // namespace mst

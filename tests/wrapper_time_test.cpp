@@ -1,0 +1,104 @@
+// Exhaustive cross-check of the fast wrapper-time path: the loads-only
+// WrapperTimeCalculator and the TableBuild::fast staircases must be
+// byte-identical to the full design_wrapper reference at every width.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/channel_group.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "soc/generator.hpp"
+#include "soc/profiles.hpp"
+#include "wrapper/pareto.hpp"
+#include "wrapper/time_calculator.hpp"
+#include "wrapper/wrapper_design.hpp"
+
+namespace mst {
+namespace {
+
+void expect_calculator_matches_reference(const Module& module)
+{
+    const WrapperTimeCalculator calculator(module);
+    const WireCount limit = std::min(module.max_useful_width(), width_cap);
+    for (WireCount w = 1; w <= limit; ++w) {
+        ASSERT_EQ(calculator.time(w), wrapped_test_time(module, w))
+            << "module '" << module.name() << "' at width " << w;
+    }
+    // Beyond the useful width the time must saturate, not change.
+    EXPECT_EQ(calculator.time(limit + 7), wrapped_test_time(module, limit + 7))
+        << "module '" << module.name() << "' beyond max useful width";
+}
+
+TEST(WrapperTimeCalculator, MatchesDesignWrapperOnBenchmarkSocs)
+{
+    for (const std::string& name : {"d695", "p22810", "p34392"}) {
+        const Soc soc = make_benchmark_soc(name);
+        for (const Module& module : soc.modules()) {
+            expect_calculator_matches_reference(module);
+        }
+    }
+}
+
+TEST(WrapperTimeCalculator, MatchesDesignWrapperOnRandomSocs)
+{
+    for (const std::uint64_t seed : test_seeds::property_cases) {
+        const Soc soc = random_soc(seed, 10);
+        for (const Module& module : soc.modules()) {
+            expect_calculator_matches_reference(module);
+        }
+    }
+}
+
+TEST(WrapperTimeCalculator, HandlesDegenerateModules)
+{
+    // No scan chains at all (memory-interface style module).
+    const Module combinational("comb", 17, 9, 3, 250, {});
+    expect_calculator_matches_reference(combinational);
+
+    // Scan chains but no functional terminals on one side.
+    const Module no_outputs("no_out", 12, 0, 0, 50, {100, 80, 3});
+    expect_calculator_matches_reference(no_outputs);
+
+    // One long chain dominating many short ones.
+    const Module skewed("skewed", 4, 4, 0, 10, {5000, 1, 1, 1, 1, 1, 1, 1});
+    expect_calculator_matches_reference(skewed);
+
+    EXPECT_THROW((void)WrapperTimeCalculator(combinational).time(0), ValidationError);
+}
+
+TEST(ModuleTimeTable, FastBuildEqualsReferenceBuild)
+{
+    const Soc soc = make_benchmark_soc("d695");
+    for (const Module& module : soc.modules()) {
+        const ModuleTimeTable fast(module, 0, TableBuild::fast);
+        const ModuleTimeTable reference(module, 0, TableBuild::reference);
+        ASSERT_EQ(fast.max_width(), reference.max_width()) << module.name();
+        for (WireCount w = 1; w <= fast.max_width(); ++w) {
+            ASSERT_EQ(fast.time(w), reference.time(w)) << module.name() << " width " << w;
+            ASSERT_EQ(fast.used_width(w), reference.used_width(w))
+                << module.name() << " width " << w;
+        }
+        EXPECT_EQ(fast.min_area(), reference.min_area()) << module.name();
+        ASSERT_EQ(fast.pareto().size(), reference.pareto().size()) << module.name();
+        for (std::size_t i = 0; i < fast.pareto().size(); ++i) {
+            EXPECT_EQ(fast.pareto()[i].width, reference.pareto()[i].width);
+            EXPECT_EQ(fast.pareto()[i].test_time, reference.pareto()[i].test_time);
+        }
+    }
+}
+
+TEST(SocTimeTables, TotalMinAreaSumsModuleMinima)
+{
+    const Soc soc = make_benchmark_soc("d695");
+    const SocTimeTables tables(soc);
+    CycleCount expected = 0;
+    for (int m = 0; m < tables.module_count(); ++m) {
+        expected += tables.table(m).min_area();
+    }
+    EXPECT_EQ(tables.total_min_area(), expected);
+    EXPECT_GT(tables.total_min_area(), 0);
+}
+
+} // namespace
+} // namespace mst

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate a BENCH JSON file against the mst.bench v1 schema.
+
+Usage: tools/validate_bench.py BENCH_optimizer.json
+
+Exits 0 and prints a one-line summary when the file is valid; exits 1
+with a diagnostic otherwise. CI's perf-smoke job runs this on the
+artifact produced by `mst bench --quick` so a malformed or truncated
+report fails the build instead of silently polluting the perf
+trajectory. Stdlib-only on purpose.
+"""
+import json
+import sys
+
+SCHEMA_NAME = "mst.bench"
+SCHEMA_VERSION = 1
+
+TIMING_KEYS = {"iterations": int, "min_s": (int, float), "p50_s": (int, float),
+               "mean_s": (int, float), "max_s": (int, float)}
+FINGERPRINT_KEYS = {"sites": int, "channels_per_site": int, "test_cycles": int,
+                    "devices_per_hour": (int, float)}
+STATS_KEYS = {"pack_calls": int, "pack_cache_hits": int, "greedy_passes": int,
+              "depth_profiles": int, "site_points": int}
+
+
+def fail(message):
+    print(f"BENCH schema error: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(obj, key, types, where):
+    if key not in obj:
+        fail(f"{where}: missing key '{key}'")
+    if not isinstance(obj[key], types):
+        fail(f"{where}: key '{key}' has type {type(obj[key]).__name__}")
+    return obj[key]
+
+
+def check_block(obj, key, spec, where):
+    block = require(obj, key, dict, where)
+    for name, types in spec.items():
+        require(block, name, types, f"{where}.{key}")
+    return block
+
+
+def check_timing(obj, key, where):
+    block = check_block(obj, key, TIMING_KEYS, where)
+    if block["iterations"] < 1:
+        fail(f"{where}.{key}: iterations must be >= 1")
+    if not (0 <= block["min_s"] <= block["p50_s"] <= block["max_s"]):
+        fail(f"{where}.{key}: expected min_s <= p50_s <= max_s")
+
+
+def check_scenario(scenario, index):
+    where = f"scenarios[{index}]"
+    if not isinstance(scenario, dict):
+        fail(f"{where}: not an object")
+    name = require(scenario, "name", str, where)
+    if not name:
+        fail(f"{where}: empty scenario name")
+    require(scenario, "soc", str, where)
+    require(scenario, "variant", str, where)
+    require(scenario, "channels", int, where)
+    require(scenario, "depth_vectors", int, where)
+    ok = require(scenario, "ok", bool, where)
+    if not ok:
+        require(scenario, "error", str, where)
+        return name
+    check_timing(scenario, "wall_seconds", where)
+    check_block(scenario, "fingerprint", FINGERPRINT_KEYS, where)
+    check_block(scenario, "optimizer_stats", STATS_KEYS, where)
+    if "baseline_wall_seconds" in scenario:
+        check_timing(scenario, "baseline_wall_seconds", where)
+    if "fingerprint_matches_baseline" in scenario:
+        require(scenario, "fingerprint_matches_baseline", bool, where)
+    return name
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_bench.py <bench.json>")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            report = json.load(handle)
+    except OSError as error:
+        fail(f"cannot read {sys.argv[1]}: {error}")
+    except json.JSONDecodeError as error:
+        fail(f"not valid JSON: {error}")
+
+    if not isinstance(report, dict):
+        fail("top level is not an object")
+    if require(report, "schema", str, "top level") != SCHEMA_NAME:
+        fail(f"schema is '{report['schema']}', expected '{SCHEMA_NAME}'")
+    if require(report, "schema_version", int, "top level") != SCHEMA_VERSION:
+        fail(f"schema_version is {report['schema_version']}, expected {SCHEMA_VERSION}")
+    require(report, "suite", str, "top level")
+    require(report, "repetitions", int, "top level")
+    require(report, "compared_baseline", bool, "top level")
+    require(report, "total_seconds", (int, float), "top level")
+    scenarios = require(report, "scenarios", list, "top level")
+    if not scenarios:
+        fail("scenarios list is empty")
+    if require(report, "scenario_count", int, "top level") != len(scenarios):
+        fail("scenario_count does not match the scenarios list length")
+
+    names = [check_scenario(scenario, i) for i, scenario in enumerate(scenarios)]
+    if len(set(names)) != len(names):
+        fail("duplicate scenario names")
+
+    failed = [s["name"] for s in scenarios if not s["ok"]]
+    mismatched = [s["name"] for s in scenarios
+                  if s.get("fingerprint_matches_baseline") is False]
+    if failed:
+        fail(f"{len(failed)} scenario(s) failed: {', '.join(failed[:5])}")
+    if mismatched:
+        fail(f"fingerprint mismatch vs baseline in: {', '.join(mismatched[:5])}")
+
+    print(f"OK: {len(scenarios)} scenarios, schema {SCHEMA_NAME} v{SCHEMA_VERSION}, "
+          f"suite '{report['suite']}'")
+
+
+if __name__ == "__main__":
+    main()
