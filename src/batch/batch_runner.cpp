@@ -1,11 +1,10 @@
 #include "batch/batch_runner.hpp"
 
-#include <atomic>
 #include <map>
 #include <memory>
-#include <thread>
 
 #include "arch/channel_group.hpp"
+#include "batch/parallel.hpp"
 #include "common/error.hpp"
 #include "core/optimizer.hpp"
 
@@ -61,60 +60,8 @@ BatchRunner::BatchRunner(int threads) : threads_(threads) {}
 
 int BatchRunner::thread_count(std::size_t jobs) const noexcept
 {
-    int threads = threads_;
-    if (threads <= 0) {
-        threads = static_cast<int>(std::thread::hardware_concurrency());
-    }
-    if (threads < 1) {
-        threads = 1;
-    }
-    if (jobs < static_cast<std::size_t>(threads)) {
-        threads = static_cast<int>(jobs);
-    }
-    return threads;
+    return resolve_thread_count(threads_, jobs);
 }
-
-namespace {
-
-/// Work stealing off a shared counter: each worker claims the next
-/// unclaimed index and writes its own output slot, so the output order
-/// is the input order no matter how the pool schedules.
-template <typename Fn>
-void fan_out(std::size_t count, int threads, Fn&& fn)
-{
-    if (count == 0) {
-        return;
-    }
-    if (static_cast<std::size_t>(threads) > count) {
-        threads = static_cast<int>(count);
-    }
-    if (threads <= 1) {
-        for (std::size_t i = 0; i < count; ++i) {
-            fn(i);
-        }
-        return;
-    }
-    std::atomic<std::size_t> next{0};
-    const auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= count) {
-                return;
-            }
-            fn(i);
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-        pool.emplace_back(worker);
-    }
-    for (std::thread& thread : pool) {
-        thread.join();
-    }
-}
-
-} // namespace
 
 std::vector<BatchResult> BatchRunner::run(const std::vector<BatchScenario>& scenarios) const
 {
@@ -138,7 +85,7 @@ std::vector<BatchResult> BatchRunner::run(const std::vector<BatchScenario>& scen
     std::vector<SharedTables> tables(distinct.size());
 
     const int threads = thread_count(scenarios.size());
-    fan_out(distinct.size(), threads, [&](std::size_t i) {
+    parallel_for_index(distinct.size(), threads, [&](std::size_t i) {
         // A failed build (e.g. bad_alloc on a huge SOC) must not escape
         // the worker thread; it becomes every holder's BatchResult error.
         try {
@@ -154,7 +101,7 @@ std::vector<BatchResult> BatchRunner::run(const std::vector<BatchScenario>& scen
             tables[i].error = "unknown exception building wrapper time tables";
         }
     });
-    fan_out(scenarios.size(), threads, [&](std::size_t i) {
+    parallel_for_index(scenarios.size(), threads, [&](std::size_t i) {
         const Soc* soc = scenarios[i].soc.get();
         const SharedTables* shared = (soc != nullptr) ? &tables[table_slot.at(soc)] : nullptr;
         results[i] = run_one(scenarios[i], shared);

@@ -1,0 +1,72 @@
+// Index-parallel fan-out shared by BatchRunner and the request service.
+//
+// Workers steal indices off a shared atomic counter and write into their
+// own output slot, so the caller's output order is the input order no
+// matter how the pool schedules. `fn(i)` must not throw: capture errors
+// into the i-th output slot instead (an exception escaping a worker
+// thread would terminate the process).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace mst {
+
+/// Resolve a user-configured thread count for `jobs` work items:
+/// `configured` <= 0 selects hardware_concurrency; the result is at
+/// least 1 and never more than there are jobs (an empty job list
+/// reports 0). Shared by BatchRunner and RequestService so both
+/// surfaces pick pool sizes identically.
+[[nodiscard]] inline int resolve_thread_count(int configured, std::size_t jobs) noexcept
+{
+    int threads = configured;
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    if (threads < 1) {
+        threads = 1;
+    }
+    if (jobs < static_cast<std::size_t>(threads)) {
+        threads = static_cast<int>(jobs);
+    }
+    return threads;
+}
+
+template <typename Fn>
+void parallel_for_index(std::size_t count, int threads, Fn&& fn)
+{
+    if (count == 0) {
+        return;
+    }
+    if (static_cast<std::size_t>(threads) > count) {
+        threads = static_cast<int>(count);
+    }
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) {
+                return;
+            }
+            fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back(worker);
+    }
+    for (std::thread& thread : pool) {
+        thread.join();
+    }
+}
+
+} // namespace mst

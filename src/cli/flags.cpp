@@ -1,0 +1,143 @@
+#include "cli/flags.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace mst::cli {
+
+namespace {
+
+const FlagSpec* find_spec(const std::vector<FlagSpec>& known, const std::string& name)
+{
+    for (const FlagSpec& spec : known) {
+        if (spec.name == name) {
+            return &spec;
+        }
+    }
+    return nullptr;
+}
+
+std::size_t edit_distance(const std::string& a, const std::string& b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) {
+        row[j] = j;
+    }
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diagonal = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diagonal = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
+std::string nearest_flag_name(const std::string& input, const std::vector<FlagSpec>& candidates)
+{
+    std::string best;
+    std::size_t best_distance = 3; // suggest only within distance 2
+    for (const FlagSpec& spec : candidates) {
+        const std::size_t distance = edit_distance(input, spec.name);
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = spec.name;
+        }
+    }
+    return best;
+}
+
+Flags parse_flags(const std::vector<std::string>& args, const std::string& command,
+                  const std::vector<FlagSpec>& known)
+{
+    Flags flags;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        if (arg.rfind("--", 0) != 0) {
+            throw ValidationError("unexpected argument '" + arg + "' for '" + command +
+                                  "' (flags start with --)");
+        }
+        const std::string name = arg.substr(2);
+        const FlagSpec* spec = find_spec(known, name);
+        if (spec == nullptr) {
+            std::string message = "unknown flag '--" + name + "' for '" + command + "'";
+            const std::string suggestion = nearest_flag_name(name, known);
+            if (!suggestion.empty()) {
+                message += " (did you mean '--" + suggestion + "'?)";
+            } else {
+                message += "; see 'mst help'";
+            }
+            throw ValidationError(message);
+        }
+        if (flags.count(name) != 0) {
+            throw ValidationError("duplicate flag '--" + name + "' for '" + command + "'");
+        }
+        if (spec->takes_value) {
+            const bool has_value =
+                (i + 1 < args.size()) && args[i + 1].rfind("--", 0) != 0;
+            if (!has_value) {
+                throw ValidationError("flag '--" + name + "' requires a value");
+            }
+            flags[name] = args[++i];
+        } else {
+            flags[name] = "";
+        }
+    }
+    return flags;
+}
+
+std::string flag_or(const Flags& flags, const std::string& key, const std::string& fallback)
+{
+    const auto it = flags.find(key);
+    return (it != flags.end()) ? it->second : fallback;
+}
+
+namespace {
+
+/// strtol/strtod silently skip leading whitespace; a flag value never
+/// legitimately has any.
+bool leading_space(const std::string& text)
+{
+    return !text.empty() && std::isspace(static_cast<unsigned char>(text.front())) != 0;
+}
+
+} // namespace
+
+int parse_int_flag(const std::string& flag, const std::string& text)
+{
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    const bool consumed =
+        (end != text.c_str()) && (*end == '\0') && !text.empty() && !leading_space(text);
+    if (!consumed || errno == ERANGE || value < std::numeric_limits<int>::min() ||
+        value > std::numeric_limits<int>::max()) {
+        throw ValidationError("--" + flag + " expects an integer, got '" + text + "'");
+    }
+    return static_cast<int>(value);
+}
+
+double parse_double_flag(const std::string& flag, const std::string& text)
+{
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    const bool consumed =
+        (end != text.c_str()) && (*end == '\0') && !text.empty() && !leading_space(text);
+    if (!consumed || errno == ERANGE || !std::isfinite(value)) {
+        throw ValidationError("--" + flag + " expects a number, got '" + text + "'");
+    }
+    return value;
+}
+
+} // namespace mst::cli

@@ -1,0 +1,60 @@
+// Strict command-line flag parsing for the mst CLI.
+//
+// Every subcommand declares its known flags as a FlagSpec list;
+// parse_flags validates the raw argument vector against it:
+//   * unknown flags are rejected (with a nearest-match suggestion, so a
+//     typo like `--brodcast` cannot silently change results),
+//   * duplicate flags are rejected,
+//   * a flag declared with FlagSpec::takes_value must be followed by a
+//     value, and a bare flag must not be,
+//   * stray positional arguments are rejected.
+//
+// Numeric flag values go through the strict full-consumption parsers
+// below, which name the offending flag ("--channels expects an integer,
+// got '512x'") instead of truncating at the first bad character or
+// surfacing a bare std::stoi/stod exception.
+//
+// Lives outside main.cpp so cli_flags_test can drive it directly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mst::cli {
+
+/// One flag a subcommand accepts, without the leading "--".
+struct FlagSpec {
+    std::string name;
+    bool takes_value = false;
+};
+
+/// Parsed command line: flag -> value ("" for bare flags).
+using Flags = std::map<std::string, std::string>;
+
+/// Parse `args` (the argv tail after the subcommand name) against the
+/// subcommand's known flag set. Throws ValidationError on unknown or
+/// duplicate flags, missing or unexpected values, and stray positional
+/// arguments; `command` names the subcommand in the error message.
+[[nodiscard]] Flags parse_flags(const std::vector<std::string>& args,
+                                const std::string& command,
+                                const std::vector<FlagSpec>& known);
+
+/// Value of `key`, or `fallback` when the flag was not given.
+[[nodiscard]] std::string flag_or(const Flags& flags, const std::string& key,
+                                  const std::string& fallback);
+
+/// Strict integer: the whole token must parse, no trailing junk.
+/// Throws ValidationError naming `flag` otherwise.
+[[nodiscard]] int parse_int_flag(const std::string& flag, const std::string& text);
+
+/// Strict floating-point number: the whole token must parse and be
+/// finite. Throws ValidationError naming `flag` otherwise.
+[[nodiscard]] double parse_double_flag(const std::string& flag, const std::string& text);
+
+/// Levenshtein-nearest name out of `candidates` within distance 2 of
+/// `input`, or "" when nothing is close. Used for typo suggestions.
+[[nodiscard]] std::string nearest_flag_name(const std::string& input,
+                                            const std::vector<FlagSpec>& candidates);
+
+} // namespace mst::cli

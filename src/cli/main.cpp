@@ -2,15 +2,20 @@
 //
 //   mst_cli optimize --soc d695 --channels 256 --depth 48K [--broadcast]
 //   mst_cli batch    --socs d695,p22810 --channels 256,512 --depths 8M,32M
+//   mst_cli serve                        # JSON-lines request loop on stdin
+//   mst_cli replay requests.jsonl        # request file, concurrent, in-order
 //   mst_cli inspect  --soc data/d695.soc
 //   mst_cli generate --profile p93791 --out p93791.soc
 //
 // --soc accepts either a benchmark name (d695, p22810, p34392, p93791,
 // pnx8550) or a path to a .soc file.
+//
+// Flags are validated per subcommand (see cli/flags.hpp): unknown or
+// duplicate flags and malformed numeric values are hard errors, never
+// silently ignored or truncated.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -19,6 +24,7 @@
 #include "arch/channel_group.hpp"
 #include "ate/ate.hpp"
 #include "batch/batch_runner.hpp"
+#include "cli/flags.hpp"
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "core/optimizer.hpp"
@@ -29,47 +35,43 @@
 #include "report/gantt.hpp"
 #include "report/solution_json.hpp"
 #include "report/table.hpp"
-#include "soc/parser.hpp"
+#include "service/service.hpp"
 #include "soc/profiles.hpp"
 #include "soc/writer.hpp"
 
 namespace {
 
 using namespace mst;
+using cli::FlagSpec;
+using cli::Flags;
+using cli::flag_or;
+using cli::parse_double_flag;
+using cli::parse_int_flag;
 
-/// Parsed command line: flag -> value ("" for bare flags).
-using Flags = std::map<std::string, std::string>;
-
-Flags parse_flags(int argc, char** argv, int first)
+/// Append `extra` to `base` (flag-set composition).
+std::vector<FlagSpec> operator+(std::vector<FlagSpec> base, const std::vector<FlagSpec>& extra)
 {
-    Flags flags;
-    for (int i = first; i < argc; ++i) {
-        std::string key = argv[i];
-        if (key.rfind("--", 0) != 0) {
-            throw ValidationError("unexpected argument '" + key + "'");
-        }
-        key.erase(0, 2);
-        const bool has_value = (i + 1 < argc) && std::string(argv[i + 1]).rfind("--", 0) != 0;
-        flags[key] = has_value ? argv[++i] : "";
-    }
-    return flags;
+    base.insert(base.end(), extra.begin(), extra.end());
+    return base;
 }
 
-std::string flag_or(const Flags& flags, const std::string& key, const std::string& fallback)
-{
-    const auto it = flags.find(key);
-    return (it != flags.end()) ? it->second : fallback;
-}
+/// Optimize-option flags shared by optimize, batch, and flow.
+const std::vector<FlagSpec> option_flags = {
+    {"broadcast", false}, {"abort-on-fail", false}, {"retest", false},
+    {"step1-only", false}, {"pc", true}, {"pm", true},
+};
 
-Soc load_soc_spec(const std::string& spec)
-{
-    for (const std::string& name : benchmark_soc_names()) {
-        if (spec == name) {
-            return make_benchmark_soc(spec);
-        }
-    }
-    return load_soc_file(spec);
-}
+/// Test-cell flags shared by optimize and flow (batch re-declares the
+/// list-valued ones).
+const std::vector<FlagSpec> cell_flags = {
+    {"channels", true}, {"depth", true}, {"clock", true},
+    {"index", true}, {"contact", true},
+};
+
+/// Service-tuning flags shared by serve and replay.
+const std::vector<FlagSpec> service_flags = {
+    {"threads", true}, {"tables-cache", true}, {"memo", true},
+};
 
 Soc load_soc_argument(const Flags& flags)
 {
@@ -83,11 +85,12 @@ Soc load_soc_argument(const Flags& flags)
 TestCell cell_from_flags(const Flags& flags)
 {
     TestCell cell;
-    cell.ate.channels = std::stoi(flag_or(flags, "channels", "512"));
+    cell.ate.channels = parse_int_flag("channels", flag_or(flags, "channels", "512"));
     cell.ate.vector_memory_depth = parse_depth(flag_or(flags, "depth", "7M"));
-    cell.ate.test_clock_hz = std::stod(flag_or(flags, "clock", "5e6"));
-    cell.prober.index_time = std::stod(flag_or(flags, "index", "0.5"));
-    cell.prober.contact_test_time = std::stod(flag_or(flags, "contact", "0.001"));
+    cell.ate.test_clock_hz = parse_double_flag("clock", flag_or(flags, "clock", "5e6"));
+    cell.prober.index_time = parse_double_flag("index", flag_or(flags, "index", "0.5"));
+    cell.prober.contact_test_time =
+        parse_double_flag("contact", flag_or(flags, "contact", "0.001"));
     return cell;
 }
 
@@ -106,8 +109,9 @@ OptimizeOptions options_from_flags(const Flags& flags)
     if (flags.count("step1-only") != 0) {
         options.step1_only = true;
     }
-    options.yields.contact_yield_per_terminal = std::stod(flag_or(flags, "pc", "1.0"));
-    options.yields.manufacturing_yield = std::stod(flag_or(flags, "pm", "1.0"));
+    options.yields.contact_yield_per_terminal =
+        parse_double_flag("pc", flag_or(flags, "pc", "1.0"));
+    options.yields.manufacturing_yield = parse_double_flag("pm", flag_or(flags, "pm", "1.0"));
     return options;
 }
 
@@ -170,20 +174,6 @@ int cmd_optimize(const Flags& flags)
     return 0;
 }
 
-int parse_int_flag(const std::string& flag, const std::string& text)
-{
-    try {
-        std::size_t used = 0;
-        const int value = std::stoi(text, &used);
-        if (used != text.size()) {
-            throw ValidationError("");
-        }
-        return value;
-    } catch (const std::exception&) {
-        throw ValidationError("--" + flag + " expects an integer, got '" + text + "'");
-    }
-}
-
 std::vector<std::string> split_csv(const std::string& text)
 {
     std::vector<std::string> items;
@@ -222,10 +212,10 @@ int cmd_batch(const Flags& flags)
     // The clock/prober flags are scenario-invariant; parse them once.
     // --channels and --depth hold comma-separated lists here, so they
     // must not reach cell_from_flags's single-value parsers.
-    Flags cell_flags = flags;
-    cell_flags.erase("channels");
-    cell_flags.erase("depth");
-    const TestCell base_cell = cell_from_flags(cell_flags);
+    Flags scenario_invariant = flags;
+    scenario_invariant.erase("channels");
+    scenario_invariant.erase("depth");
+    const TestCell base_cell = cell_from_flags(scenario_invariant);
 
     std::vector<BatchScenario> scenarios;
     for (const std::string& spec : soc_specs) {
@@ -291,6 +281,53 @@ int cmd_batch(const Flags& flags)
         std::cout << ", " << failures << " not solvable";
     }
     std::cout << '\n';
+    return 0;
+}
+
+ServiceConfig service_config_from_flags(const Flags& flags)
+{
+    ServiceConfig config;
+    config.threads = parse_int_flag("threads", flag_or(flags, "threads", "0"));
+    const int tables = parse_int_flag("tables-cache", flag_or(flags, "tables-cache", "16"));
+    const int memo = parse_int_flag("memo", flag_or(flags, "memo", "256"));
+    if (tables < 1 || memo < 1) {
+        throw ValidationError("cache capacities must be at least 1");
+    }
+    config.tables_cache_capacity = static_cast<std::size_t>(tables);
+    config.memo_capacity = static_cast<std::size_t>(memo);
+    return config;
+}
+
+/// `serve`: persistent JSON-lines request loop on stdin/stdout. One
+/// response line per request line; the caches live for the whole
+/// session, so repeated SOCs and repeated requests get cheaper.
+int cmd_serve(const Flags& flags)
+{
+    RequestService service(service_config_from_flags(flags));
+    service.serve(std::cin, std::cout);
+    return 0;
+}
+
+/// `replay`: execute a request file. Requests fan out across the thread
+/// pool; responses print in request order regardless of thread count.
+int cmd_replay(const std::string& path, const Flags& flags)
+{
+    std::ifstream file(path);
+    if (!file) {
+        throw ValidationError("cannot open request file '" + path + "'");
+    }
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(file, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) {
+            continue; // blank / whitespace-only lines are not requests
+        }
+        lines.push_back(line);
+    }
+    RequestService service(service_config_from_flags(flags));
+    for (const std::string& response : service.execute(lines)) {
+        std::cout << response << '\n';
+    }
     return 0;
 }
 
@@ -380,12 +417,15 @@ int cmd_flow(const Flags& flags)
     const Soc soc = load_soc_argument(flags);
     const TestCell wafer_cell = cell_from_flags(flags);
     FinalTestCell final_cell;
-    final_cell.channels = std::stoi(flag_or(flags, "final-channels", "1024"));
-    final_cell.max_handler_sites = std::stoi(flag_or(flags, "handler-sites", "8"));
+    final_cell.channels =
+        parse_int_flag("final-channels", flag_or(flags, "final-channels", "1024"));
+    final_cell.max_handler_sites =
+        parse_int_flag("handler-sites", flag_or(flags, "handler-sites", "8"));
 
     FlowOptions options;
     options.wafer = options_from_flags(flags);
-    options.wafer.yields.manufacturing_yield = std::stod(flag_or(flags, "pm", "0.9"));
+    options.wafer.yields.manufacturing_yield =
+        parse_double_flag("pm", flag_or(flags, "pm", "0.9"));
     if (flags.count("final-retest") != 0) {
         options.final_retest = FinalRetest::through_erpct;
     }
@@ -450,6 +490,13 @@ int cmd_help()
         "  batch    --socs <list> [--channels <list>] [--depths <list>]\n"
         "           [--threads N] [optimize flags] [--json]\n"
         "           (cross product of comma-separated lists, run in parallel)\n"
+        "  serve    [--threads N] [--tables-cache N] [--memo N]\n"
+        "           (persistent request loop: one JSON request per stdin line,\n"
+        "            one JSON response per stdout line; SOC time tables and\n"
+        "            solutions are cached across requests)\n"
+        "  replay   <file> [--threads N] [--tables-cache N] [--memo N]\n"
+        "           (run a JSON-lines request file concurrently; responses\n"
+        "            print in request order at any thread count)\n"
         "  bench    [--quick] [--repeat N] [--filter substr] [--compare]\n"
         "           [--out BENCH_optimizer.json] [--json]\n"
         "           (canonical perf suite; --compare also times the\n"
@@ -460,7 +507,8 @@ int cmd_help()
         "  generate --profile <name> --out <file>\n"
         "  help\n"
         "\n"
-        "benchmark SOCs: d695 p22810 p34392 p93791 pnx8550\n";
+        "benchmark SOCs: d695 p22810 p34392 p93791 pnx8550\n"
+        "request schema: see 'Request service' in README.md\n";
     return 0;
 }
 
@@ -473,24 +521,52 @@ int main(int argc, char** argv)
             return cmd_help();
         }
         const std::string command = argv[1];
-        const Flags flags = parse_flags(argc, argv, 2);
+        std::vector<std::string> args(argv + 2, argv + argc);
+
         if (command == "optimize") {
-            return cmd_optimize(flags);
+            return cmd_optimize(cli::parse_flags(
+                args, command,
+                std::vector<FlagSpec>{{"soc", true}, {"gantt", false}, {"json", false}} +
+                    cell_flags + option_flags));
         }
         if (command == "batch") {
-            return cmd_batch(flags);
+            return cmd_batch(cli::parse_flags(
+                args, command,
+                std::vector<FlagSpec>{{"socs", true}, {"channels", true}, {"depths", true},
+                                      {"depth", true}, {"threads", true}, {"clock", true},
+                                      {"index", true}, {"contact", true}, {"json", false}} +
+                    option_flags));
+        }
+        if (command == "serve") {
+            return cmd_serve(cli::parse_flags(args, command, service_flags));
+        }
+        if (command == "replay") {
+            if (args.empty() || args.front().rfind("--", 0) == 0) {
+                throw ValidationError("replay requires a request file: mst replay <file>");
+            }
+            const std::string path = args.front();
+            args.erase(args.begin());
+            return cmd_replay(path, cli::parse_flags(args, command, service_flags));
         }
         if (command == "bench") {
-            return cmd_bench(flags);
+            return cmd_bench(cli::parse_flags(
+                args, command,
+                {{"quick", false}, {"compare", false}, {"filter", true},
+                 {"repeat", true}, {"out", true}, {"json", false}}));
         }
         if (command == "flow") {
-            return cmd_flow(flags);
+            return cmd_flow(cli::parse_flags(
+                args, command,
+                std::vector<FlagSpec>{{"soc", true}, {"final-channels", true},
+                                      {"handler-sites", true}, {"final-retest", false}} +
+                    cell_flags + option_flags));
         }
         if (command == "inspect") {
-            return cmd_inspect(flags);
+            return cmd_inspect(cli::parse_flags(args, command, {{"soc", true}}));
         }
         if (command == "generate") {
-            return cmd_generate(flags);
+            return cmd_generate(
+                cli::parse_flags(args, command, {{"profile", true}, {"out", true}}));
         }
         if (command == "help" || command == "--help") {
             return cmd_help();

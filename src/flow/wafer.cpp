@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -90,9 +91,14 @@ ProbeHeadLayout best_head_layout(const WaferSpec& wafer, SiteCount sites)
     if (sites < 1) {
         throw ValidationError("need at least one site");
     }
+    // Every candidate probes the same die count with the same number of
+    // sites, so maximal utilization == minimal touchdown count. Compare
+    // the integer touchdown counts: a floating-point utilization
+    // comparison would make the winner (and its aspect tie-break)
+    // sensitive to rounding noise and evaluation order.
     ProbeHeadLayout best{sites, 1};
-    double best_utilization = -1.0;
-    int best_aspect = 1 << 30;
+    int best_touchdowns = std::numeric_limits<int>::max();
+    int best_aspect = std::numeric_limits<int>::max();
     for (int x = 1; x <= sites; ++x) {
         if (sites % x != 0) {
             continue;
@@ -100,10 +106,10 @@ ProbeHeadLayout best_head_layout(const WaferSpec& wafer, SiteCount sites)
         const ProbeHeadLayout layout{x, sites / x};
         const WaferProbePlan plan = plan_wafer_probing(wafer, layout);
         const int aspect = std::abs(layout.sites_x - layout.sites_y);
-        if (plan.utilization > best_utilization ||
-            (plan.utilization == best_utilization && aspect < best_aspect)) {
+        if (plan.touchdowns < best_touchdowns ||
+            (plan.touchdowns == best_touchdowns && aspect < best_aspect)) {
             best = layout;
-            best_utilization = plan.utilization;
+            best_touchdowns = plan.touchdowns;
             best_aspect = aspect;
         }
     }

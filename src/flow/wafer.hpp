@@ -56,7 +56,9 @@ struct WaferProbePlan {
                                                 const ProbeHeadLayout& layout);
 
 /// Pick the w x h factorization of `sites` that maximizes utilization
-/// for the given wafer (ties: squarer head first).
+/// for the given wafer, i.e. minimizes the integer touchdown count
+/// (ties: squarer head first). The comparison is exact, so the choice
+/// is deterministic across platforms and evaluation orders.
 [[nodiscard]] ProbeHeadLayout best_head_layout(const WaferSpec& wafer, SiteCount sites);
 
 /// Ideal throughput corrected for periphery losses:

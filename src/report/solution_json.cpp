@@ -52,54 +52,61 @@ std::string number(double value)
 
 } // namespace
 
-void write_solution_json(std::ostream& out, const Solution& solution)
+void write_solution_json(std::ostream& out, const Solution& solution, JsonStyle style)
 {
-    out << "{\n";
-    out << "  \"soc\": \"" << json_escape(solution.soc_name) << "\",\n";
-    out << "  \"sites\": " << solution.sites << ",\n";
-    out << "  \"channels_per_site\": " << solution.channels_per_site << ",\n";
-    out << "  \"test_cycles\": " << solution.test_cycles << ",\n";
-    out << "  \"manufacturing_time_s\": " << number(solution.manufacturing_time) << ",\n";
-    out << "  \"devices_per_hour\": " << number(solution.throughput.devices_per_hour) << ",\n";
-    out << "  \"unique_devices_per_hour\": "
-        << number(solution.throughput.unique_devices_per_hour) << ",\n";
-    out << "  \"step1\": { \"channels\": " << solution.channels_step1
-        << ", \"max_sites\": " << solution.max_sites_step1 << " },\n";
-    out << "  \"erpct\": { \"external_channels\": " << solution.erpct.external_channels
+    // Layout tokens: pretty indents nested objects, compact stays on one
+    // line. Key order and value formatting are identical either way.
+    const bool pretty = (style == JsonStyle::pretty);
+    const char* open = pretty ? "{\n" : "{";
+    const char* key = pretty ? "  \"" : "\"";
+    const char* sep = pretty ? ",\n" : ",";
+    const char* item = pretty ? "    " : "";
+
+    out << open;
+    out << key << "soc\": \"" << json_escape(solution.soc_name) << "\"" << sep;
+    out << key << "sites\": " << solution.sites << sep;
+    out << key << "channels_per_site\": " << solution.channels_per_site << sep;
+    out << key << "test_cycles\": " << solution.test_cycles << sep;
+    out << key << "manufacturing_time_s\": " << number(solution.manufacturing_time) << sep;
+    out << key << "devices_per_hour\": " << number(solution.throughput.devices_per_hour) << sep;
+    out << key << "unique_devices_per_hour\": "
+        << number(solution.throughput.unique_devices_per_hour) << sep;
+    out << key << "step1\": { \"channels\": " << solution.channels_step1
+        << ", \"max_sites\": " << solution.max_sites_step1 << " }" << sep;
+    out << key << "erpct\": { \"external_channels\": " << solution.erpct.external_channels
         << ", \"internal_wires\": " << solution.erpct.internal_wires
         << ", \"control_pads\": " << solution.erpct.control_pads
         << ", \"functional_pins\": " << solution.erpct.functional_pins
-        << ", \"contacted_pads\": " << solution.erpct.contacted_pads() << " },\n";
+        << ", \"contacted_pads\": " << solution.erpct.contacted_pads() << " }" << sep;
 
-    out << "  \"tams\": [";
+    out << key << "tams\": [";
     for (std::size_t g = 0; g < solution.groups.size(); ++g) {
         const GroupSummary& group = solution.groups[g];
-        out << (g == 0 ? "\n" : ",\n");
-        out << "    { \"wires\": " << group.wires << ", \"channels\": " << group.channels
+        out << (g == 0 ? (pretty ? "\n" : "") : sep) << item;
+        out << "{ \"wires\": " << group.wires << ", \"channels\": " << group.channels
             << ", \"fill_cycles\": " << group.fill << ", \"modules\": [";
         for (std::size_t m = 0; m < group.module_names.size(); ++m) {
             out << (m == 0 ? "" : ", ") << '"' << json_escape(group.module_names[m]) << '"';
         }
         out << "] }";
     }
-    out << "\n  ],\n";
+    out << (pretty ? "\n  ]" : "]") << sep;
 
-    out << "  \"site_curve\": [";
+    out << key << "site_curve\": [";
     for (std::size_t i = 0; i < solution.site_curve.size(); ++i) {
         const SitePoint& point = solution.site_curve[i];
-        out << (i == 0 ? "\n" : ",\n");
-        out << "    { \"sites\": " << point.sites << ", \"channels_per_site\": "
+        out << (i == 0 ? (pretty ? "\n" : "") : sep) << item;
+        out << "{ \"sites\": " << point.sites << ", \"channels_per_site\": "
             << point.channels_per_site << ", \"test_cycles\": " << point.test_cycles
             << ", \"devices_per_hour\": " << number(point.devices_per_hour) << " }";
     }
-    out << "\n  ]\n";
-    out << "}\n";
+    out << (pretty ? "\n  ]\n}\n" : "]}");
 }
 
-std::string solution_to_json(const Solution& solution)
+std::string solution_to_json(const Solution& solution, JsonStyle style)
 {
     std::ostringstream stream;
-    write_solution_json(stream, solution);
+    write_solution_json(stream, solution, style);
     return stream.str();
 }
 

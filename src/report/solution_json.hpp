@@ -9,14 +9,24 @@
 
 namespace mst {
 
+/// Layout of the serialized solution. Both styles carry the same keys
+/// and values; `compact` emits no newlines so the object can be embedded
+/// in a JSON-lines response (the request service's wire format).
+enum class JsonStyle {
+    pretty,   ///< indented, one key per line (CLI --json output)
+    compact,  ///< single line, minimal whitespace
+};
+
 /// Serialize a solution as a single self-contained JSON object:
 /// operating point, E-RPCT wrapper parameters, per-group TAM plan, and
 /// the full site curve. Output is deterministic (fixed key order) and
 /// strings are escaped per RFC 8259.
-void write_solution_json(std::ostream& out, const Solution& solution);
+void write_solution_json(std::ostream& out, const Solution& solution,
+                         JsonStyle style = JsonStyle::pretty);
 
 /// Convenience: serialize to a string.
-[[nodiscard]] std::string solution_to_json(const Solution& solution);
+[[nodiscard]] std::string solution_to_json(const Solution& solution,
+                                           JsonStyle style = JsonStyle::pretty);
 
 /// Escape a string for embedding in a JSON string literal (RFC 8259:
 /// backslash, double quote, and control characters).

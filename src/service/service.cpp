@@ -1,0 +1,443 @@
+#include "service/service.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "batch/batch_runner.hpp"
+#include "batch/parallel.hpp"
+#include "cli/flags.hpp"
+#include "common/format.hpp"
+#include "core/optimizer.hpp"
+#include "report/solution_json.hpp"
+#include "service/json.hpp"
+#include "soc/parser.hpp"
+#include "soc/profiles.hpp"
+
+namespace mst {
+
+const char* request_error_kind_name(RequestErrorKind kind) noexcept
+{
+    switch (kind) {
+    case RequestErrorKind::none: return "none";
+    case RequestErrorKind::parse: return "parse";
+    case RequestErrorKind::validation: return "validation";
+    case RequestErrorKind::infeasible: return "infeasible";
+    case RequestErrorKind::internal: return "internal";
+    }
+    return "?";
+}
+
+/// One request line after JSON interpretation. Interpretation failures
+/// are captured in error_kind/error instead of thrown, so a bad line is
+/// one error response, never a dead server.
+struct RequestService::ParsedRequest {
+    enum class Op { optimize, stats };
+
+    std::string id_json;  ///< the id value as written (raw token), "" = absent
+    Op op = Op::optimize;
+    std::string soc_spec;
+    std::string soc_text;
+    bool inline_soc = false;
+    TestCell cell;
+    OptimizeOptions options;
+
+    RequestErrorKind error_kind = RequestErrorKind::none;
+    std::string error;
+};
+
+namespace {
+
+/// Known request fields, reusing the CLI's FlagSpec so unknown-field
+/// errors get the same nearest-match suggestions as unknown flags.
+const std::vector<cli::FlagSpec>& request_fields()
+{
+    static const std::vector<cli::FlagSpec> fields = {
+        {"id", true},        {"op", true},      {"soc", true},
+        {"soc_text", true},  {"channels", true}, {"depth", true},
+        {"clock", true},     {"index", true},   {"contact", true},
+        {"broadcast", true}, {"abort_on_fail", true}, {"retest", true},
+        {"step1_only", true}, {"pc", true},     {"pm", true},
+    };
+    return fields;
+}
+
+int require_int(const JsonValue& value, const std::string& field)
+{
+    if (!value.is_number()) {
+        throw ValidationError("request field '" + field + "' expects an integer");
+    }
+    const std::int64_t wide = value.as_int();
+    if (wide < std::numeric_limits<int>::min() || wide > std::numeric_limits<int>::max()) {
+        throw ValidationError("request field '" + field + "' is out of range: '" +
+                              value.raw() + "'");
+    }
+    return static_cast<int>(wide);
+}
+
+double require_number(const JsonValue& value, const std::string& field)
+{
+    if (!value.is_number()) {
+        throw ValidationError("request field '" + field + "' expects a number");
+    }
+    return value.as_number();
+}
+
+bool require_bool(const JsonValue& value, const std::string& field)
+{
+    if (!value.is_bool()) {
+        throw ValidationError("request field '" + field + "' expects true or false");
+    }
+    return value.as_bool();
+}
+
+const std::string& require_string(const JsonValue& value, const std::string& field)
+{
+    if (!value.is_string()) {
+        throw ValidationError("request field '" + field + "' expects a string");
+    }
+    return value.as_string();
+}
+
+/// %.17g round-trips doubles exactly: two cells that differ anywhere
+/// differ in the memo key.
+std::string key_number(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+std::string memo_key(const std::string& fingerprint, const TestCell& cell,
+                     const OptimizeOptions& options)
+{
+    std::ostringstream key;
+    key << fingerprint << "|ch=" << cell.ate.channels << "|d=" << cell.ate.vector_memory_depth
+        << "|clk=" << key_number(cell.ate.test_clock_hz)
+        << "|idx=" << key_number(cell.prober.index_time)
+        << "|ct=" << key_number(cell.prober.contact_test_time)
+        << "|b=" << static_cast<int>(options.broadcast)
+        << "|a=" << static_cast<int>(options.abort)
+        << "|r=" << static_cast<int>(options.retest)
+        << "|s1=" << (options.step1_only ? 1 : 0)
+        << "|pc=" << key_number(options.yields.contact_yield_per_terminal)
+        << "|pm=" << key_number(options.yields.manufacturing_yield);
+    return key.str();
+}
+
+std::string cache_stats_json(const char* name, const CacheStats& stats)
+{
+    std::ostringstream out;
+    out << '"' << name << "\":{\"capacity\":" << stats.capacity << ",\"size\":" << stats.size
+        << ",\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
+        << ",\"evictions\":" << stats.evictions << '}';
+    return out.str();
+}
+
+std::string error_response(const std::string& id_json, RequestErrorKind kind,
+                           const std::string& message)
+{
+    std::ostringstream out;
+    out << '{';
+    if (!id_json.empty()) {
+        out << "\"id\":" << id_json << ',';
+    }
+    out << "\"ok\":false,\"error_kind\":\"" << request_error_kind_name(kind)
+        << "\",\"error\":\"" << json_escape(message) << "\"}";
+    return out.str();
+}
+
+} // namespace
+
+RequestService::RequestService(ServiceConfig config)
+    : config_(config),
+      tables_(config.tables_cache_capacity),
+      memo_(config.memo_capacity)
+{
+}
+
+int RequestService::thread_count(std::size_t jobs) const noexcept
+{
+    return resolve_thread_count(config_.threads, jobs);
+}
+
+RequestService::ParsedRequest RequestService::parse_request(const std::string& line)
+{
+    ParsedRequest request;
+    using Op = ParsedRequest::Op;
+    try {
+        const JsonValue root = JsonValue::parse(line);
+        if (!root.is_object()) {
+            throw ValidationError("request must be a JSON object");
+        }
+        // id first, so later field errors can echo it.
+        if (const JsonValue* id = root.find("id")) {
+            if (!id->is_string() && !id->is_number()) {
+                throw ValidationError("request field 'id' expects a string or number");
+            }
+            request.id_json = id->raw();
+        }
+        bool has_payload_fields = false;
+        for (const JsonValue::Member& member : root.as_object()) {
+            const std::string& field = member.first;
+            const JsonValue& value = member.second;
+            if (field == "id") {
+                continue;
+            }
+            if (field == "op") {
+                const std::string& op = require_string(value, field);
+                if (op == "optimize") {
+                    request.op = Op::optimize;
+                } else if (op == "stats") {
+                    request.op = Op::stats;
+                } else {
+                    throw ValidationError("unknown op '" + op + "' (optimize, stats)");
+                }
+                continue;
+            }
+            has_payload_fields = true;
+            if (field == "soc") {
+                request.soc_spec = require_string(value, field);
+            } else if (field == "soc_text") {
+                request.soc_text = require_string(value, field);
+                request.inline_soc = true;
+            } else if (field == "channels") {
+                request.cell.ate.channels = require_int(value, field);
+            } else if (field == "depth") {
+                // "7M"/"48K" shorthand or a plain vector count.
+                request.cell.ate.vector_memory_depth =
+                    value.is_string() ? parse_depth(value.as_string())
+                                      : value.as_int();
+            } else if (field == "clock") {
+                request.cell.ate.test_clock_hz = require_number(value, field);
+            } else if (field == "index") {
+                request.cell.prober.index_time = require_number(value, field);
+            } else if (field == "contact") {
+                request.cell.prober.contact_test_time = require_number(value, field);
+            } else if (field == "broadcast") {
+                if (require_bool(value, field)) {
+                    request.options.broadcast = BroadcastMode::stimuli;
+                }
+            } else if (field == "abort_on_fail") {
+                if (require_bool(value, field)) {
+                    request.options.abort = AbortOnFail::on;
+                }
+            } else if (field == "retest") {
+                if (require_bool(value, field)) {
+                    request.options.retest = RetestPolicy::retest_contact_failures;
+                }
+            } else if (field == "step1_only") {
+                request.options.step1_only = require_bool(value, field);
+            } else if (field == "pc") {
+                request.options.yields.contact_yield_per_terminal =
+                    require_number(value, field);
+            } else if (field == "pm") {
+                request.options.yields.manufacturing_yield = require_number(value, field);
+            } else {
+                std::string message = "unknown request field '" + field + "'";
+                const std::string suggestion = cli::nearest_flag_name(field, request_fields());
+                if (!suggestion.empty()) {
+                    message += " (did you mean '" + suggestion + "'?)";
+                }
+                throw ValidationError(message);
+            }
+        }
+        if (request.op == Op::stats) {
+            if (has_payload_fields) {
+                throw ValidationError("a stats request accepts only 'id' and 'op'");
+            }
+            return request;
+        }
+        if (request.inline_soc == !request.soc_spec.empty()) {
+            // both set, or neither
+            throw ValidationError(
+                "an optimize request needs exactly one of 'soc' (name or path) "
+                "and 'soc_text' (inline .soc)");
+        }
+    } catch (const JsonParseError& e) {
+        request.error_kind = RequestErrorKind::parse;
+        request.error = e.what();
+    } catch (const ValidationError& e) {
+        request.error_kind = RequestErrorKind::validation;
+        request.error = e.what();
+    } catch (const std::exception& e) {
+        request.error_kind = RequestErrorKind::internal;
+        request.error = e.what();
+    }
+    return request;
+}
+
+std::shared_ptr<const SolutionOutcome> RequestService::outcome_for(const ParsedRequest& request)
+{
+    // Resolve the SOC outside the memo: name/path/inline forms of the
+    // same content must land on one memo entry, and .soc problems are
+    // request errors, not cacheable optimization outcomes.
+    std::shared_ptr<const Soc> soc;
+    try {
+        soc = share_soc(request.inline_soc ? parse_soc_string(request.soc_text, "<request>")
+                                           : load_soc_spec(request.soc_spec));
+    } catch (const ParseError& e) {
+        auto outcome = std::make_shared<SolutionOutcome>();
+        outcome->error_kind = RequestErrorKind::parse;
+        outcome->error = e.what();
+        return outcome;
+    } catch (const ValidationError& e) {
+        auto outcome = std::make_shared<SolutionOutcome>();
+        outcome->error_kind = RequestErrorKind::validation;
+        outcome->error = e.what();
+        return outcome;
+    } catch (const std::exception& e) {
+        // e.g. bad_alloc loading a huge .soc file: still one error
+        // response, not a dead server.
+        auto outcome = std::make_shared<SolutionOutcome>();
+        outcome->error_kind = RequestErrorKind::internal;
+        outcome->error = e.what();
+        return outcome;
+    }
+
+    const std::uint64_t fingerprint = soc_fingerprint(*soc);
+    const std::string fingerprint_text = fingerprint_hex(fingerprint);
+    const std::string key = memo_key(fingerprint_text, request.cell, request.options);
+    return memo_.get_or_compute(key, [&]() -> std::shared_ptr<const SolutionOutcome> {
+        auto outcome = std::make_shared<SolutionOutcome>();
+        outcome->fingerprint = fingerprint_text;
+        try {
+            request.cell.validate();
+            const std::shared_ptr<const SocTables> shared = tables_.get(fingerprint, soc);
+            const Solution solution =
+                optimize_multi_site(shared->tables(), request.cell, request.options);
+            outcome->ok = true;
+            outcome->solution_json = solution_to_json(solution, JsonStyle::compact);
+        } catch (const InfeasibleError& e) {
+            outcome->error_kind = RequestErrorKind::infeasible;
+            outcome->error = e.what();
+        } catch (const ValidationError& e) {
+            outcome->error_kind = RequestErrorKind::validation;
+            outcome->error = e.what();
+        } catch (const std::exception& e) {
+            outcome->error_kind = RequestErrorKind::internal;
+            outcome->error = e.what();
+        } catch (...) {
+            outcome->error_kind = RequestErrorKind::internal;
+            outcome->error = "unknown exception";
+        }
+        return outcome;
+    });
+}
+
+std::string RequestService::run_optimize(const ParsedRequest& request, bool& ok)
+{
+    const std::shared_ptr<const SolutionOutcome> outcome = outcome_for(request);
+    ok = outcome->ok;
+    if (!outcome->ok) {
+        return error_response(request.id_json, outcome->error_kind, outcome->error);
+    }
+    std::ostringstream out;
+    out << '{';
+    if (!request.id_json.empty()) {
+        out << "\"id\":" << request.id_json << ',';
+    }
+    out << "\"ok\":true,\"fingerprint\":\"" << outcome->fingerprint
+        << "\",\"solution\":" << outcome->solution_json << '}';
+    return out.str();
+}
+
+std::string RequestService::stats_response(const ParsedRequest& request) const
+{
+    std::ostringstream out;
+    out << '{';
+    if (!request.id_json.empty()) {
+        out << "\"id\":" << request.id_json << ',';
+    }
+    out << "\"ok\":true,\"stats\":{\"requests\":{\"received\":" << received_
+        << ",\"ok\":" << ok_ << ",\"failed\":" << failed_ << "},"
+        << cache_stats_json("tables_cache", tables_.stats()) << ','
+        << cache_stats_json("solution_memo", memo_.stats()) << "}}";
+    return out.str();
+}
+
+std::vector<std::string> RequestService::execute(const std::vector<std::string>& lines)
+{
+    std::vector<ParsedRequest> parsed;
+    parsed.reserve(lines.size());
+    for (const std::string& line : lines) {
+        parsed.push_back(parse_request(line));
+    }
+
+    std::vector<std::string> responses(lines.size());
+    std::vector<char> succeeded(lines.size(), 0);
+    std::size_t begin = 0;
+    while (begin < lines.size()) {
+        // A stats request is a barrier: everything before it runs (and
+        // is counted) first, so its numbers are deterministic at any
+        // thread count.
+        std::size_t end = begin;
+        while (end < lines.size() &&
+               !(parsed[end].error_kind == RequestErrorKind::none &&
+                 parsed[end].op == ParsedRequest::Op::stats)) {
+            ++end;
+        }
+        const std::size_t count = end - begin;
+        parallel_for_index(count, thread_count(count), [&](std::size_t i) {
+            // parallel_for_index workers must not throw (an escaping
+            // exception would terminate the process and with it every
+            // other in-flight request), so this is the last-resort net
+            // under the per-stage handlers.
+            const ParsedRequest& request = parsed[begin + i];
+            try {
+                if (request.error_kind != RequestErrorKind::none) {
+                    responses[begin + i] =
+                        error_response(request.id_json, request.error_kind, request.error);
+                } else {
+                    bool ok = false;
+                    responses[begin + i] = run_optimize(request, ok);
+                    succeeded[begin + i] = ok ? 1 : 0;
+                }
+            } catch (const std::exception& e) {
+                succeeded[begin + i] = 0;
+                responses[begin + i] =
+                    error_response(request.id_json, RequestErrorKind::internal, e.what());
+            } catch (...) {
+                succeeded[begin + i] = 0;
+                responses[begin + i] = error_response(
+                    request.id_json, RequestErrorKind::internal, "unknown exception");
+            }
+        });
+        for (std::size_t i = begin; i < end; ++i) {
+            ++received_;
+            if (succeeded[i] != 0) {
+                ++ok_;
+            } else {
+                ++failed_;
+            }
+        }
+        if (end < lines.size()) {
+            responses[end] = stats_response(parsed[end]);
+            ++received_;
+            ++ok_;
+            ++end;
+        }
+        begin = end;
+    }
+    return responses;
+}
+
+std::string RequestService::execute_one(const std::string& line)
+{
+    return execute(std::vector<std::string>{line}).front();
+}
+
+void RequestService::serve(std::istream& in, std::ostream& out)
+{
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) {
+            continue;
+        }
+        out << execute_one(line) << '\n' << std::flush;
+    }
+}
+
+} // namespace mst

@@ -1,0 +1,31 @@
+#include "service/tables_cache.hpp"
+
+#include <cstdio>
+
+#include "soc/writer.hpp"
+
+namespace mst {
+
+std::uint64_t soc_fingerprint(const Soc& soc)
+{
+    // The canonical .soc text is a stable, complete rendition of the
+    // content (parse(write(soc)) == soc, see soc/writer.hpp), so hashing
+    // it fingerprints exactly what the optimizer consumes.
+    const std::string text = soc_to_string(soc);
+    std::uint64_t hash = 1469598103934665603ULL; // FNV offset basis
+    for (const char ch : text) {
+        hash ^= static_cast<unsigned char>(ch);
+        hash *= 1099511628211ULL; // FNV prime
+    }
+    return hash;
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint)
+{
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    return buffer;
+}
+
+} // namespace mst

@@ -1,0 +1,67 @@
+// Cross-request cache of wrapper time tables.
+//
+// Building SocTimeTables dominates an optimize request's wall time, so
+// the request service keys one immutable build per SOC *content*
+// fingerprint and shares it across requests and worker threads via
+// shared_ptr<const>. Two requests naming the same SOC differently (a
+// benchmark name, a file path, inline text) hit the same entry as long
+// as the parsed content matches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "arch/channel_group.hpp"
+#include "service/lru_cache.hpp"
+#include "soc/soc.hpp"
+
+namespace mst {
+
+/// 64-bit FNV-1a over the canonical .soc rendition of the SOC. Stable
+/// across naming (name/path/inline) because it hashes parsed content.
+[[nodiscard]] std::uint64_t soc_fingerprint(const Soc& soc);
+
+/// Render a fingerprint as the fixed-width hex string used in responses.
+[[nodiscard]] std::string fingerprint_hex(std::uint64_t fingerprint);
+
+/// An SOC plus its wrapper time tables, bundled so the tables' internal
+/// pointer to the SOC stays valid for the cache entry's whole lifetime.
+class SocTables {
+public:
+    explicit SocTables(std::shared_ptr<const Soc> soc)
+        : soc_(std::move(soc)), tables_(*soc_)
+    {
+    }
+
+    [[nodiscard]] const Soc& soc() const noexcept { return *soc_; }
+    [[nodiscard]] const SocTimeTables& tables() const noexcept { return tables_; }
+
+private:
+    std::shared_ptr<const Soc> soc_;
+    SocTimeTables tables_;
+};
+
+/// LRU of immutable table builds keyed by SOC content fingerprint.
+/// Thread-safe; concurrent requests for one fingerprint share a single
+/// build (single-flight, see LruCache).
+class TablesCache {
+public:
+    explicit TablesCache(std::size_t capacity) : cache_(capacity) {}
+
+    /// Tables for `soc` (whose fingerprint the caller already computed).
+    /// Throws whatever the underlying table build throws.
+    [[nodiscard]] std::shared_ptr<const SocTables> get(std::uint64_t fingerprint,
+                                                       const std::shared_ptr<const Soc>& soc)
+    {
+        return cache_.get_or_compute(
+            fingerprint, [&] { return std::make_shared<const SocTables>(soc); });
+    }
+
+    [[nodiscard]] CacheStats stats() const { return cache_.stats(); }
+
+private:
+    LruCache<std::uint64_t, SocTables> cache_;
+};
+
+} // namespace mst

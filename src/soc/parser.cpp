@@ -26,16 +26,24 @@ std::vector<std::string> tokenize(const std::string& line)
 std::int64_t parse_count(const std::string& token, std::string_view origin, int line_no,
                          const std::string& field)
 {
+    long long value = 0;
     try {
         std::size_t consumed = 0;
-        const long long value = std::stoll(token, &consumed);
+        value = std::stoll(token, &consumed);
         if (consumed != token.size()) {
             throw std::invalid_argument(token);
         }
-        return value;
     } catch (const std::exception&) {
         throw ParseError(origin, line_no, "expected an integer for '" + field + "', got '" + token + "'");
     }
+    // Negative terminal counts, chain lengths, and pattern counts are
+    // never meaningful; diagnose them here with the line number instead
+    // of relying on downstream Module validation to notice.
+    if (value < 0) {
+        throw ParseError(origin, line_no,
+                         "expected a non-negative integer for '" + field + "', got '" + token + "'");
+    }
+    return value;
 }
 
 Module parse_module_line(const std::vector<std::string>& tokens, std::string_view origin, int line_no)
@@ -130,6 +138,12 @@ Soc parse_soc(std::istream& in, std::string_view origin)
 
     if (soc_name.empty()) {
         throw ParseError(origin, line_no, "missing 'soc' statement");
+    }
+    if (!ended) {
+        // A file that just stops is indistinguishable from one cut off
+        // mid-transfer; require the 'end' terminator so truncation is a
+        // diagnosed error instead of a silently shorter SOC.
+        throw ParseError(origin, line_no, "missing 'end' statement (truncated file?)");
     }
     try {
         return Soc(soc_name, std::move(modules));

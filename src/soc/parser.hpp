@@ -6,7 +6,7 @@
 //
 //   soc <name>
 //   module <name> inputs <n> outputs <n> bidirs <n> patterns <n> [scan <l1> <l2> ...]
-//   end            # optional terminator
+//   end            # required terminator (guards against truncated files)
 //
 // Example:
 //

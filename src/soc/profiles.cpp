@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "soc/d695.hpp"
+#include "soc/parser.hpp"
 
 namespace mst {
 
@@ -101,6 +102,16 @@ Soc make_benchmark_soc(const std::string& name)
 std::vector<std::string> benchmark_soc_names()
 {
     return {"d695", "p22810", "p34392", "p93791", "pnx8550"};
+}
+
+Soc load_soc_spec(const std::string& spec)
+{
+    for (const std::string& name : benchmark_soc_names()) {
+        if (spec == name) {
+            return make_benchmark_soc(spec);
+        }
+    }
+    return load_soc_file(spec);
 }
 
 } // namespace mst

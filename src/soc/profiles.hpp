@@ -38,4 +38,10 @@ namespace mst {
 /// Names accepted by make_benchmark_soc, in canonical order.
 [[nodiscard]] std::vector<std::string> benchmark_soc_names();
 
+/// Resolve a user-supplied SOC spec: a benchmark name from
+/// benchmark_soc_names(), otherwise a .soc file path. Shared by the CLI
+/// front end and the request service so both accept the same specs.
+/// Throws ParseError when the path cannot be opened or parsed.
+[[nodiscard]] Soc load_soc_spec(const std::string& spec);
+
 } // namespace mst

@@ -1,0 +1,120 @@
+// Unit tests for the strict CLI flag / numeric-value parsing
+// (cli/flags.hpp): typos, duplicates, and malformed numbers must be
+// hard errors with actionable messages, never silent behavior changes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cli/flags.hpp"
+#include "common/error.hpp"
+
+namespace mst::cli {
+namespace {
+
+const std::vector<FlagSpec> specs = {
+    {"soc", true}, {"channels", true}, {"broadcast", false}, {"json", false},
+};
+
+std::string error_of(const std::vector<std::string>& args)
+{
+    try {
+        (void)parse_flags(args, "optimize", specs);
+    } catch (const ValidationError& error) {
+        return error.what();
+    }
+    return "";
+}
+
+TEST(CliFlags, ParsesKnownFlags)
+{
+    const Flags flags = parse_flags({"--soc", "d695", "--broadcast", "--channels", "256"},
+                                    "optimize", specs);
+    EXPECT_EQ(flag_or(flags, "soc", ""), "d695");
+    EXPECT_EQ(flag_or(flags, "channels", ""), "256");
+    EXPECT_EQ(flags.count("broadcast"), 1U);
+    EXPECT_EQ(flag_or(flags, "json", "absent"), "absent");
+}
+
+TEST(CliFlags, RejectsUnknownFlagWithSuggestion)
+{
+    // The original motivating bug: a typo silently changed results.
+    const std::string message = error_of({"--soc", "d695", "--brodcast"});
+    EXPECT_NE(message.find("unknown flag '--brodcast'"), std::string::npos) << message;
+    EXPECT_NE(message.find("did you mean '--broadcast'"), std::string::npos) << message;
+}
+
+TEST(CliFlags, UnknownFlagWithoutNearMatchPointsAtHelp)
+{
+    const std::string message = error_of({"--frobnicate"});
+    EXPECT_NE(message.find("unknown flag '--frobnicate'"), std::string::npos) << message;
+    EXPECT_EQ(message.find("did you mean"), std::string::npos) << message;
+}
+
+TEST(CliFlags, RejectsDuplicateFlags)
+{
+    const std::string message = error_of({"--channels", "256", "--channels", "512"});
+    EXPECT_NE(message.find("duplicate flag '--channels'"), std::string::npos) << message;
+    // Bare flags too.
+    EXPECT_NE(error_of({"--broadcast", "--broadcast"}).find("duplicate"), std::string::npos);
+}
+
+TEST(CliFlags, RejectsMissingValue)
+{
+    EXPECT_NE(error_of({"--channels"}).find("requires a value"), std::string::npos);
+    // A following flag is not a value.
+    EXPECT_NE(error_of({"--channels", "--json"}).find("requires a value"), std::string::npos);
+}
+
+TEST(CliFlags, RejectsStrayPositionalArguments)
+{
+    EXPECT_NE(error_of({"d695"}).find("unexpected argument 'd695'"), std::string::npos);
+    // A value after a bare flag is stray, not silently swallowed.
+    EXPECT_NE(error_of({"--broadcast", "yes"}).find("unexpected argument 'yes'"),
+              std::string::npos);
+}
+
+TEST(CliFlags, ParseIntFlagIsStrict)
+{
+    EXPECT_EQ(parse_int_flag("channels", "512"), 512);
+    EXPECT_EQ(parse_int_flag("threads", "-3"), -3);
+    // Trailing junk parsed as 512 by std::stoi was the motivating bug.
+    EXPECT_THROW((void)parse_int_flag("channels", "512x"), ValidationError);
+    EXPECT_THROW((void)parse_int_flag("channels", ""), ValidationError);
+    EXPECT_THROW((void)parse_int_flag("channels", "12 "), ValidationError);
+    EXPECT_THROW((void)parse_int_flag("channels", " 12"), ValidationError);
+    EXPECT_THROW((void)parse_int_flag("channels", "1.5"), ValidationError);
+    EXPECT_THROW((void)parse_int_flag("channels", "99999999999999999999"), ValidationError);
+    try {
+        (void)parse_int_flag("channels", "512x");
+    } catch (const ValidationError& error) {
+        EXPECT_NE(std::string(error.what()).find("--channels"), std::string::npos);
+        EXPECT_NE(std::string(error.what()).find("512x"), std::string::npos);
+    }
+}
+
+TEST(CliFlags, ParseDoubleFlagIsStrict)
+{
+    EXPECT_DOUBLE_EQ(parse_double_flag("clock", "5e6"), 5e6);
+    EXPECT_DOUBLE_EQ(parse_double_flag("index", "0.5"), 0.5);
+    EXPECT_THROW((void)parse_double_flag("clock", "bogus"), ValidationError);
+    EXPECT_THROW((void)parse_double_flag("clock", "1.5x"), ValidationError);
+    EXPECT_THROW((void)parse_double_flag("clock", ""), ValidationError);
+    EXPECT_THROW((void)parse_double_flag("clock", "nan"), ValidationError);
+    EXPECT_THROW((void)parse_double_flag("clock", "inf"), ValidationError);
+    try {
+        (void)parse_double_flag("clock", "bogus");
+    } catch (const ValidationError& error) {
+        EXPECT_NE(std::string(error.what()).find("--clock"), std::string::npos);
+    }
+}
+
+TEST(CliFlags, NearestFlagNameBoundsDistance)
+{
+    EXPECT_EQ(nearest_flag_name("brodcast", specs), "broadcast");
+    EXPECT_EQ(nearest_flag_name("chanels", specs), "channels");
+    EXPECT_EQ(nearest_flag_name("completely-different", specs), "");
+}
+
+} // namespace
+} // namespace mst::cli

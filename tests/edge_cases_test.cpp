@@ -92,7 +92,7 @@ TEST(EdgeCases, DepthExactlyAtTheBoundary)
 
 TEST(EdgeCases, ParserAcceptsTabsAndCarriageReturns)
 {
-    const Soc soc = parse_soc_string("soc x\r\nmodule\tm inputs 1 outputs 1 patterns 1\r\n");
+    const Soc soc = parse_soc_string("soc x\r\nmodule\tm inputs 1 outputs 1 patterns 1\r\nend\r\n");
     EXPECT_EQ(soc.module_count(), 1);
 }
 

@@ -1,0 +1,294 @@
+// Integration tests for the persistent request service (service/):
+// request/response schema, cross-request caching (hits, eviction),
+// error isolation, and thread-count-independent response bytes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/optimizer.hpp"
+#include "report/solution_json.hpp"
+#include "service/json.hpp"
+#include "service/service.hpp"
+#include "service/tables_cache.hpp"
+#include "soc/profiles.hpp"
+#include "soc/writer.hpp"
+
+namespace mst {
+namespace {
+
+/// Parse a response line back into a JSON tree (the service must emit
+/// valid JSON even for errors).
+JsonValue response(const std::string& line)
+{
+    return JsonValue::parse(line);
+}
+
+double stat(const JsonValue& root, const std::string& section, const std::string& field)
+{
+    const JsonValue* stats = root.find("stats");
+    EXPECT_NE(stats, nullptr);
+    const JsonValue* group = stats->find(section);
+    EXPECT_NE(group, nullptr);
+    const JsonValue* value = group->find(field);
+    EXPECT_NE(value, nullptr);
+    return value->as_number();
+}
+
+TEST(Service, OptimizeResponseMatchesDirectLibraryCall)
+{
+    RequestService service;
+    const std::vector<std::string> out = service.execute(
+        {R"({"id":"r1","soc":"d695","channels":256,"depth":"48K","broadcast":true})"});
+    ASSERT_EQ(out.size(), 1U);
+    const JsonValue reply = response(out[0]);
+    EXPECT_EQ(reply.find("id")->as_string(), "r1");
+    EXPECT_TRUE(reply.find("ok")->as_bool());
+
+    // The embedded solution must be the library's own answer, byte for
+    // byte: "serving" may never change the optimization result.
+    TestCell cell;
+    cell.ate.channels = 256;
+    cell.ate.vector_memory_depth = 48 * kibi;
+    OptimizeOptions options;
+    options.broadcast = BroadcastMode::stimuli;
+    const Solution direct = optimize_multi_site(make_benchmark_soc("d695"), cell, options);
+    const std::string expected = solution_to_json(direct, JsonStyle::compact);
+    const std::size_t start = out[0].find("\"solution\":");
+    ASSERT_NE(start, std::string::npos);
+    EXPECT_EQ(out[0].substr(start + 11, expected.size()), expected);
+
+    const JsonValue* solution = reply.find("solution");
+    ASSERT_NE(solution, nullptr);
+    EXPECT_EQ(solution->find("sites")->as_int(), direct.sites);
+    EXPECT_EQ(solution->find("channels_per_site")->as_int(), direct.channels_per_site);
+    EXPECT_EQ(solution->find("test_cycles")->as_int(), direct.test_cycles);
+}
+
+TEST(Service, CachesAcrossRequests)
+{
+    RequestService service;
+    const std::vector<std::string> out = service.execute({
+        R"({"id":1,"soc":"d695","channels":256,"depth":"48K"})",
+        R"({"id":2,"soc":"d695","channels":256,"depth":"48K"})", // memo hit
+        R"({"id":3,"soc":"d695","channels":512,"depth":"7M"})",  // tables hit
+        R"({"id":4,"op":"stats"})",
+    });
+    ASSERT_EQ(out.size(), 4U);
+    EXPECT_EQ(out[0].substr(out[0].find("\"solution\"")),
+              out[1].substr(out[1].find("\"solution\"")));
+    const JsonValue stats = response(out[3]);
+    EXPECT_EQ(stat(stats, "solution_memo", "misses"), 2.0);
+    EXPECT_EQ(stat(stats, "solution_memo", "hits"), 1.0);
+    EXPECT_EQ(stat(stats, "tables_cache", "misses"), 1.0);
+    EXPECT_EQ(stat(stats, "tables_cache", "hits"), 1.0);
+    EXPECT_EQ(stat(stats, "requests", "received"), 3.0);
+    EXPECT_EQ(stat(stats, "requests", "ok"), 3.0);
+}
+
+TEST(Service, NamePathAndInlineTextShareOneFingerprint)
+{
+    // The cache keys on content, not on how the SOC was named.
+    const std::string text = soc_to_string(make_benchmark_soc("d695"));
+    std::string escaped;
+    for (const char ch : text) {
+        if (ch == '\n') {
+            escaped += "\\n";
+        } else if (ch == '"' || ch == '\\') {
+            escaped += '\\';
+            escaped += ch;
+        } else {
+            escaped += ch;
+        }
+    }
+    RequestService service;
+    const std::vector<std::string> out = service.execute({
+        R"({"id":1,"soc":"d695","channels":256,"depth":"48K"})",
+        R"({"id":2,"soc_text":")" + escaped + R"(","channels":256,"depth":"48K"})",
+        R"({"op":"stats"})",
+    });
+    const JsonValue first = response(out[0]);
+    const JsonValue second = response(out[1]);
+    ASSERT_TRUE(first.find("ok")->as_bool());
+    ASSERT_TRUE(second.find("ok")->as_bool());
+    EXPECT_EQ(first.find("fingerprint")->as_string(), second.find("fingerprint")->as_string());
+    // Identical content + cell -> the inline request is a pure memo hit.
+    const JsonValue stats = response(out[2]);
+    EXPECT_EQ(stat(stats, "solution_memo", "hits"), 1.0);
+    EXPECT_EQ(stat(stats, "tables_cache", "misses"), 1.0);
+}
+
+TEST(Service, TablesCacheEvicts)
+{
+    ServiceConfig config;
+    config.threads = 1; // eviction order is only deterministic serially
+    config.tables_cache_capacity = 1;
+    RequestService service(config);
+    const std::vector<std::string> out = service.execute({
+        R"({"soc":"d695","channels":256,"depth":"48K"})",
+        R"({"soc":"p22810","channels":256,"depth":"48K"})", // evicts d695
+        R"({"soc":"d695","channels":512,"depth":"7M"})",    // rebuild
+        R"({"op":"stats"})",
+    });
+    const JsonValue stats = response(out[3]);
+    EXPECT_EQ(stat(stats, "tables_cache", "misses"), 3.0);
+    EXPECT_EQ(stat(stats, "tables_cache", "evictions"), 2.0);
+    EXPECT_EQ(stat(stats, "tables_cache", "size"), 1.0);
+    EXPECT_EQ(stat(stats, "tables_cache", "capacity"), 1.0);
+}
+
+TEST(Service, IsolatesEveryRequestError)
+{
+    RequestService service;
+    const std::vector<std::string> out = service.execute({
+        "{ not json",
+        R"({"id":"dup","soc":"d695","soc":"d695"})",
+        R"({"id":"typo","soc":"d695","chanels":256})",
+        R"({"id":"both","soc":"d695","soc_text":"soc x\nend\n"})",
+        R"({"id":"none"})",
+        R"({"id":"badsoc","soc_text":"soc x\nmodule m inputs 1 outputs 1 patterns 1\n"})",
+        R"({"id":"nofile","soc":"/nonexistent/x.soc"})",
+        R"({"id":"inf","soc":"d695","channels":2,"depth":"1K"})",
+        R"({"id":"badcell","soc":"d695","channels":-4})",
+        R"({"id":"good","soc":"d695","channels":256,"depth":"48K"})",
+    });
+    ASSERT_EQ(out.size(), 10U);
+    const auto kind_of = [&](std::size_t i) {
+        const JsonValue reply = response(out[i]);
+        EXPECT_FALSE(reply.find("ok")->as_bool()) << out[i];
+        return reply.find("error_kind")->as_string();
+    };
+    EXPECT_EQ(kind_of(0), "parse");       // malformed request JSON
+    EXPECT_EQ(kind_of(1), "parse");       // duplicate JSON key
+    EXPECT_EQ(kind_of(2), "validation");  // unknown field
+    EXPECT_NE(response(out[2]).find("error")->as_string().find("channels"),
+              std::string::npos);          // ... with a suggestion
+    EXPECT_EQ(kind_of(3), "validation");  // soc and soc_text together
+    EXPECT_EQ(kind_of(4), "validation");  // neither
+    EXPECT_EQ(kind_of(5), "parse");       // truncated inline .soc (no 'end')
+    EXPECT_EQ(kind_of(6), "parse");       // unreadable path
+    EXPECT_EQ(kind_of(7), "infeasible");  // SOC does not fit that cell
+    EXPECT_EQ(kind_of(8), "validation");  // invalid cell
+    // ... and the good request after all that still succeeds.
+    EXPECT_TRUE(response(out[9]).find("ok")->as_bool()) << out[9];
+}
+
+TEST(Service, ResponsesAreByteIdenticalAtAnyThreadCount)
+{
+    std::vector<std::string> lines;
+    for (int i = 0; i < 3; ++i) {
+        lines.push_back(R"({"id":"a","soc":"d695","channels":256,"depth":"48K"})");
+        lines.push_back(R"({"id":"b","soc":"p22810","channels":512,"depth":"7M"})");
+        lines.push_back(R"({"id":"c","soc":"d695","channels":512,"depth":"7M","retest":true,"pc":0.99})");
+        lines.push_back(R"({"id":"bad","soc":"d695","channels":"x"})");
+    }
+    lines.push_back(R"({"op":"stats"})");
+
+    ServiceConfig serial;
+    serial.threads = 1;
+    ServiceConfig wide;
+    wide.threads = 8;
+    const std::vector<std::string> one = RequestService(serial).execute(lines);
+    const std::vector<std::string> eight = RequestService(wide).execute(lines);
+    ASSERT_EQ(one.size(), eight.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i], eight[i]) << "response " << i;
+    }
+}
+
+TEST(Service, StatsRequestsAreBarriers)
+{
+    RequestService service;
+    const std::vector<std::string> out = service.execute({
+        R"({"soc":"d695","channels":256,"depth":"48K"})",
+        R"({"op":"stats"})",
+        R"({"soc":"d695","channels":256,"depth":"48K"})",
+        R"({"op":"stats"})",
+    });
+    // First stats sees exactly the one preceding request; the second
+    // also counts the first stats request itself.
+    EXPECT_EQ(stat(response(out[1]), "requests", "received"), 1.0);
+    EXPECT_EQ(stat(response(out[3]), "requests", "received"), 3.0);
+    EXPECT_EQ(stat(response(out[3]), "solution_memo", "hits"), 1.0);
+}
+
+TEST(Service, ServeLoopAnswersLineByLine)
+{
+    std::istringstream in(
+        "\n"
+        R"({"id":"r1","soc":"d695","channels":256,"depth":"48K"})" "\n"
+        "   \n"
+        "garbage\n"
+        R"({"id":"s","op":"stats"})" "\n");
+    std::ostringstream out;
+    RequestService service;
+    service.serve(in, out);
+
+    std::istringstream replies(out.str());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(replies, line)) {
+        lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 3U); // blank lines produce no responses
+    EXPECT_TRUE(response(lines[0]).find("ok")->as_bool());
+    EXPECT_EQ(response(lines[1]).find("error_kind")->as_string(), "parse");
+    EXPECT_EQ(stat(response(lines[2]), "requests", "received"), 2.0);
+}
+
+TEST(Service, SocFingerprintIsContentBased)
+{
+    const Soc a = make_benchmark_soc("d695");
+    const Soc b = make_benchmark_soc("d695");
+    const Soc c = make_benchmark_soc("p22810");
+    EXPECT_EQ(soc_fingerprint(a), soc_fingerprint(b));
+    EXPECT_NE(soc_fingerprint(a), soc_fingerprint(c));
+    EXPECT_EQ(fingerprint_hex(soc_fingerprint(a)).size(), 16U);
+}
+
+// --- JSON reader corner cases (service/json.hpp) ---
+
+TEST(ServiceJson, ParsesScalarsAndStructures)
+{
+    const JsonValue value = JsonValue::parse(
+        R"({"s":"a\nbé","n":-1.5e3,"t":true,"f":false,"z":null,"a":[1,2],"o":{"k":7}})");
+    EXPECT_EQ(value.find("s")->as_string(), "a\nb\xc3\xa9");
+    EXPECT_DOUBLE_EQ(value.find("n")->as_number(), -1500.0);
+    EXPECT_TRUE(value.find("t")->as_bool());
+    EXPECT_FALSE(value.find("f")->as_bool());
+    EXPECT_TRUE(value.find("z")->is_null());
+    ASSERT_EQ(value.find("a")->as_array().size(), 2U);
+    EXPECT_EQ(value.find("o")->find("k")->as_int(), 7);
+}
+
+TEST(ServiceJson, RejectsMalformedDocuments)
+{
+    EXPECT_THROW((void)JsonValue::parse(""), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse("{"), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse("{} trailing"), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse(R"({"a":1,"a":2})"), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse(R"({"a":01})"), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse(R"({"a":+1})"), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse("{\"a\":\"unterminated}"), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse(R"({"a":"\q"})"), JsonParseError);
+    EXPECT_THROW((void)JsonValue::parse("[1,]"), JsonParseError);
+    try {
+        (void)JsonValue::parse("{\"a\":nope}");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError& error) {
+        EXPECT_EQ(error.offset(), 5U);
+    }
+}
+
+TEST(ServiceJson, IntegerAccessorRejectsFractions)
+{
+    EXPECT_EQ(JsonValue::parse("42").as_int(), 42);
+    EXPECT_THROW((void)JsonValue::parse("1.5").as_int(), ValidationError);
+    EXPECT_THROW((void)JsonValue::parse("1e30").as_int(), ValidationError);
+    EXPECT_THROW((void)JsonValue::parse("\"7\"").as_int(), ValidationError);
+}
+
+} // namespace
+} // namespace mst

@@ -36,16 +36,24 @@ TEST(SocParser, ParsesMinimalFile)
     EXPECT_EQ(soc.module(1).bidirs(), 0); // bidirs defaults to zero
 }
 
-TEST(SocParser, EndIsOptional)
+TEST(SocParser, RejectsMissingEndAsTruncation)
 {
-    const Soc soc = parse_soc_string("soc x\nmodule m inputs 1 outputs 1 patterns 1\n");
-    EXPECT_EQ(soc.module_count(), 1);
+    // A file that just stops (no 'end') reads as truncated; the error
+    // points at the last line seen.
+    try {
+        (void)parse_soc_string("soc x\nmodule m inputs 1 outputs 1 patterns 1\n", "cut.soc");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& error) {
+        EXPECT_EQ(error.line(), 2);
+        EXPECT_EQ(error.file(), "cut.soc");
+        EXPECT_NE(std::string(error.what()).find("end"), std::string::npos);
+    }
 }
 
 TEST(SocParser, IgnoresCommentsAndBlankLines)
 {
     const Soc soc = parse_soc_string(
-        "\n# header\n  \nsoc x # trailing\nmodule m inputs 1 outputs 1 patterns 1 # eol\n\n");
+        "\n# header\n  \nsoc x # trailing\nmodule m inputs 1 outputs 1 patterns 1 # eol\n\nend\n");
     EXPECT_EQ(soc.name(), "x");
     EXPECT_EQ(soc.module_count(), 1);
 }
@@ -53,9 +61,33 @@ TEST(SocParser, IgnoresCommentsAndBlankLines)
 TEST(SocParser, FieldsInAnyOrder)
 {
     const Soc soc =
-        parse_soc_string("soc x\nmodule m patterns 5 outputs 2 inputs 3\n");
+        parse_soc_string("soc x\nmodule m patterns 5 outputs 2 inputs 3\nend\n");
     EXPECT_EQ(soc.module(0).patterns(), 5);
     EXPECT_EQ(soc.module(0).inputs(), 3);
+}
+
+TEST(SocParser, RejectsNegativeCountsWithLineNumbers)
+{
+    // Negative scan-chain lengths and pattern counts are diagnosed by the
+    // parser itself, with the offending line, not by downstream Module
+    // validation (which has no position information).
+    try {
+        (void)parse_soc_string("soc x\nmodule ok inputs 1 outputs 1 patterns 1 scan 4\n"
+                               "module bad inputs 1 outputs 1 patterns 1 scan 4 -3\nend\n",
+                               "neg.soc");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& error) {
+        EXPECT_EQ(error.line(), 3);
+        EXPECT_NE(std::string(error.what()).find("non-negative"), std::string::npos);
+    }
+    try {
+        (void)parse_soc_string("soc x\nmodule m inputs 1 outputs 1 patterns -7\nend\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& error) {
+        EXPECT_EQ(error.line(), 2);
+    }
+    EXPECT_THROW((void)parse_soc_string("soc x\nmodule m inputs -1 outputs 1 patterns 1\nend\n"),
+                 ParseError);
 }
 
 TEST(SocParser, ErrorsCarryLineNumbers)

@@ -1,6 +1,8 @@
 // Unit tests for the wafer-geometry / periphery-loss model.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/error.hpp"
 #include "flow/wafer.hpp"
 
@@ -76,6 +78,33 @@ TEST(Wafer, BestLayoutHandlesPrimeSiteCounts)
     WaferSpec wafer;
     const ProbeHeadLayout best = best_head_layout(wafer, 7);
     EXPECT_EQ(best.sites(), 7); // only 1x7 / 7x1 factorizations exist
+}
+
+TEST(Wafer, BestLayoutMinimizesTouchdownsWithSquarerTieBreak)
+{
+    // The selection rule is exact integer comparison (touchdowns, then
+    // aspect), so the winner must match a brute-force scan of every
+    // factorization — regardless of FP noise in the utilization ratio.
+    for (const int sites : {4, 6, 12, 16, 24, 36}) {
+        WaferSpec wafer;
+        wafer.die_width_mm = 7.0;
+        wafer.die_height_mm = 11.0;
+        const ProbeHeadLayout best = best_head_layout(wafer, sites);
+        const WaferProbePlan best_plan = plan_wafer_probing(wafer, best);
+        const int best_aspect = std::abs(best.sites_x - best.sites_y);
+        for (int x = 1; x <= sites; ++x) {
+            if (sites % x != 0) {
+                continue;
+            }
+            const ProbeHeadLayout layout{x, sites / x};
+            const WaferProbePlan plan = plan_wafer_probing(wafer, layout);
+            EXPECT_LE(best_plan.touchdowns, plan.touchdowns) << sites << " sites, x=" << x;
+            if (plan.touchdowns == best_plan.touchdowns) {
+                EXPECT_LE(best_aspect, std::abs(layout.sites_x - layout.sites_y))
+                    << sites << " sites, x=" << x;
+            }
+        }
+    }
 }
 
 TEST(Wafer, EffectiveThroughputScalesWithUtilization)
