@@ -20,7 +20,10 @@ namespace mst {
 /// per distinct SOC and hands it to every scenario of that SOC).
 class SocTimeTables {
 public:
-    explicit SocTimeTables(const Soc& soc, TableBuild build = TableBuild::fast);
+    /// `threads` caps the parallel per-module build (<= 0: whole shared
+    /// executor). The tables are identical at any value.
+    explicit SocTimeTables(const Soc& soc, TableBuild build = TableBuild::fast,
+                           int threads = 0);
 
     [[nodiscard]] const Soc& soc() const noexcept { return *soc_; }
     [[nodiscard]] const ModuleTimeTable& table(int module_index) const

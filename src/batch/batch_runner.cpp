@@ -4,8 +4,8 @@
 #include <memory>
 
 #include "arch/channel_group.hpp"
-#include "batch/parallel.hpp"
 #include "common/error.hpp"
+#include "common/executor.hpp"
 #include "core/optimizer.hpp"
 
 namespace mst {
@@ -46,8 +46,9 @@ BatchResult run_one(const BatchScenario& scenario, const SharedTables* shared)
         result.error_kind = BatchErrorKind::other;
         result.error = e.what();
     } catch (...) {
-        // A non-std exception escaping a worker thread would terminate
-        // the whole process; capture it to keep the isolation guarantee.
+        // An exception escaping the scenario would abort the whole batch
+        // once the fan-out rethrows it; capture it to keep the
+        // per-scenario isolation guarantee.
         result.error_kind = BatchErrorKind::other;
         result.error = "unknown exception";
     }

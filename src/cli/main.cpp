@@ -119,7 +119,10 @@ int cmd_optimize(const Flags& flags)
 {
     const Soc soc = load_soc_argument(flags);
     const TestCell cell = cell_from_flags(flags);
-    const OptimizeOptions options = options_from_flags(flags);
+    OptimizeOptions options = options_from_flags(flags);
+    // Intra-scenario concurrency cap; the solution is byte-identical at
+    // any value (deterministic task schedule), so 0 = all cores is safe.
+    options.threads = parse_int_flag("threads", flag_or(flags, "threads", "0"));
     cell.validate(); // fail fast: the table build below is the expensive part
     const SocTimeTables tables(soc);
     const Solution solution = optimize_multi_site(tables, cell, options);
@@ -207,7 +210,13 @@ int cmd_batch(const Flags& flags)
     if (depth_list.empty()) {
         throw ValidationError("--depths expects a non-empty list, e.g. --depths 8M,32M");
     }
-    const OptimizeOptions options = options_from_flags(flags);
+    const int threads = parse_int_flag("threads", flag_or(flags, "threads", "0"));
+    OptimizeOptions options = options_from_flags(flags);
+    // One meaning for --threads across the CLI: it caps this process's
+    // optimizer concurrency, so the per-scenario search inherits the
+    // same cap as the scenario fan-out (results are identical either
+    // way; the shared pool bounds the total in any case).
+    options.threads = threads;
 
     // The clock/prober flags are scenario-invariant; parse them once.
     // --channels and --depth hold comma-separated lists here, so they
@@ -236,7 +245,6 @@ int cmd_batch(const Flags& flags)
         }
     }
 
-    const int threads = parse_int_flag("threads", flag_or(flags, "threads", "0"));
     const BatchRunner runner(threads);
     const std::vector<BatchResult> results = runner.run(scenarios);
 
@@ -339,6 +347,7 @@ int cmd_bench(const Flags& flags)
     options.quick = flags.count("quick") != 0;
     options.compare_baseline = flags.count("compare") != 0;
     options.filter = flag_or(flags, "filter", "");
+    options.threads = parse_int_flag("threads", flag_or(flags, "threads", "0"));
     const std::string repeat = flag_or(flags, "repeat", "");
     if (!repeat.empty()) {
         options.repetitions = parse_int_flag("repeat", repeat);
@@ -487,6 +496,9 @@ int cmd_help()
         "  optimize --soc <name|path> [--channels N] [--depth 7M] [--clock HZ]\n"
         "           [--index S] [--contact S] [--broadcast] [--abort-on-fail]\n"
         "           [--retest] [--pc P] [--pm P] [--step1-only] [--gantt] [--json]\n"
+        "           [--threads N]\n"
+        "           (--threads caps the intra-scenario search concurrency;\n"
+        "            the solution is byte-identical at any thread count)\n"
         "  batch    --socs <list> [--channels <list>] [--depths <list>]\n"
         "           [--threads N] [optimize flags] [--json]\n"
         "           (cross product of comma-separated lists, run in parallel)\n"
@@ -498,9 +510,10 @@ int cmd_help()
         "           (run a JSON-lines request file concurrently; responses\n"
         "            print in request order at any thread count)\n"
         "  bench    [--quick] [--repeat N] [--filter substr] [--compare]\n"
-        "           [--out BENCH_optimizer.json] [--json]\n"
+        "           [--threads N] [--out BENCH_optimizer.json] [--json]\n"
         "           (canonical perf suite; --compare also times the\n"
-        "            from-scratch baseline and cross-checks fingerprints)\n"
+        "            from-scratch baseline and cross-checks fingerprints;\n"
+        "            --threads caps the intra-scenario concurrency)\n"
         "  flow     --soc <name|path> [optimize flags] [--final-channels N]\n"
         "           [--handler-sites N] [--final-retest]\n"
         "  inspect  --soc <name|path>\n"
@@ -526,7 +539,8 @@ int main(int argc, char** argv)
         if (command == "optimize") {
             return cmd_optimize(cli::parse_flags(
                 args, command,
-                std::vector<FlagSpec>{{"soc", true}, {"gantt", false}, {"json", false}} +
+                std::vector<FlagSpec>{{"soc", true}, {"gantt", false}, {"json", false},
+                                      {"threads", true}} +
                     cell_flags + option_flags));
         }
         if (command == "batch") {
@@ -552,7 +566,7 @@ int main(int argc, char** argv)
             return cmd_bench(cli::parse_flags(
                 args, command,
                 {{"quick", false}, {"compare", false}, {"filter", true},
-                 {"repeat", true}, {"out", true}, {"json", false}}));
+                 {"repeat", true}, {"out", true}, {"json", false}, {"threads", true}}));
         }
         if (command == "flow") {
             return cmd_flow(cli::parse_flags(

@@ -1,6 +1,7 @@
 #include "core/optimizer.hpp"
 
 #include "arch/channel_group.hpp"
+#include "common/executor.hpp"
 #include "core/step1.hpp"
 #include "core/step2.hpp"
 
@@ -68,6 +69,9 @@ Solution optimize_multi_site(const SocTimeTables& tables,
 
     solution.stats.packing = engine.stats();
     solution.stats.site_points = static_cast<std::int64_t>(solution.site_curve.size());
+    solution.stats.threads = options.threads > 0
+                                 ? options.threads
+                                 : Executor::global().worker_count() + 1;
 
     validate_solution(solution, soc, cell.ate, options.broadcast);
     return solution;
@@ -76,7 +80,7 @@ Solution optimize_multi_site(const SocTimeTables& tables,
 Solution optimize_multi_site(const Soc& soc, const TestCell& cell, const OptimizeOptions& options)
 {
     cell.validate(); // fail fast: the table build below is the expensive part
-    const SocTimeTables tables(soc);
+    const SocTimeTables tables(soc, TableBuild::fast, options.threads);
     return optimize_multi_site(tables, cell, options);
 }
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "arch/channel_group.hpp"
+#include "common/executor.hpp"
 
 namespace mst {
 
@@ -16,33 +17,52 @@ std::vector<int> module_order(const SocTimeTables& tables,
                               const std::vector<WireCount>& min_widths,
                               ModuleOrder order)
 {
-    std::vector<int> indices(static_cast<std::size_t>(tables.module_count()));
+    const auto count = static_cast<std::size_t>(tables.module_count());
+    std::vector<int> indices(count);
     std::iota(indices.begin(), indices.end(), 0);
     const Soc& soc = tables.soc();
 
-    const auto volume = [&soc](int m) { return soc.module(m).test_data_volume_bits(); };
-    const auto single_wire_time = [&tables](int m) { return tables.table(m).time(1); };
+    // Sort keys materialized once per build: the comparators run
+    // O(n log n) times and test_data_volume_bits() walks the scan-chain
+    // list on every call.
+    const auto volumes_of = [&]() {
+        std::vector<std::int64_t> volumes(count);
+        for (std::size_t m = 0; m < count; ++m) {
+            volumes[m] = soc.module(static_cast<int>(m)).test_data_volume_bits();
+        }
+        return volumes;
+    };
 
     switch (order) {
-    case ModuleOrder::by_min_width:
+    case ModuleOrder::by_min_width: {
+        const std::vector<std::int64_t> volumes = volumes_of();
         std::stable_sort(indices.begin(), indices.end(), [&](int a, int b) {
             const auto wa = min_widths[static_cast<std::size_t>(a)];
             const auto wb = min_widths[static_cast<std::size_t>(b)];
             if (wa != wb) {
                 return wa > wb;
             }
-            return volume(a) > volume(b);
+            return volumes[static_cast<std::size_t>(a)] > volumes[static_cast<std::size_t>(b)];
         });
         break;
-    case ModuleOrder::by_volume:
-        std::stable_sort(indices.begin(), indices.end(),
-                         [&](int a, int b) { return volume(a) > volume(b); });
-        break;
-    case ModuleOrder::by_time:
+    }
+    case ModuleOrder::by_volume: {
+        const std::vector<std::int64_t> volumes = volumes_of();
         std::stable_sort(indices.begin(), indices.end(), [&](int a, int b) {
-            return single_wire_time(a) > single_wire_time(b);
+            return volumes[static_cast<std::size_t>(a)] > volumes[static_cast<std::size_t>(b)];
         });
         break;
+    }
+    case ModuleOrder::by_time: {
+        std::vector<CycleCount> times(count);
+        for (std::size_t m = 0; m < count; ++m) {
+            times[m] = tables.table(static_cast<int>(m)).time(1);
+        }
+        std::stable_sort(indices.begin(), indices.end(), [&](int a, int b) {
+            return times[static_cast<std::size_t>(a)] > times[static_cast<std::size_t>(b)];
+        });
+        break;
+    }
     case ModuleOrder::input_order:
         break;
     }
@@ -215,6 +235,50 @@ std::optional<Architecture> step1_pass(const SocTimeTables& tables,
     return arch;
 }
 
+/// The (module order, expansion policy) pass combinations of one pack
+/// query, in the exact sequential preference order: configured order and
+/// policy first, fallbacks after (budget_search only).
+struct PassPlan {
+    std::vector<ModuleOrder> orders;
+    std::vector<ExpansionPolicy> expansions;
+
+    [[nodiscard]] std::size_t count() const noexcept
+    {
+        return orders.size() * expansions.size();
+    }
+    [[nodiscard]] ModuleOrder order_of(std::size_t pass) const
+    {
+        return orders[pass / expansions.size()];
+    }
+    [[nodiscard]] ExpansionPolicy expansion_of(std::size_t pass) const
+    {
+        return expansions[pass % expansions.size()];
+    }
+};
+
+PassPlan make_pass_plan(const OptimizeOptions& options)
+{
+    PassPlan plan;
+    plan.orders = {options.module_order};
+    plan.expansions = {options.expansion};
+    if (options.budget_search) {
+        for (const ModuleOrder fallback :
+             {ModuleOrder::by_min_width, ModuleOrder::by_volume, ModuleOrder::by_time}) {
+            if (fallback != options.module_order) {
+                plan.orders.push_back(fallback);
+            }
+        }
+        for (const ExpansionPolicy fallback :
+             {ExpansionPolicy::widen_by_kmin, ExpansionPolicy::min_widening,
+              ExpansionPolicy::always_new_group}) {
+            if (fallback != options.expansion) {
+                plan.expansions.push_back(fallback);
+            }
+        }
+    }
+    return plan;
+}
+
 } // namespace
 
 PackEngine::PackEngine(const SocTimeTables& tables, const OptimizeOptions& options)
@@ -222,9 +286,20 @@ PackEngine::PackEngine(const SocTimeTables& tables, const OptimizeOptions& optio
 {
 }
 
+PackStats PackEngine::stats() const noexcept
+{
+    PackStats stats;
+    stats.pack_calls = pack_calls_.load(std::memory_order_relaxed);
+    stats.pack_cache_hits = pack_cache_hits_.load(std::memory_order_relaxed);
+    stats.greedy_passes = greedy_passes_.load(std::memory_order_relaxed);
+    stats.depth_profiles = depth_profiles_.load(std::memory_order_relaxed);
+    stats.pruned_packs = pruned_packs_.load(std::memory_order_relaxed);
+    return stats;
+}
+
 PackEngine::DepthProfile PackEngine::make_profile(CycleCount depth)
 {
-    ++stats_.depth_profiles;
+    depth_profiles_.fetch_add(1, std::memory_order_relaxed);
     DepthProfile profile;
     std::vector<WireCount> min_widths(static_cast<std::size_t>(tables_->module_count()));
     for (int m = 0; m < tables_->module_count(); ++m) {
@@ -234,6 +309,7 @@ PackEngine::DepthProfile PackEngine::make_profile(CycleCount depth)
         }
         min_widths[static_cast<std::size_t>(m)] = *width;
         profile.widest = std::max(profile.widest, *width);
+        profile.area_floor += tables_->table(m).min_area_from(*width);
     }
     profile.min_widths = std::move(min_widths);
     return profile;
@@ -241,6 +317,11 @@ PackEngine::DepthProfile PackEngine::make_profile(CycleCount depth)
 
 const std::vector<int>& PackEngine::order_for(DepthProfile& profile, ModuleOrder order)
 {
+    // Parallel passes share one profile; the lazy order build is the
+    // profile's only mutation after construction, so it is the only
+    // place that needs a lock. Order contents are a pure function of
+    // (depth, kind) — whichever thread builds one builds the same.
+    std::lock_guard<std::mutex> lock(orders_mutex_);
     auto found = profile.orders.find(order);
     if (found == profile.orders.end()) {
         found = profile.orders
@@ -257,57 +338,68 @@ std::optional<Architecture> PackEngine::pack_uncached(CycleCount depth,
     if (!profile.min_widths || profile.widest > wire_budget) {
         return std::nullopt;
     }
-
-    std::vector<ModuleOrder> orders = {options_.module_order};
-    std::vector<ExpansionPolicy> expansions = {options_.expansion};
-    if (options_.budget_search) {
-        for (const ModuleOrder fallback :
-             {ModuleOrder::by_min_width, ModuleOrder::by_volume, ModuleOrder::by_time}) {
-            if (fallback != options_.module_order) {
-                orders.push_back(fallback);
-            }
-        }
-        for (const ExpansionPolicy fallback :
-             {ExpansionPolicy::widen_by_kmin, ExpansionPolicy::min_widening,
-              ExpansionPolicy::always_new_group}) {
-            if (fallback != options_.expansion) {
-                expansions.push_back(fallback);
-            }
-        }
+    // Area-floor prune: no packing can occupy fewer wire-cycles than the
+    // per-depth floor, so a budget below floor / depth is infeasible
+    // without running any pass. Sound, hence byte-identical results.
+    if (profile.area_floor > static_cast<CycleCount>(wire_budget) * depth) {
+        pruned_packs_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
     }
 
-    for (const ModuleOrder order_kind : orders) {
-        const std::vector<int>& order = order_for(profile, order_kind);
-        for (const ExpansionPolicy expansion : expansions) {
-            OptimizeOptions pass_options = options_;
-            pass_options.expansion = expansion;
-            ++stats_.greedy_passes;
-            std::optional<Architecture> packed = step1_pass(*tables_, depth, wire_budget,
-                                                            *profile.min_widths, order,
-                                                            pass_options);
+    const PassPlan plan = make_pass_plan(options_);
+    const std::size_t passes = plan.count();
+    const auto run_pass = [&](std::size_t pass) -> std::optional<Architecture> {
+        OptimizeOptions pass_options = options_;
+        pass_options.expansion = plan.expansion_of(pass);
+        greedy_passes_.fetch_add(1, std::memory_order_relaxed);
+        const std::vector<int>& order = order_for(profile, plan.order_of(pass));
+        return step1_pass(*tables_, depth, wire_budget, *profile.min_widths, order,
+                          pass_options);
+    };
+
+    // Adaptive waves over the pass combinations: the winner is always
+    // the lowest feasible pass index — the pass the sequential scan
+    // would have kept — regardless of thread count.
+    std::size_t begin = 0;
+    for (int wave = 0; begin < passes; ++wave) {
+        const std::size_t end = std::min(passes, begin + pack_wave_extent(wave));
+        const std::size_t width = end - begin;
+        if (width == 1) {
+            std::optional<Architecture> packed = run_pass(begin);
             if (packed) {
                 return packed;
             }
+        } else {
+            std::vector<std::optional<Architecture>> results(width);
+            parallel_for_index(width, parallel_cap(), [&](std::size_t i) {
+                results[i] = run_pass(begin + i);
+            });
+            for (std::size_t i = 0; i < width; ++i) {
+                if (results[i]) {
+                    return std::move(results[i]);
+                }
+            }
         }
+        begin = end;
     }
     return std::nullopt;
 }
 
 std::optional<Architecture> PackEngine::pack_within(CycleCount depth, WireCount wire_budget)
 {
-    ++stats_.pack_calls;
+    // Single-query path without the batch staging: identical stats and
+    // results, no vector/map churn on the hot small-SOC cases.
+    pack_calls_.fetch_add(1, std::memory_order_relaxed);
     if (!options_.memoize) {
         DepthProfile fresh = make_profile(depth);
         return pack_uncached(depth, wire_budget, fresh);
     }
-
     const auto key = std::make_pair(depth, wire_budget);
     const auto cached = packs_.find(key);
     if (cached != packs_.end()) {
-        ++stats_.pack_cache_hits;
+        pack_cache_hits_.fetch_add(1, std::memory_order_relaxed);
         return cached->second;
     }
-
     auto profile = profiles_.find(depth);
     if (profile == profiles_.end()) {
         profile = profiles_.emplace(depth, make_profile(depth)).first;
@@ -315,6 +407,106 @@ std::optional<Architecture> PackEngine::pack_within(CycleCount depth, WireCount 
     std::optional<Architecture> packed = pack_uncached(depth, wire_budget, profile->second);
     packs_.emplace(key, packed);
     return packed;
+}
+
+std::vector<std::optional<Architecture>> PackEngine::pack_batch(
+    const std::vector<PackQuery>& queries)
+{
+    std::vector<std::optional<Architecture>> results(queries.size());
+    if (queries.empty()) {
+        return results;
+    }
+    if (queries.size() == 1) {
+        results[0] = pack_within(queries[0].depth, queries[0].budget);
+        return results;
+    }
+    pack_calls_.fetch_add(static_cast<std::int64_t>(queries.size()),
+                          std::memory_order_relaxed);
+
+    if (!options_.memoize) {
+        // From-scratch mode: every query profiles its depth and runs the
+        // passes on its own, exactly like the equivalent sequence of
+        // uncached pack_within calls.
+        parallel_for_index(queries.size(), parallel_cap(), [&](std::size_t i) {
+            DepthProfile profile = make_profile(queries[i].depth);
+            results[i] = pack_uncached(queries[i].depth, queries[i].budget, profile);
+        });
+        return results;
+    }
+
+    // Phase 1 (coordinator): answer memo hits, dedupe the misses. A
+    // duplicate of an earlier miss in the same batch counts as a hit —
+    // the equivalent pack_within sequence would have found it memoized.
+    using Key = std::pair<CycleCount, WireCount>;
+    std::vector<std::size_t> compute;          // query index of each distinct miss
+    std::map<Key, std::size_t> first_miss;     // key -> index into `compute`
+    std::vector<std::pair<std::size_t, std::size_t>> aliases; // query -> compute slot
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        const Key key{queries[i].depth, queries[i].budget};
+        const auto cached = packs_.find(key);
+        if (cached != packs_.end()) {
+            pack_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            results[i] = cached->second;
+            continue;
+        }
+        const auto seen = first_miss.find(key);
+        if (seen != first_miss.end()) {
+            pack_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            aliases.emplace_back(i, seen->second);
+            continue;
+        }
+        first_miss.emplace(key, compute.size());
+        compute.push_back(i);
+    }
+    if (compute.empty()) {
+        return results;
+    }
+
+    // Phase 2 (coordinator + pool): profiles for depths not seen before,
+    // built concurrently, inserted into the map in deterministic order
+    // before any pack task can read them.
+    std::vector<CycleCount> missing_depths;
+    for (const std::size_t i : compute) {
+        const CycleCount depth = queries[i].depth;
+        if (profiles_.find(depth) == profiles_.end() &&
+            std::find(missing_depths.begin(), missing_depths.end(), depth) ==
+                missing_depths.end()) {
+            missing_depths.push_back(depth);
+        }
+    }
+    if (!missing_depths.empty()) {
+        std::vector<DepthProfile> built(missing_depths.size());
+        parallel_for_index(missing_depths.size(), parallel_cap(), [&](std::size_t i) {
+            built[i] = make_profile(missing_depths[i]);
+        });
+        for (std::size_t i = 0; i < missing_depths.size(); ++i) {
+            profiles_.emplace(missing_depths[i], std::move(built[i]));
+        }
+    }
+
+    // Phase 3 (pool): the distinct misses, each a serial-pass-semantics
+    // pack over a stable profile node.
+    std::vector<DepthProfile*> profiles(compute.size());
+    for (std::size_t j = 0; j < compute.size(); ++j) {
+        profiles[j] = &profiles_.at(queries[compute[j]].depth);
+    }
+    std::vector<std::optional<Architecture>> computed(compute.size());
+    parallel_for_index(compute.size(), parallel_cap(), [&](std::size_t j) {
+        const PackQuery& query = queries[compute[j]];
+        computed[j] = pack_uncached(query.depth, query.budget, *profiles[j]);
+    });
+
+    // Phase 4 (coordinator): publish to the memo in query order, then
+    // fill the answer slots.
+    for (std::size_t j = 0; j < compute.size(); ++j) {
+        const PackQuery& query = queries[compute[j]];
+        packs_.emplace(Key{query.depth, query.budget}, computed[j]);
+        results[compute[j]] = std::move(computed[j]);
+    }
+    for (const auto& [query_index, compute_slot] : aliases) {
+        results[query_index] = results[compute[compute_slot]];
+    }
+    return results;
 }
 
 } // namespace mst

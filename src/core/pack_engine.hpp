@@ -1,22 +1,37 @@
-// Memoized driver of the Step-1 greedy packing.
+// Memoized, parallel driver of the Step-1 greedy packing.
 //
 // Step 1's criterion-1 budget search and Step 2's re-pack fallback both
-// call the greedy many times with repeating (virtual depth, wire budget)
-// pairs: the budget search revisits every virtual depth as the budget
-// grows, and the Step-2 site loop re-scans the same virtual depths while
-// the per-site budget stays constant across consecutive n. The seed
-// recomputed every per-module minimal width, module order, and greedy
-// pass from scratch on each call; PackEngine caches
-//   * per depth: the minimal-width vector and the sorted module orders,
-//   * per (depth, budget): the packed architecture (or infeasibility),
-// so repeated queries are answered without re-running the greedy.
-// Caching is pure memoization — results are byte-identical to the
-// uncached path (tests/golden_fingerprint_test.cpp) — and can be turned
-// off through OptimizeOptions::memoize for baseline measurements.
+// query the greedy many times with repeating (virtual depth, wire
+// budget) pairs. PackEngine answers those queries through three layers:
+//
+//   * memoization — per depth: minimal widths, module orders, and the
+//     per-depth area floor; per (depth, budget): the packed architecture
+//     (or infeasibility). Pure caching, byte-identical results
+//     (tests/golden_fingerprint_test.cpp), off via OptimizeOptions::memoize.
+//   * pruning — a (depth, budget) query whose per-depth area floor
+//     (sum of each module's minimum width*time rectangle at its minimal
+//     width, see ModuleTimeTable::min_area_from) exceeds budget * depth
+//     provably has no packing, so it is answered infeasible without
+//     running a single greedy pass.
+//   * parallelism — pack_batch() evaluates many queries at once: distinct
+//     misses fan out across the global executor, and inside one miss the
+//     (module order x expansion policy) passes run in adaptive waves
+//     (1,1,2,4,8,...) with a lowest-index winner, so a pass that would
+//     have won the sequential scan always wins here too.
+//
+// Determinism: the task schedule depends only on the queries and the
+// options — never on thread count or timing. The memo and the work
+// counters are updated by the coordinating thread in query order, so
+// solutions AND stats are identical at any OptimizeOptions::threads.
+// pack_within()/pack_batch() must be called from one coordinating thread
+// per engine; internal fan-out is managed by the engine itself.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -27,6 +42,33 @@
 
 namespace mst {
 
+/// One greedy-packing query: fit every module within `depth` using at
+/// most `budget` wires.
+struct PackQuery {
+    CycleCount depth = 0;
+    WireCount budget = 0;
+};
+
+/// Adaptive wave extent shared by every candidate scan of the search
+/// (Step-1 fraction sweeps, Step-2 re-pack depth scans, the engine's
+/// order x policy passes): 1, 1, 2, 4, then 8 per wave. The first waves
+/// mirror the sequential scan exactly (no wasted work when the winner
+/// sits early, the overwhelmingly common case); later waves open enough
+/// parallelism to cover deep scans while over-evaluating at most one
+/// wave beyond the sequential stop. One definition on purpose: the
+/// schedule is determinism- and stats-sensitive, so every scan must
+/// grow the same way.
+[[nodiscard]] constexpr std::size_t pack_wave_extent(int wave) noexcept
+{
+    switch (wave) {
+    case 0: return 1;
+    case 1: return 1;
+    case 2: return 2;
+    case 3: return 4;
+    default: return 8;
+    }
+}
+
 /// One optimization run's packing context: time tables + options + caches.
 class PackEngine {
 public:
@@ -34,14 +76,28 @@ public:
 
     [[nodiscard]] const SocTimeTables& tables() const noexcept { return *tables_; }
     [[nodiscard]] const OptimizeOptions& options() const noexcept { return options_; }
-    [[nodiscard]] const PackStats& stats() const noexcept { return stats_; }
+
+    /// Snapshot of the work counters (atomics internally, so parallel
+    /// passes can count; the totals are deterministic because the task
+    /// schedule is).
+    [[nodiscard]] PackStats stats() const noexcept;
+
+    /// Concurrency cap for this run: OptimizeOptions::threads, where
+    /// <= 0 means "whatever the global executor offers".
+    [[nodiscard]] int parallel_cap() const noexcept { return options_.threads; }
 
     /// Try to pack every module into at most `wire_budget` wires with
-    /// every group fill within `depth`, running the greedy pass under all
-    /// module orders and expansion policies. Returns nullopt when no pass
-    /// fits.
+    /// every group fill within `depth`. Returns nullopt when no pass
+    /// fits. Single-query form of pack_batch().
     [[nodiscard]] std::optional<Architecture> pack_within(CycleCount depth,
                                                           WireCount wire_budget);
+
+    /// Evaluate every query; results[i] always matches queries[i].
+    /// Distinct uncached queries are computed concurrently on the global
+    /// executor (duplicates within one batch count as cache hits, like
+    /// the equivalent sequence of pack_within calls would).
+    [[nodiscard]] std::vector<std::optional<Architecture>> pack_batch(
+        const std::vector<PackQuery>& queries);
 
 private:
     /// Everything about one virtual depth that is budget-independent.
@@ -50,7 +106,11 @@ private:
         /// width within the depth (the whole depth is then infeasible).
         std::optional<std::vector<WireCount>> min_widths;
         WireCount widest = 0;
-        /// Lazily sorted module orders, one per ModuleOrder kind.
+        /// Sum of per-module minimum areas at their minimal widths: no
+        /// packing within this depth can occupy fewer wire-cycles.
+        CycleCount area_floor = 0;
+        /// Lazily sorted module orders, one per ModuleOrder kind;
+        /// guarded by orders_mutex_ (parallel passes share profiles).
         std::map<ModuleOrder, std::vector<int>> orders;
     };
 
@@ -62,7 +122,16 @@ private:
 
     const SocTimeTables* tables_;
     OptimizeOptions options_;
-    PackStats stats_;
+
+    std::atomic<std::int64_t> pack_calls_{0};
+    std::atomic<std::int64_t> pack_cache_hits_{0};
+    std::atomic<std::int64_t> greedy_passes_{0};
+    std::atomic<std::int64_t> depth_profiles_{0};
+    std::atomic<std::int64_t> pruned_packs_{0};
+
+    std::mutex orders_mutex_;
+    /// Coordinator-mutated only; parallel tasks receive stable node
+    /// pointers resolved before each fan-out.
     std::map<CycleCount, DepthProfile> profiles_;
     std::map<std::pair<CycleCount, WireCount>, std::optional<Architecture>> packs_;
 };

@@ -71,6 +71,14 @@ struct OptimizeOptions {
     /// are byte-identical either way (golden fingerprint tests). Disable
     /// to measure the from-scratch baseline with `mst bench --compare`.
     bool memoize = true;
+
+    /// Concurrency cap for the intra-scenario search (Step-1 budget
+    /// probes, Step-2 re-pack scans, greedy pass waves, table builds).
+    /// <= 0 uses the whole shared executor (hardware width); 1 runs the
+    /// same deterministic schedule inline. The solution AND the work
+    /// counters are byte-identical at every value — threads only change
+    /// how fast the fixed task schedule drains.
+    int threads = 0;
 };
 
 } // namespace mst

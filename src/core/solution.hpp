@@ -22,6 +22,10 @@ namespace mst {
 struct OptimizerStats {
     PackStats packing;            ///< Step-1/Step-2 packing work
     std::int64_t site_points = 0; ///< Step-2 site curve points evaluated
+    /// Resolved concurrency cap of the run (OptimizeOptions::threads,
+    /// with <= 0 resolved to the shared executor's width). Purely
+    /// informational: results and the other counters do not depend on it.
+    int threads = 0;
 };
 
 /// Snapshot of one channel group, detached from the internal tables so a

@@ -1,66 +1,116 @@
 #include "core/step2.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/error.hpp"
+#include "common/executor.hpp"
 
 namespace mst {
 
 namespace {
 
-/// Evaluate the throughput model for a concrete (n, architecture) pair.
-ThroughputResult evaluate_point(SiteCount sites,
-                                const Architecture& arch,
+/// What the throughput model needs to know about one site point's
+/// architecture. Snapshotting the two scalars instead of the whole
+/// Architecture keeps the per-point bookkeeping allocation-free along
+/// curves with hundreds of points.
+struct PointShape {
+    ChannelCount channels = 0;
+    CycleCount test_cycles = 0;
+};
+
+ThroughputResult evaluate_shape(SiteCount sites,
+                                const PointShape& shape,
                                 const TestCell& cell,
                                 const OptimizeOptions& options)
 {
     ThroughputInputs inputs;
     inputs.sites = sites;
-    inputs.manufacturing_test_time = cell.ate.seconds_for(arch.test_cycles());
-    inputs.contacted_terminals_per_soc = arch.channels() + options.control_pads;
+    inputs.manufacturing_test_time = cell.ate.seconds_for(shape.test_cycles);
+    inputs.contacted_terminals_per_soc = shape.channels + options.control_pads;
     return evaluate_throughput(inputs, cell.prober, options.yields, options.abort);
 }
 
-SitePoint make_point(SiteCount sites, const Architecture& arch, const TestCell& cell,
+SitePoint make_point(SiteCount sites, const PointShape& shape, const TestCell& cell,
                      const ThroughputResult& result, RetestPolicy retest)
 {
     SitePoint point;
     point.sites = sites;
-    point.channels_per_site = arch.channels();
-    point.test_cycles = arch.test_cycles();
-    point.manufacturing_time = cell.ate.seconds_for(arch.test_cycles());
+    point.channels_per_site = shape.channels;
+    point.test_cycles = shape.test_cycles;
+    point.manufacturing_time = cell.ate.seconds_for(shape.test_cycles);
     point.devices_per_hour = result.devices_per_hour;
     point.unique_devices_per_hour = result.unique_devices_per_hour;
     point.figure_of_merit = figure_of_merit(result, retest);
     return point;
 }
 
+/// The virtual depths the re-pack fallback scans for one wire budget:
+/// bottom-up from the total-area floor in 0.025-of-depth steps (integer
+/// step counts, so floating-point accumulation can never skip or repeat
+/// a depth), truncated at the first depth that could not beat
+/// `beat_cycles` — the sequential scan's early exit, computable up
+/// front because the depths ascend.
+std::vector<CycleCount> repack_candidates(const SocTimeTables& tables,
+                                          CycleCount depth,
+                                          WireCount wire_budget,
+                                          CycleCount beat_cycles)
+{
+    const CycleCount total_min_area = tables.total_min_area();
+    const double floor_fraction = static_cast<double>(total_min_area) /
+                                  (static_cast<double>(wire_budget) * static_cast<double>(depth));
+    const double start = std::max(0.05, floor_fraction);
+
+    std::vector<CycleCount> depths;
+    for (int step = 0;; ++step) {
+        const double fraction = start + 0.025 * step;
+        if (fraction > 1.0) {
+            break;
+        }
+        const auto virtual_depth =
+            static_cast<CycleCount>(static_cast<double>(depth) * fraction);
+        if (virtual_depth < 1) {
+            continue;
+        }
+        if (virtual_depth >= beat_cycles) {
+            break; // only depths strictly better than the incumbent matter
+        }
+        depths.push_back(virtual_depth);
+    }
+    return depths;
+}
+
 /// Re-pack fallback: when widening the bottleneck group cannot shorten
 /// the test any further (its modules are width-saturated), rebuilding the
 /// whole per-site architecture for the full wire budget at the smallest
-/// feasible virtual depth can. Scans virtual depths bottom-up and returns
-/// the tightest packing, or nullopt if none beats `beat_cycles`.
+/// feasible virtual depth can. The candidate depths are scanned in
+/// adaptive parallel waves with a deterministic reduction — the winner
+/// is the first (lowest) index whose packing beats `beat_cycles`, the
+/// same packing the sequential bottom-up scan returns.
 std::optional<Architecture> repack_for_budget(PackEngine& engine,
                                               CycleCount depth,
                                               WireCount wire_budget,
                                               CycleCount beat_cycles)
 {
-    // No packing can beat the total-area bound, so start the virtual-depth
-    // scan there instead of at zero.
-    const CycleCount total_min_area = engine.tables().total_min_area();
-    const double floor_fraction = static_cast<double>(total_min_area) /
-                                  (static_cast<double>(wire_budget) * static_cast<double>(depth));
+    const std::vector<CycleCount> candidates =
+        repack_candidates(engine.tables(), depth, wire_budget, beat_cycles);
 
-    for (double fraction = std::max(0.05, floor_fraction); fraction <= 1.0; fraction += 0.025) {
-        const auto virtual_depth = static_cast<CycleCount>(static_cast<double>(depth) * fraction);
-        if (virtual_depth < 1) {
-            continue;
+    std::size_t begin = 0;
+    for (int wave = 0; begin < candidates.size(); ++wave) {
+        const std::size_t end = std::min(candidates.size(), begin + pack_wave_extent(wave));
+        std::vector<PackQuery> queries;
+        queries.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+            queries.push_back({candidates[i], wire_budget});
         }
-        if (virtual_depth >= beat_cycles) {
-            return std::nullopt; // only depths strictly better than the incumbent matter
+        std::vector<std::optional<Architecture>> packs = engine.pack_batch(queries);
+        for (std::optional<Architecture>& packed : packs) {
+            if (packed && packed->test_cycles() < beat_cycles) {
+                return std::move(packed);
+            }
         }
-        std::optional<Architecture> packed = engine.pack_within(virtual_depth, wire_budget);
-        if (packed && packed->test_cycles() < beat_cycles) {
-            return packed;
-        }
+        begin = end;
     }
     return std::nullopt;
 }
@@ -75,19 +125,32 @@ Step2Result run_step2(PackEngine& engine, const Step1Result& step1, const TestCe
         throw ValidationError("Step 2 requires a feasible Step-1 result");
     }
 
-    Step2Result result{0, step1.architecture, {}, {}};
-    DevicesPerHour best = -1.0;
+    const auto count = static_cast<std::size_t>(step1.max_sites);
+    std::vector<SiteCount> sites(count);
+    std::vector<PointShape> shapes(count);
+    // The incumbent mutates rarely (only when the budget boundary frees
+    // wires or a re-pack wins); snapshots record it exactly at those
+    // points so the winner's architecture can be recovered without
+    // copying it once per curve point.
+    std::vector<Architecture> snapshots;
+    std::vector<std::size_t> snapshot_from;
 
     // `incumbent` carries the best architecture found so far down the
     // linear search; the per-site budget only grows as n shrinks, so the
-    // incumbent always fits and the test time is monotone along the curve.
+    // incumbent always fits and the test time is monotone along the
+    // curve. The chain is inherently sequential — each n's budget scan
+    // starts from the previous incumbent — but the expensive part, the
+    // re-pack packing queries, fans out inside repack_for_budget.
     Architecture incumbent = step1.architecture;
-    for (SiteCount n = step1.max_sites; n >= 1; --n) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const SiteCount n = step1.max_sites - static_cast<SiteCount>(i);
+        sites[i] = n;
         // Redistribute the channels freed up by giving up sites: every
         // site may grow to the per-site budget. Wires are handed one at a
         // time to the group with the largest fill (the bottleneck).
         const WireCount budget =
             wires_from_channels(per_site_channel_budget(n, cell.ate.channels, options.broadcast));
+        const WireCount wires_before = incumbent.total_wires();
         while (incumbent.total_wires() < budget &&
                incumbent.add_wire_to_bottleneck(budget - incumbent.total_wires())) {
         }
@@ -100,18 +163,51 @@ Step2Result run_step2(PackEngine& engine, const Step1Result& step1, const TestCe
         if (repacked) {
             incumbent = std::move(*repacked);
         }
+        if (snapshots.empty() || repacked || incumbent.total_wires() != wires_before) {
+            snapshots.push_back(incumbent);
+            snapshot_from.push_back(i);
+        }
+        shapes[i] = {incumbent.channels(), incumbent.test_cycles()};
+    }
 
-        const Architecture& candidate = incumbent;
-        const ThroughputResult throughput = evaluate_point(n, candidate, cell, options);
-        result.curve.push_back(make_point(n, candidate, cell, throughput, options.retest));
+    // The throughput model is independent per site point once the
+    // shapes are fixed; evaluate the whole curve concurrently. Each
+    // point is a handful of closed-form evaluations, so the fan-out only
+    // pays for long curves on a pool with real workers — gating it
+    // changes wall time, never results (each slot is written once).
+    Step2Result result{0, step1.architecture, {}, {}};
+    result.curve.resize(count);
+    std::vector<ThroughputResult> throughputs(count);
+    const bool fan_out = count >= 256 && Executor::global().worker_count() >= 2;
+    parallel_for_index(count, fan_out ? engine.parallel_cap() : 1, [&](std::size_t i) {
+        throughputs[i] = evaluate_shape(sites[i], shapes[i], cell, options);
+        result.curve[i] = make_point(sites[i], shapes[i], cell, throughputs[i], options.retest);
+    });
 
-        const DevicesPerHour merit = figure_of_merit(throughput, options.retest);
+    // Deterministic reduction in descending-n order: strict improvement
+    // keeps the earlier (larger) n on ties, exactly like the sequential
+    // scan.
+    DevicesPerHour best = -1.0;
+    std::size_t best_index = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const DevicesPerHour merit = figure_of_merit(throughputs[i], options.retest);
         if (merit > best) {
             best = merit;
-            result.best_sites = n;
-            result.best_architecture = candidate;
-            result.best_throughput = throughput;
+            best_index = i;
+            result.best_sites = sites[i];
+            result.best_throughput = throughputs[i];
         }
+    }
+    // Recover the winning architecture: the last snapshot at or before
+    // the winning point.
+    std::size_t snapshot = 0;
+    for (std::size_t s = 0; s < snapshot_from.size(); ++s) {
+        if (snapshot_from[s] <= best_index) {
+            snapshot = s;
+        }
+    }
+    if (!snapshots.empty()) {
+        result.best_architecture = std::move(snapshots[snapshot]);
     }
     return result;
 }

@@ -59,7 +59,9 @@ void write_case(std::ostream& out, const BenchCaseResult& result)
         << ", \"pack_cache_hits\": " << result.stats.packing.pack_cache_hits
         << ", \"greedy_passes\": " << result.stats.packing.greedy_passes
         << ", \"depth_profiles\": " << result.stats.packing.depth_profiles
-        << ", \"site_points\": " << result.stats.site_points << " }\n";
+        << ", \"pruned_packs\": " << result.stats.packing.pruned_packs
+        << ", \"site_points\": " << result.stats.site_points
+        << ", \"threads\": " << result.stats.threads << " }\n";
     out << "    }";
 }
 
@@ -73,6 +75,7 @@ void write_bench_json(std::ostream& out, const BenchReport& report)
     out << "  \"suite\": \"" << json_escape(report.suite) << "\",\n";
     out << "  \"repetitions\": " << report.repetitions << ",\n";
     out << "  \"compared_baseline\": " << (report.compared_baseline ? "true" : "false") << ",\n";
+    out << "  \"threads\": " << report.threads << ",\n";
     out << "  \"total_seconds\": " << number(report.total_seconds) << ",\n";
     out << "  \"scenario_count\": " << report.results.size() << ",\n";
     out << "  \"scenarios\": [";

@@ -15,8 +15,11 @@ namespace mst {
 /// Schema identity embedded in every report. Bump the version on any
 /// backwards-incompatible change and teach tools/validate_bench.py the
 /// new layout in the same commit.
+/// v2: top-level "threads" (configured intra-scenario concurrency cap,
+/// 0 = executor-wide) and per-scenario optimizer_stats gained
+/// "pruned_packs" (area-floor prune hits) and "threads" (resolved cap).
 inline constexpr const char* bench_schema_name = "mst.bench";
-inline constexpr int bench_schema_version = 1;
+inline constexpr int bench_schema_version = 2;
 
 /// Serialize a bench report as one self-contained JSON object with a
 /// deterministic key order.

@@ -73,7 +73,8 @@ SolutionFingerprint fingerprint_of(const Solution& solution)
     return fingerprint;
 }
 
-BenchCaseResult run_case(const BenchCase& bench_case, int repetitions, bool compare_baseline)
+BenchCaseResult run_case(const BenchCase& bench_case, int repetitions, bool compare_baseline,
+                         int threads)
 {
     BenchCaseResult result;
     result.name = bench_case.name;
@@ -81,6 +82,9 @@ BenchCaseResult run_case(const BenchCase& bench_case, int repetitions, bool comp
     result.variant = bench_case.variant;
     result.channels = bench_case.cell.ate.channels;
     result.depth = bench_case.cell.ate.vector_memory_depth;
+
+    OptimizeOptions case_options = bench_case.options;
+    case_options.threads = threads;
 
     try {
         // Memoized pipeline, timed end to end: wrapper time tables are
@@ -91,7 +95,7 @@ BenchCaseResult run_case(const BenchCase& bench_case, int repetitions, bool comp
         for (int rep = 0; rep < repetitions; ++rep) {
             Stopwatch stopwatch;
             const Solution solution =
-                optimize_multi_site(*bench_case.soc, bench_case.cell, bench_case.options);
+                optimize_multi_site(*bench_case.soc, bench_case.cell, case_options);
             samples.push_back(stopwatch.elapsed());
             const SolutionFingerprint fingerprint = fingerprint_of(solution);
             if (rep == 0) {
@@ -106,14 +110,15 @@ BenchCaseResult run_case(const BenchCase& bench_case, int repetitions, bool comp
         if (compare_baseline) {
             // Seed-equivalent from-scratch pipeline: reference table
             // build (full wrapper design per width) and no packing memo.
-            OptimizeOptions baseline_options = bench_case.options;
+            OptimizeOptions baseline_options = case_options;
             baseline_options.memoize = false;
             std::vector<Seconds> baseline_samples;
             baseline_samples.reserve(static_cast<std::size_t>(repetitions));
             SolutionFingerprint baseline_fingerprint;
             for (int rep = 0; rep < repetitions; ++rep) {
                 Stopwatch stopwatch;
-                const SocTimeTables reference_tables(*bench_case.soc, TableBuild::reference);
+                const SocTimeTables reference_tables(*bench_case.soc, TableBuild::reference,
+                                                     threads);
                 const Solution solution =
                     optimize_multi_site(reference_tables, bench_case.cell, baseline_options);
                 baseline_samples.push_back(stopwatch.elapsed());
@@ -201,6 +206,7 @@ BenchReport run_bench(const std::vector<BenchCase>& cases, const BenchOptions& o
     report.suite = "custom";
     report.repetitions = options.repetitions > 0 ? options.repetitions : (options.quick ? 2 : 5);
     report.compared_baseline = options.compare_baseline;
+    report.threads = options.threads;
 
     Stopwatch total;
     for (const BenchCase& bench_case : cases) {
@@ -208,8 +214,8 @@ BenchReport run_bench(const std::vector<BenchCase>& cases, const BenchOptions& o
             bench_case.name.find(options.filter) == std::string::npos) {
             continue;
         }
-        report.results.push_back(
-            run_case(bench_case, report.repetitions, options.compare_baseline));
+        report.results.push_back(run_case(bench_case, report.repetitions,
+                                          options.compare_baseline, options.threads));
     }
     report.total_seconds = total.elapsed();
     return report;

@@ -69,6 +69,8 @@ struct BenchReport {
     std::string suite;
     int repetitions = 0;
     bool compared_baseline = false;
+    /// Configured intra-scenario concurrency cap (0 = executor-wide).
+    int threads = 0;
     Seconds total_seconds = 0;
     std::vector<BenchCaseResult> results;
 
@@ -83,6 +85,11 @@ struct BenchOptions {
     int repetitions = 0;           ///< 0 = suite default (quick: 2, full: 5)
     bool compare_baseline = false; ///< also run the from-scratch pipeline
     std::string filter;            ///< substring filter on case names
+    /// Intra-scenario concurrency cap (OptimizeOptions::threads) applied
+    /// to every case; <= 0 uses the whole shared executor. Results are
+    /// byte-identical at any value — this knob exists to measure how the
+    /// fixed task schedule scales.
+    int threads = 0;
 };
 
 /// The canonical scenario list: the four ITC'02 SOCs across

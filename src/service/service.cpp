@@ -7,7 +7,7 @@
 #include <sstream>
 
 #include "batch/batch_runner.hpp"
-#include "batch/parallel.hpp"
+#include "common/executor.hpp"
 #include "cli/flags.hpp"
 #include "common/format.hpp"
 #include "core/optimizer.hpp"
@@ -306,8 +306,13 @@ std::shared_ptr<const SolutionOutcome> RequestService::outcome_for(const ParsedR
         try {
             request.cell.validate();
             const std::shared_ptr<const SocTables> shared = tables_.get(fingerprint, soc);
+            // The service's --threads cap applies inside each request
+            // too (one flag meaning across the CLI). Not part of the
+            // memo key: solutions are identical at any thread count.
+            OptimizeOptions run_options = request.options;
+            run_options.threads = config_.threads;
             const Solution solution =
-                optimize_multi_site(shared->tables(), request.cell, request.options);
+                optimize_multi_site(shared->tables(), request.cell, run_options);
             outcome->ok = true;
             outcome->solution_json = solution_to_json(solution, JsonStyle::compact);
         } catch (const InfeasibleError& e) {
@@ -381,10 +386,10 @@ std::vector<std::string> RequestService::execute(const std::vector<std::string>&
         }
         const std::size_t count = end - begin;
         parallel_for_index(count, thread_count(count), [&](std::size_t i) {
-            // parallel_for_index workers must not throw (an escaping
-            // exception would terminate the process and with it every
-            // other in-flight request), so this is the last-resort net
-            // under the per-stage handlers.
+            // An exception escaping a request would abort the whole
+            // batch once the fan-out rethrows it, so this is the
+            // last-resort net under the per-stage handlers: every
+            // failure becomes that request's error response.
             const ParsedRequest& request = parsed[begin + i];
             try {
                 if (request.error_kind != RequestErrorKind::none) {

@@ -35,6 +35,30 @@ ModuleTimeTable::ModuleTimeTable(const Module& module, WireCount max_width, Tabl
             min_area_ = area;
         }
     }
+
+    // Suffix minima of w * effective_time(w): the area floor of placing
+    // this module on a group of width >= w. Beyond max_width the time
+    // saturates, so wider groups only cost more area and the suffix over
+    // the table already covers them.
+    suffix_min_area_.resize(times_.size());
+    CycleCount best_area = 0;
+    for (WireCount w = limit; w >= 1; --w) {
+        const auto index = static_cast<std::size_t>(w) - 1;
+        const CycleCount area = static_cast<CycleCount>(w) * times_[index];
+        if (w == limit || area < best_area) {
+            best_area = area;
+        }
+        suffix_min_area_[index] = best_area;
+    }
+}
+
+CycleCount ModuleTimeTable::min_area_from(WireCount width) const
+{
+    if (width < 1) {
+        throw ValidationError("width must be >= 1 in ModuleTimeTable::min_area_from");
+    }
+    const auto index = static_cast<std::size_t>(std::min(width, max_width())) - 1;
+    return suffix_min_area_[index];
 }
 
 CycleCount ModuleTimeTable::time(WireCount width) const

@@ -66,10 +66,20 @@ public:
     /// per-module packing area).
     [[nodiscard]] CycleCount min_area() const noexcept { return min_area_; }
 
+    /// Minimum width*time rectangle area over widths >= `width`. In any
+    /// packing whose every group fill stays within a depth D, this module
+    /// sits on a group at least min_width_for(D) wide, so
+    /// min_area_from(min_width_for(D)) lower-bounds the wire-cycles the
+    /// module occupies — the per-depth packing floor PackEngine uses to
+    /// prune provably-infeasible (depth, budget) queries without running
+    /// a single greedy pass.
+    [[nodiscard]] CycleCount min_area_from(WireCount width) const;
+
 private:
     const Module* module_;
     std::vector<CycleCount> times_;      ///< effective time at width i+1
     std::vector<WireCount> used_widths_; ///< width achieving times_[i]
+    std::vector<CycleCount> suffix_min_area_; ///< min area over widths >= i+1
     std::vector<ParetoPoint> pareto_;
     CycleCount min_area_ = 0;
 };

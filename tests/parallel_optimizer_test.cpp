@@ -1,0 +1,109 @@
+// Thread-count determinism of the intra-scenario parallel optimizer:
+// OptimizeOptions::threads only changes how fast the fixed task schedule
+// drains, never what it computes. For every ITC'02 SOC and every
+// expansion policy, the full solution JSON — operating point, TAM plan,
+// E-RPCT wrapper, the whole site curve — must be byte-identical at 1, 2,
+// and 8 threads, and the work counters (pack calls, cache hits, greedy
+// passes, profiles, prunes) must match too, because the schedule itself
+// is thread-count independent.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/channel_group.hpp"
+#include "core/optimizer.hpp"
+#include "report/solution_json.hpp"
+#include "soc/profiles.hpp"
+
+namespace mst {
+namespace {
+
+const char* policy_name(ExpansionPolicy policy)
+{
+    switch (policy) {
+    case ExpansionPolicy::widen_by_kmin:
+        return "widen_by_kmin";
+    case ExpansionPolicy::min_widening:
+        return "min_widening";
+    case ExpansionPolicy::always_new_group:
+        return "always_new_group";
+    }
+    return "?";
+}
+
+class ParallelOptimizer : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelOptimizer, SolutionJsonIsByteIdenticalAtAnyThreadCount)
+{
+    const Soc soc = make_benchmark_soc(GetParam());
+    const SocTimeTables tables(soc);
+    TestCell cell; // 512 channels x 7M vectors, the paper's cell
+
+    for (const ExpansionPolicy policy :
+         {ExpansionPolicy::widen_by_kmin, ExpansionPolicy::min_widening,
+          ExpansionPolicy::always_new_group}) {
+        OptimizeOptions options;
+        options.expansion = policy;
+
+        options.threads = 1;
+        const Solution serial = optimize_multi_site(tables, cell, options);
+        const std::string serial_json = solution_to_json(serial);
+
+        for (const int threads : {2, 8}) {
+            options.threads = threads;
+            const Solution parallel = optimize_multi_site(tables, cell, options);
+            EXPECT_EQ(solution_to_json(parallel), serial_json)
+                << GetParam() << " under " << policy_name(policy) << " at " << threads
+                << " threads";
+
+            // The schedule — not just the answer — is thread-count
+            // independent, so the counters must agree as well.
+            EXPECT_EQ(parallel.stats.packing.pack_calls, serial.stats.packing.pack_calls);
+            EXPECT_EQ(parallel.stats.packing.pack_cache_hits,
+                      serial.stats.packing.pack_cache_hits);
+            EXPECT_EQ(parallel.stats.packing.greedy_passes,
+                      serial.stats.packing.greedy_passes);
+            EXPECT_EQ(parallel.stats.packing.depth_profiles,
+                      serial.stats.packing.depth_profiles);
+            EXPECT_EQ(parallel.stats.packing.pruned_packs,
+                      serial.stats.packing.pruned_packs);
+            EXPECT_EQ(parallel.stats.site_points, serial.stats.site_points);
+        }
+    }
+}
+
+TEST(ParallelOptimizer, FromScratchModeIsThreadCountIndependentToo)
+{
+    const Soc soc = make_benchmark_soc("d695");
+    const SocTimeTables tables(soc);
+    TestCell cell;
+
+    OptimizeOptions options;
+    options.memoize = false;
+    options.threads = 1;
+    const std::string serial_json = solution_to_json(optimize_multi_site(tables, cell, options));
+    options.threads = 8;
+    EXPECT_EQ(solution_to_json(optimize_multi_site(tables, cell, options)), serial_json);
+}
+
+TEST(ParallelOptimizer, ThreadsKnobIsSurfacedInStats)
+{
+    const Soc soc = make_benchmark_soc("d695");
+    const SocTimeTables tables(soc);
+    TestCell cell;
+
+    OptimizeOptions options;
+    options.threads = 3;
+    EXPECT_EQ(optimize_multi_site(tables, cell, options).stats.threads, 3);
+    options.threads = 0; // executor-wide: resolved to pool width + caller
+    EXPECT_GE(optimize_multi_site(tables, cell, options).stats.threads, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Itc02Socs, ParallelOptimizer,
+                         ::testing::Values("d695", "p22810", "p34392", "p93791"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace
+} // namespace mst

@@ -162,14 +162,16 @@ TEST(BenchJson, SchemaSurfaceIsStable)
     const std::string json = bench_report_to_json(report);
 
     for (const char* key :
-         {"\"schema\": \"mst.bench\"", "\"schema_version\": 1", "\"suite\": \"custom\"",
-          "\"repetitions\": 1", "\"compared_baseline\": false", "\"total_seconds\":",
+         {"\"schema\": \"mst.bench\"", "\"schema_version\": 2", "\"suite\": \"custom\"",
+          "\"repetitions\": 1", "\"compared_baseline\": false", "\"threads\": 0",
+          "\"total_seconds\":",
           "\"scenario_count\": 1", "\"scenarios\": [", "\"name\": \"d695/512x7M/plain\"",
           "\"ok\": true", "\"wall_seconds\":", "\"iterations\": 1", "\"min_s\":", "\"p50_s\":",
           "\"mean_s\":", "\"max_s\":", "\"fingerprint\":", "\"sites\":",
           "\"channels_per_site\":", "\"test_cycles\":", "\"devices_per_hour\":",
           "\"optimizer_stats\":", "\"pack_calls\":", "\"pack_cache_hits\":",
-          "\"greedy_passes\":", "\"depth_profiles\":", "\"site_points\":"}) {
+          "\"greedy_passes\":", "\"depth_profiles\":", "\"pruned_packs\":",
+          "\"site_points\":", "\"threads\":"}) {
         EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in:\n" << json;
     }
     // No baseline requested: the comparison keys must be absent.

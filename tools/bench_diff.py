@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two mst.bench JSON reports: fingerprints and p50 timings.
+
+Usage: tools/bench_diff.py BASELINE.json NEW.json [options]
+
+  --threshold X        p50 regression ratio that fails the diff
+                       (default 1.25; new_p50 > X * baseline_p50)
+  --advisory-timings   print timing deltas but never fail on them
+                       (for shared CI runners whose clocks are noisy;
+                       fingerprints stay strict)
+
+Scenarios are matched by name; the comparison covers the intersection,
+so a --quick run can be diffed against the committed full-suite
+baseline. Exit codes: 0 clean, 1 timing regression beyond the
+threshold, 2 fingerprint mismatch (or malformed input). A fingerprint
+mismatch always wins over a timing exit code: a fast wrong answer is
+the worst outcome a perf PR can ship. Stdlib-only on purpose.
+"""
+import argparse
+import json
+import sys
+
+FINGERPRINT_KEYS = ("sites", "channels_per_site", "test_cycles", "devices_per_hour")
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"bench_diff: cannot read {path}: {error}")
+    if not isinstance(report, dict) or report.get("schema") != "mst.bench":
+        sys.exit(f"bench_diff: {path} is not an mst.bench report")
+    scenarios = {}
+    for scenario in report.get("scenarios", []):
+        if scenario.get("ok"):
+            scenarios[scenario["name"]] = scenario
+    if not scenarios:
+        sys.exit(f"bench_diff: {path} has no successful scenarios")
+    return scenarios
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=1.25)
+    parser.add_argument("--advisory-timings", action="store_true")
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        sys.exit("bench_diff: --threshold must be positive")
+
+    baseline = load_report(args.baseline)
+    new = load_report(args.new)
+    shared = [name for name in new if name in baseline]
+    if not shared:
+        sys.exit("bench_diff: the reports share no scenario names")
+
+    mismatches = []
+    regressions = []
+    width = max(len(name) for name in shared)
+    print(f"{'scenario':{width}}  {'base p50':>10}  {'new p50':>10}  {'ratio':>7}  fingerprint")
+    for name in shared:
+        old_case, new_case = baseline[name], new[name]
+        old_fp = {k: old_case["fingerprint"][k] for k in FINGERPRINT_KEYS}
+        new_fp = {k: new_case["fingerprint"][k] for k in FINGERPRINT_KEYS}
+        fp_ok = old_fp == new_fp
+        if not fp_ok:
+            mismatches.append(name)
+        old_p50 = old_case["wall_seconds"]["p50_s"]
+        new_p50 = new_case["wall_seconds"]["p50_s"]
+        ratio = new_p50 / old_p50 if old_p50 > 0 else float("inf")
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+        print(f"{name:{width}}  {old_p50 * 1e3:9.3f}ms  {new_p50 * 1e3:9.3f}ms  "
+              f"{ratio:6.2f}x  {'ok' if fp_ok else 'MISMATCH'}")
+
+    only_old = sorted(set(baseline) - set(new))
+    only_new = sorted(set(new) - set(baseline))
+    if only_old:
+        print(f"baseline-only scenarios (not compared): {', '.join(only_old)}")
+    if only_new:
+        print(f"new-only scenarios (not compared): {', '.join(only_new)}")
+
+    if mismatches:
+        print(f"FAIL: fingerprint mismatch in {len(mismatches)} scenario(s): "
+              f"{', '.join(mismatches[:5])}", file=sys.stderr)
+        sys.exit(2)
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        message = (f"{len(regressions)} scenario(s) beyond {args.threshold}x "
+                   f"(worst: {worst[0]} at {worst[1]:.2f}x)")
+        if args.advisory_timings:
+            print(f"ADVISORY: {message}")
+        else:
+            print(f"FAIL: {message}", file=sys.stderr)
+            sys.exit(1)
+    print(f"OK: {len(shared)} scenario(s) compared, fingerprints identical")
+
+
+if __name__ == "__main__":
+    main()

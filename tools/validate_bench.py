@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a BENCH JSON file against the mst.bench v1 schema.
+"""Validate a BENCH JSON file against the mst.bench v2 schema.
 
 Usage: tools/validate_bench.py BENCH_optimizer.json
 
@@ -13,14 +13,15 @@ import json
 import sys
 
 SCHEMA_NAME = "mst.bench"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 TIMING_KEYS = {"iterations": int, "min_s": (int, float), "p50_s": (int, float),
                "mean_s": (int, float), "max_s": (int, float)}
 FINGERPRINT_KEYS = {"sites": int, "channels_per_site": int, "test_cycles": int,
                     "devices_per_hour": (int, float)}
 STATS_KEYS = {"pack_calls": int, "pack_cache_hits": int, "greedy_passes": int,
-              "depth_profiles": int, "site_points": int}
+              "depth_profiles": int, "pruned_packs": int, "site_points": int,
+              "threads": int}
 
 
 def fail(message):
@@ -96,6 +97,7 @@ def main():
     require(report, "suite", str, "top level")
     require(report, "repetitions", int, "top level")
     require(report, "compared_baseline", bool, "top level")
+    require(report, "threads", int, "top level")
     require(report, "total_seconds", (int, float), "top level")
     scenarios = require(report, "scenarios", list, "top level")
     if not scenarios:
