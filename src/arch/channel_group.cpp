@@ -14,11 +14,13 @@ SocTimeTables::SocTimeTables(const Soc& soc, TableBuild build, int threads) : so
     // cost of a cold optimize call — fans out across the executor. Each
     // slot is written by exactly one index and the tables are assembled
     // in module order afterwards, so the result is byte-identical at any
-    // thread count. Small SOCs build inline: ITC'02-sized builds finish
-    // in well under the fan-out's wake-up cost.
+    // thread count. Small fast builds run inline (ITC'02-sized ones
+    // finish in well under the fan-out's wake-up cost); reference builds
+    // always fan out — each module's exhaustive schedule is expensive at
+    // any SOC size, and they are exactly what `bench --compare` times.
     const auto count = static_cast<std::size_t>(soc.module_count());
     constexpr std::size_t parallel_build_threshold = 64;
-    if (count < parallel_build_threshold) {
+    if (count < parallel_build_threshold && build == TableBuild::fast) {
         tables_.reserve(count);
         for (const Module& m : soc.modules()) {
             tables_.emplace_back(m, 0, build);

@@ -124,7 +124,7 @@ int cmd_optimize(const Flags& flags)
     // any value (deterministic task schedule), so 0 = all cores is safe.
     options.threads = parse_int_flag("threads", flag_or(flags, "threads", "0"));
     cell.validate(); // fail fast: the table build below is the expensive part
-    const SocTimeTables tables(soc);
+    const SocTimeTables tables(soc, TableBuild::fast, options.threads);
     const Solution solution = optimize_multi_site(tables, cell, options);
 
     if (flags.count("json") != 0) {

@@ -79,6 +79,13 @@ public:
     /// to max_threads - 1 pool workers (max_threads <= 0 means "as many
     /// as the pool has"). Blocks until every index completed; rethrows
     /// the lowest-index exception, if any.
+    ///
+    /// The cap is per fan-out, not per process: each nested for_index
+    /// (scenario fan-out -> pack batch -> greedy passes) may claim up to
+    /// max_threads - 1 helpers of its own, so a process running several
+    /// capped loops at once can occupy more than max_threads workers in
+    /// total. The pool's fixed worker count is the hard bound; the cap
+    /// limits how much of it one loop may grab.
     void for_index(std::size_t count, int max_threads,
                    const std::function<void(std::size_t)>& fn);
 

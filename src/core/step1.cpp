@@ -55,6 +55,35 @@ std::optional<Architecture> probe_budget(PackEngine& engine,
     return std::nullopt;
 }
 
+/// Probe a contiguous ascending run of budgets [first, last) at once:
+/// every (budget x fraction) candidate of the run goes through one
+/// pack_batch, and the winner is the first success in budget-major,
+/// fraction-minor order — exactly the candidate the sequential budget
+/// ascent keeps. Probing the whole block wastes nothing on the
+/// infeasible prefix (the sequential scan evaluates every fraction of
+/// an infeasible budget anyway) and at most the tail of the winning
+/// run beyond the winner.
+std::optional<Architecture> probe_budget_run(PackEngine& engine,
+                                             const std::vector<CycleCount>& virtual_depths,
+                                             WireCount first,
+                                             WireCount last)
+{
+    std::vector<PackQuery> queries;
+    queries.reserve(static_cast<std::size_t>(last - first) * virtual_depths.size());
+    for (WireCount budget = first; budget < last; ++budget) {
+        for (const CycleCount depth : virtual_depths) {
+            queries.push_back({depth, budget});
+        }
+    }
+    std::vector<std::optional<Architecture>> packs = engine.pack_batch(queries);
+    for (std::optional<Architecture>& packed : packs) {
+        if (packed) {
+            return std::move(packed);
+        }
+    }
+    return std::nullopt;
+}
+
 } // namespace
 
 Step1Result run_step1(PackEngine& engine, const AteSpec& ate)
@@ -93,19 +122,18 @@ Step1Result run_step1(PackEngine& engine, const AteSpec& ate)
 
     // Criterion 1 (minimize channels) has priority: find the smallest
     // wire budget from the theoretical lower bound upward at which any
-    // sweep candidate packs. The search assumes budget feasibility is
-    // monotone — more wires never hurt the sweep as a whole — so
-    // instead of walking budgets one by one it gallops (probes at
-    // exponentially growing offsets until one succeeds) and then
-    // bisects the bracket; the winning architecture at the minimal
-    // budget is the first feasible fraction there, i.e. byte-identical
-    // to the linear scan. The greedy itself offers no hard monotonicity
-    // guarantee (its choices see the budget through head_room), so the
-    // bisection always lands on a feasible budget whose predecessor was
-    // probed infeasible, and the bench fingerprint gate pins the result
-    // against the linear-scan answers across the canonical suite.
-    // Without budget_search a single unconstrained probe reproduces the
-    // raw greedy of the paper.
+    // sweep candidate packs. The ascent is linear on purpose: the
+    // greedy offers no budget-monotonicity guarantee (its choices see
+    // the budget through head_room), so a gallop/bisect over budgets
+    // could skip the true minimum or miss a feasible packing entirely —
+    // every budget below the winner must actually be probed. The scan
+    // runs in the shared adaptive waves instead: the first two waves
+    // mirror the sequential ascent exactly (early exit per fraction),
+    // later waves batch whole (budget x fraction) blocks through
+    // pack_batch, and the winner is the first success in budget-major,
+    // fraction-minor order — byte-identical to the sequential ascent by
+    // construction, at any thread count. Without budget_search a single
+    // unconstrained probe reproduces the raw greedy of the paper.
     const CycleCount total_min_area = tables.total_min_area();
     const auto area_bound = static_cast<WireCount>((total_min_area + depth - 1) / depth);
     const WireCount search_from =
@@ -113,34 +141,17 @@ Step1Result run_step1(PackEngine& engine, const AteSpec& ate)
 
     std::optional<Architecture> packed;
     if (search_from <= ate_wires) {
-        WireCount infeasible_below = search_from; // all budgets < this are infeasible
-        WireCount probe_at = search_from;
-        WireCount jump = 1;
-        WireCount feasible_at = 0;
-        for (;;) {
-            packed = probe_budget(engine, virtual_depths, probe_at);
-            if (packed) {
-                feasible_at = probe_at;
-                break;
-            }
-            infeasible_below = probe_at + 1;
-            if (probe_at == ate_wires) {
-                break;
-            }
-            probe_at = std::min(ate_wires, probe_at + jump);
-            jump *= 2;
-        }
-        while (packed && feasible_at > infeasible_below) {
-            const WireCount mid =
-                infeasible_below + (feasible_at - infeasible_below) / 2;
-            std::optional<Architecture> at_mid =
-                probe_budget(engine, virtual_depths, mid);
-            if (at_mid) {
-                feasible_at = mid;
-                packed = std::move(at_mid);
-            } else {
-                infeasible_below = mid + 1;
-            }
+        const auto budget_count = static_cast<std::size_t>(ate_wires - search_from) + 1;
+        std::size_t begin = 0;
+        for (int wave = 0; begin < budget_count && !packed; ++wave) {
+            const std::size_t end =
+                std::min(budget_count, begin + pack_wave_extent(wave));
+            const WireCount first = search_from + static_cast<WireCount>(begin);
+            const WireCount last = search_from + static_cast<WireCount>(end);
+            packed = (end - begin == 1)
+                         ? probe_budget(engine, virtual_depths, first)
+                         : probe_budget_run(engine, virtual_depths, first, last);
+            begin = end;
         }
     }
     if (!packed) {

@@ -190,7 +190,7 @@ Step2Result run_step2(PackEngine& engine, const Step1Result& step1, const TestCe
     DevicesPerHour best = -1.0;
     std::size_t best_index = 0;
     for (std::size_t i = 0; i < count; ++i) {
-        const DevicesPerHour merit = figure_of_merit(throughputs[i], options.retest);
+        const DevicesPerHour merit = result.curve[i].figure_of_merit;
         if (merit > best) {
             best = merit;
             best_index = i;

@@ -2,8 +2,12 @@
 // infeasibility detection, and policy options.
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <utility>
+
 #include "baseline/lower_bound.hpp"
 #include "common/error.hpp"
+#include "core/pack_engine.hpp"
 #include "core/step1.hpp"
 #include "soc/d695.hpp"
 #include "soc/generator.hpp"
@@ -173,6 +177,135 @@ TEST(Step1, AllPolicyCombinationsProduceValidArchitectures)
             }
         }
     }
+}
+
+/// Sequential reference of the criterion-1 budget ascent: probe every
+/// budget from the search floor upward, one at a time, each over the
+/// Step-1 fraction sweep (1.0, then 0.975 down to 0.55 in 0.025 steps,
+/// mirrored from step1.cpp), and keep the first packing found. No
+/// waves, no monotonicity assumption — this is the scan the parallel
+/// ascent must reproduce exactly, because greedy feasibility is NOT
+/// monotone in the wire budget.
+std::optional<std::pair<WireCount, Architecture>> reference_ascent(const SocTimeTables& tables,
+                                                                   const AteSpec& ate,
+                                                                   const OptimizeOptions& options)
+{
+    const CycleCount depth = ate.vector_memory_depth;
+    const WireCount ate_wires = wires_from_channels(ate.channels);
+
+    WireCount widest = 1;
+    for (int m = 0; m < tables.module_count(); ++m) {
+        const std::optional<WireCount> width = tables.table(m).min_width_for(depth);
+        if (!width || *width > ate_wires) {
+            return std::nullopt;
+        }
+        widest = std::max(widest, *width);
+    }
+    std::vector<double> fractions{1.0};
+    for (int step = 39; step >= 22; --step) {
+        fractions.push_back(0.025 * step);
+    }
+    const auto area_bound =
+        static_cast<WireCount>((tables.total_min_area() + depth - 1) / depth);
+
+    PackEngine engine(tables, options);
+    for (WireCount budget = std::max(widest, area_bound); budget <= ate_wires; ++budget) {
+        for (const double fraction : fractions) {
+            const auto virtual_depth =
+                static_cast<CycleCount>(static_cast<double>(depth) * fraction);
+            std::optional<Architecture> packed = engine.pack_within(virtual_depth, budget);
+            if (packed) {
+                return std::make_pair(budget, std::move(*packed));
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+/// The wave ascent must match the sequential linear scan even when the
+/// first feasible budget sits several wires above the search floor —
+/// the batched probe path the bench scenarios (whose winner is always
+/// within the first two budgets) never reach. A gallop/bisect shortcut
+/// would be free to skip exactly these budgets.
+TEST(Step1, BudgetAscentMatchesSequentialReferenceBeyondFirstWaves)
+{
+    OptimizeOptions options;
+    options.compaction = false; // compare the raw ascent winner
+
+    // Random SOCs for breadth (their winner sits at or just above the
+    // floor), plus a crafted deep-gap SOC: ten modules of three equal
+    // chains, whose time tables flatten at width 3 — no two of them can
+    // ever share a group within the depth below, so feasibility needs
+    // 30 wires while the loose depth puts the area bound several wires
+    // lower. That drives the ascent through the batched waves.
+    std::vector<std::pair<Soc, std::vector<CycleCount>>> cases;
+    for (const std::uint64_t seed : {7u, 23u, 41u, 77u, 99u}) {
+        Soc soc = random_soc(seed, 12);
+        const SocTimeTables tables(soc);
+        std::vector<CycleCount> depths;
+        for (const CycleCount divisor : {3, 5, 8, 12}) {
+            if (tables.total_min_area() / divisor >= 1) {
+                depths.push_back(tables.total_min_area() / divisor);
+            }
+        }
+        cases.emplace_back(std::move(soc), std::move(depths));
+    }
+    {
+        std::vector<Module> rigid;
+        for (int i = 0; i < 10; ++i) {
+            rigid.emplace_back("r" + std::to_string(i), 4, 4, 0, 50,
+                               std::vector<FlipFlopCount>{40, 40, 40});
+        }
+        Soc soc("rigid", std::move(rigid));
+        const SocTimeTables tables(soc);
+        const CycleCount flat = tables.table(0).time(3);
+        cases.emplace_back(std::move(soc),
+                           std::vector<CycleCount>{flat * 13 / 10, flat * 12 / 10});
+    }
+
+    WireCount deepest_gap = 0;
+    for (const auto& [soc, depths] : cases) {
+        const SocTimeTables tables(soc);
+        for (const CycleCount depth : depths) {
+            const AteSpec ate = ate_spec(64, depth);
+            const std::optional<std::pair<WireCount, Architecture>> reference =
+                reference_ascent(tables, ate, options);
+            if (!reference) {
+                EXPECT_THROW((void)run_step1(tables, ate, options), InfeasibleError)
+                    << soc.name() << " depth=" << depth;
+                continue;
+            }
+            WireCount widest = 1;
+            for (int m = 0; m < tables.module_count(); ++m) {
+                widest = std::max(widest, *tables.table(m).min_width_for(depth));
+            }
+            const auto area_bound =
+                static_cast<WireCount>((tables.total_min_area() + depth - 1) / depth);
+            deepest_gap =
+                std::max(deepest_gap, reference->first - std::max(widest, area_bound));
+
+            for (const int threads : {1, 8}) {
+                options.threads = threads;
+                const Step1Result result = run_step1(tables, ate, options);
+                const Architecture& expected = reference->second;
+                ASSERT_EQ(result.architecture.groups().size(), expected.groups().size())
+                    << soc.name() << " depth=" << depth << " threads=" << threads;
+                EXPECT_EQ(result.architecture.total_wires(), expected.total_wires());
+                EXPECT_EQ(result.architecture.test_cycles(), expected.test_cycles());
+                for (std::size_t g = 0; g < expected.groups().size(); ++g) {
+                    EXPECT_EQ(result.architecture.groups()[g].width(),
+                              expected.groups()[g].width());
+                    EXPECT_EQ(result.architecture.groups()[g].module_indices(),
+                              expected.groups()[g].module_indices());
+                }
+            }
+            options.threads = 0;
+        }
+    }
+    // At least one case must have pushed the ascent into the batched
+    // multi-budget waves, or this test would only re-cover the
+    // first-two-budget fast path.
+    EXPECT_GE(deepest_gap, 2) << "test inputs no longer reach the batched budget waves";
 }
 
 TEST(Step1, DeterministicAcrossRuns)

@@ -7,20 +7,49 @@ Usage: tools/bench_diff.py BASELINE.json NEW.json [options]
                        (default 1.25; new_p50 > X * baseline_p50)
   --advisory-timings   print timing deltas but never fail on them
                        (for shared CI runners whose clocks are noisy;
-                       fingerprints stay strict)
+                       fingerprints stay strict — integer keys exact,
+                       devices_per_hour within a small relative
+                       tolerance for cross-toolchain libm drift)
 
 Scenarios are matched by name; the comparison covers the intersection,
 so a --quick run can be diffed against the committed full-suite
-baseline. Exit codes: 0 clean, 1 timing regression beyond the
-threshold, 2 fingerprint mismatch (or malformed input). A fingerprint
-mismatch always wins over a timing exit code: a fast wrong answer is
-the worst outcome a perf PR can ship. Stdlib-only on purpose.
+baseline — scenarios entirely absent from one report are listed but
+not compared. A scenario present in BOTH reports that was ok in the
+baseline but failed in the new run is a hard failure (exit 2): a
+crash regression must not slip through as "not compared". Exit codes:
+0 clean, 1 timing regression beyond the threshold, 2 fingerprint
+mismatch, ok->failing regression, or malformed input. A code-2 failure
+always wins over a timing exit code: a fast wrong answer is the worst
+outcome a perf PR can ship. Stdlib-only on purpose.
 """
 import argparse
 import json
+import math
 import sys
 
 FINGERPRINT_KEYS = ("sites", "channels_per_site", "test_cycles", "devices_per_hour")
+# devices_per_hour is the one float fingerprint key (libm-derived, %.6g
+# serialized): compare it with a relative tolerance so toolchain
+# floating-point drift between the baseline machine and a CI runner
+# cannot hard-fail the gate. The integer keys stay exact — a real answer
+# change moves test_cycles/sites long before it moves only the float.
+FLOAT_KEYS = {"devices_per_hour"}
+FLOAT_REL_TOL = 1e-4
+
+
+def fingerprints_match(old_fp, new_fp):
+    for key in FINGERPRINT_KEYS:
+        if key in FLOAT_KEYS:
+            if not math.isclose(old_fp[key], new_fp[key], rel_tol=FLOAT_REL_TOL):
+                return False
+        elif old_fp[key] != new_fp[key]:
+            return False
+    return True
+
+
+def fail(message):
+    print(f"bench_diff: {message}", file=sys.stderr)
+    sys.exit(2)
 
 
 def load_report(path):
@@ -28,16 +57,28 @@ def load_report(path):
         with open(path, encoding="utf-8") as handle:
             report = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
-        sys.exit(f"bench_diff: cannot read {path}: {error}")
+        fail(f"cannot read {path}: {error}")
     if not isinstance(report, dict) or report.get("schema") != "mst.bench":
-        sys.exit(f"bench_diff: {path} is not an mst.bench report")
+        fail(f"{path} is not an mst.bench report")
     scenarios = {}
     for scenario in report.get("scenarios", []):
-        if scenario.get("ok"):
-            scenarios[scenario["name"]] = scenario
-    if not scenarios:
-        sys.exit(f"bench_diff: {path} has no successful scenarios")
+        name = scenario.get("name") if isinstance(scenario, dict) else None
+        if not isinstance(name, str) or not name:
+            fail(f"{path} has a scenario entry without a name")
+        scenarios[name] = scenario
+    if not any(s.get("ok") for s in scenarios.values()):
+        fail(f"{path} has no successful scenarios")
     return scenarios
+
+
+def scenario_field(path, name, case, *keys):
+    """Walk nested keys with a clean diagnostic instead of a KeyError."""
+    value = case
+    for key in keys:
+        if not isinstance(value, dict) or key not in value:
+            fail(f"{path}: scenario '{name}' lacks '{'.'.join(keys)}'")
+        value = value[key]
+    return value
 
 
 def main():
@@ -49,27 +90,41 @@ def main():
     parser.add_argument("--advisory-timings", action="store_true")
     args = parser.parse_args()
     if args.threshold <= 0:
-        sys.exit("bench_diff: --threshold must be positive")
+        fail("--threshold must be positive")
 
     baseline = load_report(args.baseline)
     new = load_report(args.new)
     shared = [name for name in new if name in baseline]
     if not shared:
-        sys.exit("bench_diff: the reports share no scenario names")
+        fail("the reports share no scenario names")
 
+    broken = []  # ok in the baseline, failing in the new report
     mismatches = []
     regressions = []
+    compared = 0
     width = max(len(name) for name in shared)
     print(f"{'scenario':{width}}  {'base p50':>10}  {'new p50':>10}  {'ratio':>7}  fingerprint")
     for name in shared:
         old_case, new_case = baseline[name], new[name]
-        old_fp = {k: old_case["fingerprint"][k] for k in FINGERPRINT_KEYS}
-        new_fp = {k: new_case["fingerprint"][k] for k in FINGERPRINT_KEYS}
-        fp_ok = old_fp == new_fp
+        if not old_case.get("ok"):
+            error = old_case.get("error", "no error recorded")
+            print(f"{name:{width}}  baseline run failed ({error}); not compared")
+            continue
+        if not new_case.get("ok"):
+            broken.append(name)
+            error = new_case.get("error", "no error recorded")
+            print(f"{name:{width}}  ok in baseline but FAILED in new report: {error}")
+            continue
+        compared += 1
+        old_fp = {k: scenario_field(args.baseline, name, old_case, "fingerprint", k)
+                  for k in FINGERPRINT_KEYS}
+        new_fp = {k: scenario_field(args.new, name, new_case, "fingerprint", k)
+                  for k in FINGERPRINT_KEYS}
+        fp_ok = fingerprints_match(old_fp, new_fp)
         if not fp_ok:
             mismatches.append(name)
-        old_p50 = old_case["wall_seconds"]["p50_s"]
-        new_p50 = new_case["wall_seconds"]["p50_s"]
+        old_p50 = scenario_field(args.baseline, name, old_case, "wall_seconds", "p50_s")
+        new_p50 = scenario_field(args.new, name, new_case, "wall_seconds", "p50_s")
         ratio = new_p50 / old_p50 if old_p50 > 0 else float("inf")
         if ratio > args.threshold:
             regressions.append((name, ratio))
@@ -83,6 +138,10 @@ def main():
     if only_new:
         print(f"new-only scenarios (not compared): {', '.join(only_new)}")
 
+    if broken:
+        print(f"FAIL: {len(broken)} scenario(s) ok in baseline but failing in the new "
+              f"report: {', '.join(broken[:5])}", file=sys.stderr)
+        sys.exit(2)
     if mismatches:
         print(f"FAIL: fingerprint mismatch in {len(mismatches)} scenario(s): "
               f"{', '.join(mismatches[:5])}", file=sys.stderr)
@@ -96,7 +155,7 @@ def main():
         else:
             print(f"FAIL: {message}", file=sys.stderr)
             sys.exit(1)
-    print(f"OK: {len(shared)} scenario(s) compared, fingerprints identical")
+    print(f"OK: {compared} scenario(s) compared, fingerprints identical")
 
 
 if __name__ == "__main__":
