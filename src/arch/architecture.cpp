@@ -1,19 +1,36 @@
 #include "arch/architecture.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 
 namespace mst {
 
-WireCount Architecture::total_wires() const noexcept
+Architecture::Architecture(const Architecture& other)
+    : tables_(other.tables_),
+      groups_(other.groups_),
+      group_fills_(other.group_fills_),
+      group_widths_(other.group_widths_),
+      total_wires_(other.total_wires_),
+      total_fill_(other.total_fill_)
 {
-    WireCount total = 0;
-    for (const ChannelGroup& group : groups_) {
-        total += group.width();
-    }
-    return total;
+}
+
+Architecture& Architecture::operator=(const Architecture& other)
+{
+    tables_ = other.tables_;
+    // Retired groups in the spare pool are still bound to the previous
+    // tables; reviving one after the assignment would compute fills
+    // against the wrong SOC. Assignment is cold, so just drop the pool.
+    spare_.clear();
+    groups_ = other.groups_;
+    group_fills_ = other.group_fills_;
+    group_widths_ = other.group_widths_;
+    total_wires_ = other.total_wires_;
+    total_fill_ = other.total_fill_;
+    return *this;
 }
 
 CycleCount Architecture::test_cycles() const noexcept
@@ -25,13 +42,42 @@ CycleCount Architecture::test_cycles() const noexcept
     return longest;
 }
 
-CycleCount Architecture::free_memory(CycleCount depth) const noexcept
+std::size_t Architecture::add_group(WireCount width)
 {
-    CycleCount free = 0;
-    for (const ChannelGroup& group : groups_) {
-        free += depth * group.width() - group.fill();
+    if (spare_.empty()) {
+        groups_.emplace_back(width, *tables_);
+    } else {
+        spare_.back().reset(width);
+        groups_.push_back(std::move(spare_.back()));
+        spare_.pop_back();
     }
-    return free;
+    group_fills_.push_back(0);
+    group_widths_.push_back(width);
+    total_wires_ += width;
+    return groups_.size() - 1;
+}
+
+void Architecture::widen_group(std::size_t group_index, WireCount extra_wires)
+{
+    ChannelGroup& group = groups_[group_index];
+    total_wires_ += extra_wires;
+    total_fill_ -= group.fill();
+    group.widen(extra_wires);
+    group_fills_[group_index] = group.fill();
+    group_widths_[group_index] = group.width();
+    total_fill_ += group.fill();
+}
+
+void Architecture::reset() noexcept
+{
+    while (!groups_.empty()) {
+        spare_.push_back(std::move(groups_.back()));
+        groups_.pop_back();
+    }
+    group_fills_.clear();
+    group_widths_.clear();
+    total_wires_ = 0;
+    total_fill_ = 0;
 }
 
 bool Architecture::add_wire_to_bottleneck(WireCount spare)
@@ -39,15 +85,19 @@ bool Architecture::add_wire_to_bottleneck(WireCount spare)
     if (groups_.empty() || spare < 1) {
         return false;
     }
-    auto bottleneck = std::max_element(
-        groups_.begin(), groups_.end(),
-        [](const ChannelGroup& a, const ChannelGroup& b) { return a.fill() < b.fill(); });
+    const auto bottleneck = static_cast<std::size_t>(std::distance(
+        groups_.begin(),
+        std::max_element(groups_.begin(), groups_.end(),
+                         [](const ChannelGroup& a, const ChannelGroup& b) {
+                             return a.fill() < b.fill();
+                         })));
+    ChannelGroup& group = groups_[bottleneck];
     // Monotonicity of the time staircase means: if `spare` extra wires do
     // not lower the fill, no smaller amount does either.
-    if (bottleneck->fill_at_width(bottleneck->width() + spare) >= bottleneck->fill()) {
+    if (group.fill_at_width(group.width() + spare) >= group.fill()) {
         return false;
     }
-    bottleneck->widen(1);
+    widen_group(bottleneck, 1);
     return true;
 }
 
@@ -94,6 +144,19 @@ WireCount Architecture::compact(CycleCount depth)
             if (all_relocated) {
                 saved += groups_[victim].width();
                 groups_ = std::move(trial);
+                // Compaction is cold (once per Step-1 result): one
+                // aggregate recompute beats threading deltas through the
+                // relocation loop above.
+                group_fills_.clear();
+                group_widths_.clear();
+                total_wires_ = 0;
+                total_fill_ = 0;
+                for (const ChannelGroup& group : groups_) {
+                    group_fills_.push_back(group.fill());
+                    group_widths_.push_back(group.width());
+                    total_wires_ += group.width();
+                    total_fill_ += group.fill();
+                }
                 removed = true;
                 break;
             }
@@ -105,6 +168,8 @@ WireCount Architecture::compact(CycleCount depth)
 void Architecture::validate(const AteSpec& ate) const
 {
     std::vector<int> seen(static_cast<std::size_t>(tables_->module_count()), 0);
+    WireCount wires = 0;
+    CycleCount fills = 0;
     for (const ChannelGroup& group : groups_) {
         if (group.fill() > ate.vector_memory_depth) {
             throw ValidationError("channel group fill exceeds the ATE vector memory depth");
@@ -112,11 +177,24 @@ void Architecture::validate(const AteSpec& ate) const
         if (group.fill() != group.fill_at_width(group.width())) {
             throw ValidationError("channel group fill is out of sync with its members");
         }
+        wires += group.width();
+        fills += group.fill();
         for (const int module_index : group.module_indices()) {
             if (module_index < 0 || module_index >= tables_->module_count()) {
                 throw ValidationError("channel group references a module outside the SOC");
             }
             ++seen[static_cast<std::size_t>(module_index)];
+        }
+    }
+    if (wires != total_wires_ || fills != total_fill_) {
+        throw ValidationError("architecture running aggregates are out of sync with its groups");
+    }
+    if (group_fills_.size() != groups_.size() || group_widths_.size() != groups_.size()) {
+        throw ValidationError("architecture group mirrors are out of sync with its groups");
+    }
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        if (group_fills_[g] != groups_[g].fill() || group_widths_[g] != groups_[g].width()) {
+            throw ValidationError("architecture group mirrors are out of sync with its groups");
         }
     }
     for (std::size_t i = 0; i < seen.size(); ++i) {

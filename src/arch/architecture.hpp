@@ -1,8 +1,18 @@
 // The per-site test architecture: a set of channel groups covering all
 // modules of the SOC, plus the derived quantities (channel count, test
 // time, free vector memory) the two-step algorithm reasons about.
+//
+// The architecture owns its groups and maintains running aggregates
+// (total wires, total fill) across every mutation, so the greedy
+// packing's per-module bookkeeping is O(1) instead of O(groups). All
+// mutations therefore go through the Architecture itself (add_group /
+// add_module / widen_group); the group list is only readable from
+// outside. reset() re-arms an instance for another greedy pass while
+// keeping the heap buffers of retired groups — the backbone of
+// PackEngine's allocation-free PackScratch reuse.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "arch/channel_group.hpp"
@@ -17,12 +27,36 @@ class Architecture {
 public:
     explicit Architecture(const SocTimeTables& tables) : tables_(&tables) {}
 
+    /// Copies carry the active groups and aggregates; the spare-group
+    /// pool stays behind (it is scratch, not state).
+    Architecture(const Architecture& other);
+    Architecture& operator=(const Architecture& other);
+    Architecture(Architecture&&) noexcept = default;
+    Architecture& operator=(Architecture&&) noexcept = default;
+
     [[nodiscard]] const SocTimeTables& tables() const noexcept { return *tables_; }
     [[nodiscard]] const std::vector<ChannelGroup>& groups() const noexcept { return groups_; }
-    [[nodiscard]] std::vector<ChannelGroup>& groups() noexcept { return groups_; }
 
-    /// Total TAM wires over all groups.
-    [[nodiscard]] WireCount total_wires() const noexcept;
+    /// Dense mirrors of the per-group fills and widths, maintained by
+    /// every mutation. The greedy's innermost scan (best-fit group
+    /// selection, expansion enumeration) walks these flat arrays instead
+    /// of striding over the ChannelGroup objects.
+    [[nodiscard]] const std::vector<CycleCount>& group_fills() const noexcept
+    {
+        return group_fills_;
+    }
+    [[nodiscard]] const std::vector<WireCount>& group_widths() const noexcept
+    {
+        return group_widths_;
+    }
+
+    /// Total TAM wires over all groups (running aggregate, O(1)).
+    [[nodiscard]] WireCount total_wires() const noexcept { return total_wires_; }
+
+    /// Sum of all group fills (running aggregate, O(1)): the greedy's
+    /// free-memory selection metric reads this once per alternative
+    /// instead of re-summing every group per placed module.
+    [[nodiscard]] CycleCount total_fill() const noexcept { return total_fill_; }
 
     /// ATE channels consumed by one site: k = 2 * total wires.
     [[nodiscard]] ChannelCount channels() const noexcept
@@ -36,8 +70,35 @@ public:
 
     /// Unused vector memory summed over all used channels:
     /// depth * wires - sum of fills (in wire-cycles). Step 1's
-    /// option-selection metric ("total free memory").
-    [[nodiscard]] CycleCount free_memory(CycleCount depth) const noexcept;
+    /// option-selection metric ("total free memory"). O(1) from the
+    /// running aggregates.
+    [[nodiscard]] CycleCount free_memory(CycleCount depth) const noexcept
+    {
+        return depth * static_cast<CycleCount>(total_wires_) - total_fill_;
+    }
+
+    /// Append a group of `width` wires (reusing a pooled group's heap
+    /// buffers when one is available) and return its index.
+    std::size_t add_group(WireCount width);
+
+    /// Add a module to group `group_index` at its current width.
+    /// Inline: this is the single most frequent mutation of a greedy
+    /// pass (once per module placement).
+    void add_module(std::size_t group_index, int module_index)
+    {
+        ChannelGroup& group = groups_[group_index];
+        const CycleCount before = group.fill();
+        group.add_module(module_index);
+        group_fills_[group_index] = group.fill();
+        total_fill_ += group.fill() - before;
+    }
+
+    /// Grow group `group_index`; members are re-wrapped at the new width.
+    void widen_group(std::size_t group_index, WireCount extra_wires);
+
+    /// Retire every group into the spare pool and zero the aggregates:
+    /// ready for the next greedy pass without freeing a single buffer.
+    void reset() noexcept;
 
     /// Step 2's redistribution move: add one wire to the group with the
     /// largest fill, provided that group can still reduce its fill with
@@ -57,12 +118,18 @@ public:
 
     /// Check all structural invariants: every module in exactly one
     /// group, each group fill within `depth`, channels within `ate`
-    /// budget. Throws ValidationError on violation.
+    /// budget, running aggregates in sync with the groups. Throws
+    /// ValidationError on violation.
     void validate(const AteSpec& ate) const;
 
 private:
     const SocTimeTables* tables_;
     std::vector<ChannelGroup> groups_;
+    std::vector<ChannelGroup> spare_; ///< retired groups, buffers kept warm
+    std::vector<CycleCount> group_fills_;
+    std::vector<WireCount> group_widths_;
+    WireCount total_wires_ = 0;
+    CycleCount total_fill_ = 0;
 };
 
 /// Maximum sites n_max for a per-site channel count k on an ATE with K

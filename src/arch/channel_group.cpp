@@ -1,5 +1,6 @@
 #include "arch/channel_group.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -26,64 +27,181 @@ SocTimeTables::SocTimeTables(const Soc& soc, TableBuild build, int threads) : so
             tables_.emplace_back(m, 0, build);
             total_min_area_ += tables_.back().min_area();
         }
-        return;
+    } else {
+        std::vector<std::optional<ModuleTimeTable>> slots(count);
+        parallel_for_index(count, threads, [&](std::size_t m) {
+            slots[m].emplace(soc.module(static_cast<int>(m)), 0, build);
+        });
+        tables_.reserve(count);
+        for (std::size_t m = 0; m < count; ++m) {
+            tables_.push_back(std::move(*slots[m]));
+            total_min_area_ += tables_.back().min_area();
+        }
     }
-    std::vector<std::optional<ModuleTimeTable>> slots(count);
-    parallel_for_index(count, threads, [&](std::size_t m) {
-        slots[m].emplace(soc.module(static_cast<int>(m)), 0, build);
-    });
-    tables_.reserve(count);
-    for (std::size_t m = 0; m < count; ++m) {
-        tables_.push_back(std::move(*slots[m]));
-        total_min_area_ += tables_.back().min_area();
+
+    // Flatten the staircases into the SoA hot-path mirror. Every index
+    // the flat accessors can produce is materialized here, which is what
+    // licenses the unchecked loads: module indices are validated by the
+    // offsets_ size (module_count() + 1 entries) and width clamping can
+    // never leave the module's [offsets_[m], offsets_[m + 1]) slice.
+    offsets_.reserve(count + 1);
+    offsets_.push_back(0);
+    std::size_t total_widths = 0;
+    for (const ModuleTimeTable& table : tables_) {
+        total_widths += static_cast<std::size_t>(table.max_width());
+        offsets_.push_back(total_widths);
+    }
+    times_flat_.reserve(total_widths);
+    suffix_min_area_flat_.reserve(total_widths);
+    volumes_.reserve(count);
+    for (const ModuleTimeTable& table : tables_) {
+        const std::vector<CycleCount>& times = table.effective_times();
+        const std::vector<CycleCount>& areas = table.suffix_min_areas();
+        times_flat_.insert(times_flat_.end(), times.begin(), times.end());
+        suffix_min_area_flat_.insert(suffix_min_area_flat_.end(), areas.begin(), areas.end());
+        volumes_.push_back(table.module().test_data_volume_bits());
     }
 }
 
 ChannelGroup::ChannelGroup(WireCount width, const SocTimeTables& tables)
-    : tables_(&tables), width_(width)
+    : tables_(&tables)
+{
+    reset(width);
+}
+
+ChannelGroup::ChannelGroup(const ChannelGroup& other)
+    : tables_(other.tables_),
+      width_(other.width_),
+      modules_(other.modules_),
+      fill_(other.fill_),
+      members_max_width_(other.members_max_width_),
+      stair_root_(other.width_ + 1)
+{
+    // The staircase cache stays behind: copies are long-lived snapshots
+    // (Step-2 incumbents, memo entries) that rarely get queried beyond
+    // their width, and a dropped cache only costs a lazy rebuild.
+}
+
+ChannelGroup& ChannelGroup::operator=(const ChannelGroup& other)
+{
+    tables_ = other.tables_;
+    width_ = other.width_;
+    modules_ = other.modules_;
+    fill_ = other.fill_;
+    members_max_width_ = other.members_max_width_;
+    stair_.clear();
+    stair_synced_.clear();
+    stair_root_ = other.width_ + 1;
+    return *this;
+}
+
+void ChannelGroup::reset(WireCount width)
 {
     if (width < 1) {
         throw ValidationError("channel group width must be at least one wire");
     }
+    width_ = width;
+    modules_.clear();
+    fill_ = 0;
+    members_max_width_ = 0;
+    stair_.clear();
+    stair_synced_.clear();
+    stair_root_ = width + 1;
 }
 
-CycleCount ChannelGroup::module_time(int module_index, WireCount width) const
+CycleCount ChannelGroup::recompute_fill(WireCount width) const noexcept
 {
-    return tables_->table(module_index).time(width);
+    CycleCount total = 0;
+    for (const int module_index : modules_) {
+        total += tables_->time(module_index, width);
+    }
+    return total;
 }
 
-CycleCount ChannelGroup::fill_with(int module_index) const
+void ChannelGroup::cover_width(WireCount width) const
 {
-    return fill_ + module_time(module_index, width_);
+    // Append one entry per uncovered width, each a from-scratch member
+    // sum (and therefore synced with the whole member list). Every
+    // entry is computed at most once per (group, width); later members
+    // are folded in lazily by fill_at_width's catch-up.
+    auto next = stair_root_ + static_cast<WireCount>(stair_.size());
+    for (; next <= width; ++next) {
+        stair_.push_back(recompute_fill(next));
+        stair_synced_.push_back(static_cast<std::uint32_t>(modules_.size()));
+    }
 }
 
 CycleCount ChannelGroup::fill_at_width(WireCount width) const
 {
-    CycleCount total = 0;
-    for (const int module_index : modules_) {
-        total += module_time(module_index, width);
+    if (width == width_) {
+        return fill_;
     }
-    return total;
+    if (width < stair_root_) {
+        // Narrower than the staircase root (only tests and validation
+        // ask): recompute from scratch, the cold path.
+        return recompute_fill(width);
+    }
+    // Member times are flat beyond the members' max table width, so the
+    // staircase never needs entries past the saturation width.
+    const WireCount capped = std::min(width, std::max(saturation_width(), stair_root_));
+    cover_width(capped);
+    const auto index = static_cast<std::size_t>(capped - stair_root_);
+    // Catch the entry up with the members that joined since it was last
+    // touched: each (entry, member) pair is folded at most once, and
+    // only when the width is actually probed again.
+    const auto member_count = static_cast<std::uint32_t>(modules_.size());
+    if (stair_synced_[index] != member_count) {
+        CycleCount value = stair_[index];
+        for (std::uint32_t j = stair_synced_[index]; j < member_count; ++j) {
+            value += tables_->time(modules_[j], capped);
+        }
+        stair_[index] = value;
+        stair_synced_[index] = member_count;
+    }
+    return stair_[index];
 }
 
 WireCount ChannelGroup::min_widening_for(int module_index, CycleCount depth,
                                          WireCount max_extra) const
 {
-    for (WireCount delta = 1; delta <= max_extra; ++delta) {
+    if (max_extra < 1) {
+        return 0;
+    }
+    // fits(delta) is monotone in delta: every member time and the
+    // candidate's time are non-increasing in width (ModuleTimeTable
+    // serves *effective* times), so member-sum + candidate is too. The
+    // linear scan this replaces returned the first fitting delta, which
+    // monotonicity makes the unique boundary — a gallop + binary search
+    // over the fill staircase lands on exactly the same delta
+    // (tests/incremental_pack_test.cpp pins it against a linear
+    // reference, including saturation past the widest table).
+    const auto fits = [&](WireCount delta) {
         const WireCount candidate = width_ + delta;
-        const CycleCount members = fill_at_width(candidate);
-        const CycleCount added = module_time(module_index, candidate);
-        if (members + added <= depth) {
-            return delta;
+        return fill_at_width(candidate) + tables_->time(module_index, candidate) <= depth;
+    };
+    if (!fits(max_extra)) {
+        return 0;
+    }
+    if (fits(1)) {
+        return 1;
+    }
+    // Gallop to the first fitting power-of-two-ish bound, then bisect
+    // the bracket (low fails, high fits).
+    WireCount low = 1;
+    WireCount high = 2;
+    while (high < max_extra && !fits(high)) {
+        low = high;
+        high = std::min(high * 2, max_extra);
+    }
+    while (high - low > 1) {
+        const WireCount mid = low + (high - low) / 2;
+        if (fits(mid)) {
+            high = mid;
+        } else {
+            low = mid;
         }
     }
-    return 0;
-}
-
-void ChannelGroup::add_module(int module_index)
-{
-    fill_ += module_time(module_index, width_);
-    modules_.push_back(module_index);
+    return high;
 }
 
 void ChannelGroup::widen(WireCount extra_wires)
@@ -91,8 +209,11 @@ void ChannelGroup::widen(WireCount extra_wires)
     if (extra_wires < 1) {
         throw ValidationError("widening must add at least one wire");
     }
-    width_ += extra_wires;
-    fill_ = fill_at_width(width_);
+    // fill_at_width reads (or lazily extends) the staircase; entries are
+    // member sums at fixed widths, so widening invalidates nothing.
+    const WireCount new_width = width_ + extra_wires;
+    fill_ = fill_at_width(new_width);
+    width_ = new_width;
 }
 
 } // namespace mst

@@ -4,8 +4,23 @@
 // tested one after another over the same wires, so the group's vector
 // memory "fill" is the sum of its members' wrapped test times and must
 // stay within the ATE's per-channel depth.
+//
+// Both classes here sit on the innermost greedy-packing loop, so they
+// are built around incremental state instead of recomputation:
+// SocTimeTables flattens every module staircase into one contiguous
+// block (a time lookup is a single indexed load), and ChannelGroup
+// maintains a lazily-extended *fill staircase* — cached member-time
+// sums at widths beyond the current one — so fill-at-width queries and
+// widenings are O(1) amortized instead of O(members). All of it is pure
+// caching: results are byte-identical to the recomputing code
+// (tests/incremental_pack_test.cpp pins both invariants).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/types.hpp"
@@ -18,6 +33,13 @@ namespace mst {
 /// The SOC must outlive the tables. Immutable after construction, so one
 /// instance can be shared freely across threads (BatchRunner builds one
 /// per distinct SOC and hands it to every scenario of that SOC).
+///
+/// Besides the per-module ModuleTimeTable objects, the constructor
+/// flattens the staircases into one contiguous structure-of-arrays
+/// block (times, suffix-min areas, per-module offsets, test-data
+/// volumes), validated once at build time. The flat accessors below are
+/// the packing hot path: no bounds-checked `.at()`, no object hop — a
+/// debug assert guards the contract in debug builds.
 class SocTimeTables {
 public:
     /// `threads` caps the parallel per-module build (<= 0: whole shared
@@ -26,9 +48,10 @@ public:
                            int threads = 0);
 
     [[nodiscard]] const Soc& soc() const noexcept { return *soc_; }
-    [[nodiscard]] const ModuleTimeTable& table(int module_index) const
+    [[nodiscard]] const ModuleTimeTable& table(int module_index) const noexcept
     {
-        return tables_.at(static_cast<std::size_t>(module_index));
+        assert(module_index >= 0 && module_index < module_count());
+        return tables_[static_cast<std::size_t>(module_index)];
     }
     [[nodiscard]] int module_count() const noexcept { return static_cast<int>(tables_.size()); }
 
@@ -36,23 +59,148 @@ public:
     /// theoretical packing floor both search loops start from.
     [[nodiscard]] CycleCount total_min_area() const noexcept { return total_min_area_; }
 
+    // --- Flat hot-path accessors (all O(1), unchecked in release) ---
+
+    /// Widths recorded for `module_index` (== its table's max_width()).
+    [[nodiscard]] WireCount flat_max_width(int module_index) const noexcept
+    {
+        assert(module_index >= 0 && module_index < module_count());
+        const auto m = static_cast<std::size_t>(module_index);
+        return static_cast<WireCount>(offsets_[m + 1] - offsets_[m]);
+    }
+
+    /// Effective (monotone non-increasing) test time of `module_index`
+    /// at `width`; widths beyond the module's table saturate. Identical
+    /// to table(module_index).time(width) minus the checks.
+    [[nodiscard]] CycleCount time(int module_index, WireCount width) const noexcept
+    {
+        assert(width >= 1);
+        const auto m = static_cast<std::size_t>(module_index);
+        const auto count = offsets_[m + 1] - offsets_[m];
+        const auto clamped = static_cast<std::size_t>(width) < count
+                                 ? static_cast<std::size_t>(width)
+                                 : count;
+        return times_flat_[offsets_[m] + clamped - 1];
+    }
+
+    /// One module's staircase slice, for loops that probe the same
+    /// module at many widths (the greedy's per-module group scans):
+    /// resolving the offsets once hoists the indirections out of the
+    /// inner loop.
+    struct TimeRow {
+        const CycleCount* times; ///< entry i = time at width i + 1
+        std::size_t count;       ///< widths recorded; wider saturates
+
+        [[nodiscard]] CycleCount at_width(WireCount width) const noexcept
+        {
+            const auto clamped =
+                static_cast<std::size_t>(width) < count ? static_cast<std::size_t>(width)
+                                                        : count;
+            return times[clamped - 1];
+        }
+    };
+    [[nodiscard]] TimeRow time_row(int module_index) const noexcept
+    {
+        assert(module_index >= 0 && module_index < module_count());
+        const auto m = static_cast<std::size_t>(module_index);
+        return {times_flat_.data() + offsets_[m], offsets_[m + 1] - offsets_[m]};
+    }
+
+    /// Minimum width*time rectangle area of `module_index` over widths
+    /// >= `width` (the per-depth packing floor; see ModuleTimeTable).
+    [[nodiscard]] CycleCount min_area_from(int module_index, WireCount width) const noexcept
+    {
+        assert(width >= 1);
+        const auto m = static_cast<std::size_t>(module_index);
+        const auto count = offsets_[m + 1] - offsets_[m];
+        const auto clamped = static_cast<std::size_t>(width) < count
+                                 ? static_cast<std::size_t>(width)
+                                 : count;
+        return suffix_min_area_flat_[offsets_[m] + clamped - 1];
+    }
+
+    /// Minimal width of `module_index` whose effective time fits in
+    /// `depth`, or nullopt if even the maximal width does not fit.
+    /// Identical to table(module_index).min_width_for(depth), served by
+    /// a binary search over the flat times block.
+    [[nodiscard]] std::optional<WireCount> min_width_for(int module_index,
+                                                         CycleCount depth) const noexcept
+    {
+        const auto m = static_cast<std::size_t>(module_index);
+        const CycleCount* first = times_flat_.data() + offsets_[m];
+        const CycleCount* last = times_flat_.data() + offsets_[m + 1];
+        if (*(last - 1) > depth) {
+            return std::nullopt;
+        }
+        // Times are non-increasing: find the first width that fits.
+        const CycleCount* it = std::lower_bound(
+            first, last, depth,
+            [](CycleCount time, CycleCount limit) { return time > limit; });
+        return static_cast<WireCount>(it - first) + 1;
+    }
+
+    /// Test-data volume of `module_index` in bits (sort key of the
+    /// by-volume module orders, precomputed once per SOC).
+    [[nodiscard]] std::int64_t volume_bits(int module_index) const noexcept
+    {
+        assert(module_index >= 0 && module_index < module_count());
+        return volumes_[static_cast<std::size_t>(module_index)];
+    }
+
 private:
     const Soc* soc_;
     std::vector<ModuleTimeTable> tables_;
     CycleCount total_min_area_ = 0;
+
+    /// Flat SoA mirror of the per-module staircases: module m owns
+    /// entries [offsets_[m], offsets_[m + 1]) of the value arrays,
+    /// entry i holding the value at width i + 1.
+    std::vector<std::size_t> offsets_;
+    std::vector<CycleCount> times_flat_;
+    std::vector<CycleCount> suffix_min_area_flat_;
+    std::vector<std::int64_t> volumes_;
 };
 
 /// One TAM / channel group.
+///
+/// The group keeps its fill incrementally and caches a *fill staircase*:
+/// member-time sums at widths beyond the current one, extended lazily as
+/// queries reach further. Each entry remembers how many members it has
+/// folded in, so adding a module is O(1) (no cache touch at all) and a
+/// later query catches the entry up with just the members that joined
+/// since — every (entry, member) pair is folded at most once, and only
+/// if that width is actually probed again. The staircase makes
+/// fill_at_width / widen O(1) amortized, and — because every member
+/// time is non-increasing in width — lets min_widening_for replace its
+/// linear delta scan with a gallop + binary search that returns the
+/// exact same delta.
+///
+/// The staircase is a cache with no observable effect on results; it is
+/// dropped on copy (copies are long-lived snapshots: Step-2 incumbents,
+/// PackEngine memo entries) and rebuilt lazily on demand. Lazy extension
+/// mutates `const` objects under the hood, so a single ChannelGroup must
+/// not be queried from two threads at once; the packing engine gives
+/// every greedy pass its own architecture, which guarantees that.
 class ChannelGroup {
 public:
     ChannelGroup(WireCount width, const SocTimeTables& tables);
+
+    /// Copies keep the logical state (width, members, fill) and drop the
+    /// staircase cache; see the class comment.
+    ChannelGroup(const ChannelGroup& other);
+    ChannelGroup& operator=(const ChannelGroup& other);
+    ChannelGroup(ChannelGroup&&) noexcept = default;
+    ChannelGroup& operator=(ChannelGroup&&) noexcept = default;
 
     [[nodiscard]] WireCount width() const noexcept { return width_; }
     [[nodiscard]] const std::vector<int>& module_indices() const noexcept { return modules_; }
     [[nodiscard]] CycleCount fill() const noexcept { return fill_; }
 
     /// Fill if `module_index` were added at the current width.
-    [[nodiscard]] CycleCount fill_with(int module_index) const;
+    [[nodiscard]] CycleCount fill_with(int module_index) const noexcept
+    {
+        return fill_ + tables_->time(module_index, width_);
+    }
 
     /// Fill of the current members if the group were `width` wide.
     [[nodiscard]] CycleCount fill_at_width(WireCount width) const;
@@ -63,19 +211,48 @@ public:
     [[nodiscard]] WireCount min_widening_for(int module_index, CycleCount depth,
                                              WireCount max_extra) const;
 
-    /// Add a module at the current width.
-    void add_module(int module_index);
+    /// Add a module at the current width. O(1): the staircase entries
+    /// catch up lazily when their widths are next queried.
+    void add_module(int module_index)
+    {
+        fill_ += tables_->time(module_index, width_);
+        modules_.push_back(module_index);
+        const WireCount table_width = tables_->flat_max_width(module_index);
+        if (table_width > members_max_width_) {
+            members_max_width_ = table_width;
+        }
+    }
 
     /// Grow the group; members are re-wrapped at the new width.
     void widen(WireCount extra_wires);
 
+    /// Re-arm a pooled group as if freshly constructed at `width`,
+    /// keeping the heap buffers (PackScratch reuse).
+    void reset(WireCount width);
+
 private:
-    [[nodiscard]] CycleCount module_time(int module_index, WireCount width) const;
+    /// Sum of member times at `width`, computed from scratch.
+    [[nodiscard]] CycleCount recompute_fill(WireCount width) const noexcept;
+    /// Extend the staircase so it covers `width` (<= saturation width).
+    void cover_width(WireCount width) const;
+    /// Width beyond which no member time can drop any further.
+    [[nodiscard]] WireCount saturation_width() const noexcept { return members_max_width_; }
 
     const SocTimeTables* tables_;
     WireCount width_ = 0;
     std::vector<int> modules_;
     CycleCount fill_ = 0;
+    /// Max over members of their table width: beyond it the fill is flat.
+    WireCount members_max_width_ = 0;
+    /// stair_[i] is the fill of the first stair_synced_[i] members at
+    /// width stair_root_ + i. Rooted at construction width + 1; widening
+    /// never invalidates entries (they are width-indexed sums independent
+    /// of the current width), and an entry whose synced count lags the
+    /// member list is caught up on its next query. `mutable`: extended
+    /// lazily by const queries (see class comment).
+    mutable std::vector<CycleCount> stair_;
+    mutable std::vector<std::uint32_t> stair_synced_;
+    WireCount stair_root_ = 0;
 };
 
 } // namespace mst

@@ -56,6 +56,10 @@ inline constexpr std::uint64_t generator_baseline = 42;
 inline constexpr std::uint64_t generator_variant = 43;
 inline constexpr std::uint64_t generator_random_soc = 5;
 
+/// Incremental packing-core properties (tests/incremental_pack_test.cpp):
+/// base seed of the staircase / gallop-search random SOC population.
+inline constexpr std::uint64_t incremental_pack = 7100;
+
 } // namespace test_seeds
 
 } // namespace mst

@@ -9,77 +9,102 @@
 
 namespace mst {
 
+/// One expansion alternative: either a new group (group == nullopt) or a
+/// widening of an existing group, always by `added_wires`. Lives in the
+/// mst namespace (not an anonymous one) so PackScratch can carry a
+/// buffer of them; still private to this translation unit in spirit.
+struct PackExpansion {
+    std::optional<std::size_t> group;
+    WireCount added_wires = 0;
+    CycleCount resulting_total_fill = 0;
+};
+
+struct PackScratch {
+    explicit PackScratch(const SocTimeTables& tables) : arch(tables) {}
+
+    /// The pass builds here; reset() between passes retires groups into
+    /// the architecture's spare pool instead of freeing them.
+    Architecture arch;
+    std::vector<PackExpansion> expansions;
+};
+
 namespace {
 
 /// Modules sorted by the configured key; the paper sorts by decreasing
 /// minimal width, with deterministic tie-breaking on volume then index.
-std::vector<int> module_order(const SocTimeTables& tables,
-                              const std::vector<WireCount>& min_widths,
-                              ModuleOrder order)
+/// Only the depth-independent kinds are built here — by_min_width is
+/// derived from the by_volume order via a counting sort (see
+/// order_by_min_width), so the O(n log n) comparison sorts run once per
+/// engine instead of once per depth profile.
+std::vector<int> module_order(const SocTimeTables& tables, ModuleOrder order)
 {
     const auto count = static_cast<std::size_t>(tables.module_count());
     std::vector<int> indices(count);
     std::iota(indices.begin(), indices.end(), 0);
-    const Soc& soc = tables.soc();
-
-    // Sort keys materialized once per build: the comparators run
-    // O(n log n) times and test_data_volume_bits() walks the scan-chain
-    // list on every call.
-    const auto volumes_of = [&]() {
-        std::vector<std::int64_t> volumes(count);
-        for (std::size_t m = 0; m < count; ++m) {
-            volumes[m] = soc.module(static_cast<int>(m)).test_data_volume_bits();
-        }
-        return volumes;
-    };
 
     switch (order) {
-    case ModuleOrder::by_min_width: {
-        const std::vector<std::int64_t> volumes = volumes_of();
+    case ModuleOrder::by_volume:
         std::stable_sort(indices.begin(), indices.end(), [&](int a, int b) {
-            const auto wa = min_widths[static_cast<std::size_t>(a)];
-            const auto wb = min_widths[static_cast<std::size_t>(b)];
-            if (wa != wb) {
-                return wa > wb;
-            }
-            return volumes[static_cast<std::size_t>(a)] > volumes[static_cast<std::size_t>(b)];
+            return tables.volume_bits(a) > tables.volume_bits(b);
         });
         break;
-    }
-    case ModuleOrder::by_volume: {
-        const std::vector<std::int64_t> volumes = volumes_of();
+    case ModuleOrder::by_time:
         std::stable_sort(indices.begin(), indices.end(), [&](int a, int b) {
-            return volumes[static_cast<std::size_t>(a)] > volumes[static_cast<std::size_t>(b)];
+            return tables.time(a, 1) > tables.time(b, 1);
         });
         break;
-    }
-    case ModuleOrder::by_time: {
-        std::vector<CycleCount> times(count);
-        for (std::size_t m = 0; m < count; ++m) {
-            times[m] = tables.table(static_cast<int>(m)).time(1);
-        }
-        std::stable_sort(indices.begin(), indices.end(), [&](int a, int b) {
-            return times[static_cast<std::size_t>(a)] > times[static_cast<std::size_t>(b)];
-        });
-        break;
-    }
     case ModuleOrder::input_order:
         break;
+    case ModuleOrder::by_min_width:
+        break; // handled per depth by order_by_min_width
+    }
+    return indices;
+}
+
+/// The by_min_width order of one depth: decreasing minimal width, ties
+/// by decreasing volume then index. Since `volume_order` is already
+/// (volume desc, index asc), a stable counting sort on the width key
+/// yields exactly what stable_sort over the two-key comparator did —
+/// in O(n + widest) instead of O(n log n) per depth.
+std::vector<int> order_by_min_width(const std::vector<WireCount>& min_widths,
+                                    WireCount widest,
+                                    const std::vector<int>& volume_order)
+{
+    // Bucket start positions: wider buckets first.
+    std::vector<std::size_t> starts(static_cast<std::size_t>(widest) + 2, 0);
+    for (const WireCount width : min_widths) {
+        ++starts[static_cast<std::size_t>(width)];
+    }
+    std::size_t position = 0;
+    for (WireCount width = widest; width >= 1; --width) {
+        const std::size_t bucket = starts[static_cast<std::size_t>(width)];
+        starts[static_cast<std::size_t>(width)] = position;
+        position += bucket;
+    }
+    std::vector<int> indices(min_widths.size());
+    for (const int module_index : volume_order) {
+        const WireCount width = min_widths[static_cast<std::size_t>(module_index)];
+        indices[starts[static_cast<std::size_t>(width)]++] = module_index;
     }
     return indices;
 }
 
 /// Try to place a module on an existing group without widening.
-/// Returns the chosen group index, or nullopt.
+/// Returns the chosen group index, or nullopt. Scans the architecture's
+/// dense fill/width mirrors — the single hottest loop of a greedy pass.
 std::optional<std::size_t> pick_existing_group(const Architecture& arch,
+                                               const SocTimeTables& tables,
                                                int module_index,
                                                CycleCount depth,
                                                GroupSelectPolicy policy)
 {
+    const std::vector<CycleCount>& fills = arch.group_fills();
+    const std::vector<WireCount>& widths = arch.group_widths();
+    const SocTimeTables::TimeRow row = tables.time_row(module_index);
     std::optional<std::size_t> best;
     CycleCount best_fill = std::numeric_limits<CycleCount>::max();
-    for (std::size_t g = 0; g < arch.groups().size(); ++g) {
-        const CycleCount fill = arch.groups()[g].fill_with(module_index);
+    for (std::size_t g = 0; g < fills.size(); ++g) {
+        const CycleCount fill = fills[g] + row.at_width(widths[g]);
         if (fill > depth) {
             continue;
         }
@@ -94,45 +119,42 @@ std::optional<std::size_t> pick_existing_group(const Architecture& arch,
     return best;
 }
 
-/// One expansion alternative: either a new group (group == nullopt) or a
-/// widening of an existing group, always by `added_wires`.
-struct Expansion {
-    std::optional<std::size_t> group;
-    WireCount added_wires = 0;
-    CycleCount resulting_total_fill = 0;
-};
-
 /// Enumerate the feasible alternatives of Fig. 4(c) for placing
-/// `module_index`, under the configured expansion policy.
-std::vector<Expansion> enumerate_expansions(const Architecture& arch,
-                                            const SocTimeTables& tables,
-                                            int module_index,
-                                            WireCount min_width,
-                                            CycleCount depth,
-                                            WireCount wire_budget,
-                                            ExpansionPolicy policy)
+/// `module_index` into `out`, under the configured expansion policy.
+/// The architecture's running aggregates make each alternative O(1):
+/// no per-module rescans of the group list or the member times.
+void enumerate_expansions(const Architecture& arch,
+                          const SocTimeTables& tables,
+                          int module_index,
+                          WireCount min_width,
+                          CycleCount depth,
+                          WireCount wire_budget,
+                          ExpansionPolicy policy,
+                          std::vector<PackExpansion>& out)
 {
-    std::vector<Expansion> expansions;
+    out.clear();
     const WireCount head_room = wire_budget - arch.total_wires();
-    CycleCount current_fill = 0;
-    for (const ChannelGroup& group : arch.groups()) {
-        current_fill += group.fill();
-    }
+    const CycleCount current_fill = arch.total_fill();
 
     // Alternative (i): a brand-new group at the module's minimal width.
     if (min_width <= head_room) {
-        Expansion fresh;
+        PackExpansion fresh;
         fresh.added_wires = min_width;
-        fresh.resulting_total_fill = current_fill + tables.table(module_index).time(min_width);
-        expansions.push_back(fresh);
+        fresh.resulting_total_fill = current_fill + tables.time(module_index, min_width);
+        out.push_back(fresh);
     }
     if (policy == ExpansionPolicy::always_new_group) {
-        return expansions;
+        return;
     }
 
-    // Alternatives (ii)...: widen an existing group.
-    for (std::size_t g = 0; g < arch.groups().size(); ++g) {
-        const ChannelGroup& group = arch.groups()[g];
+    // Alternatives (ii)...: widen an existing group. The width check
+    // runs off the dense mirror; only surviving candidates touch the
+    // group object (its fill staircase answers fill_at_width in O(1)
+    // amortized).
+    const std::vector<CycleCount>& fills = arch.group_fills();
+    const std::vector<WireCount>& widths = arch.group_widths();
+    const SocTimeTables::TimeRow row = tables.time_row(module_index);
+    for (std::size_t g = 0; g < widths.size(); ++g) {
         WireCount delta = 0;
         if (policy == ExpansionPolicy::widen_by_kmin) {
             // Paper: every alternative adds exactly k_min(module) wires.
@@ -140,41 +162,40 @@ std::vector<Expansion> enumerate_expansions(const Architecture& arch,
             if (delta > head_room) {
                 continue;
             }
-            const WireCount new_width = group.width() + delta;
-            const CycleCount fill = group.fill_at_width(new_width) +
-                                    tables.table(module_index).time(new_width);
+            const WireCount new_width = widths[g] + delta;
+            const CycleCount fill = arch.groups()[g].fill_at_width(new_width) +
+                                    row.at_width(new_width);
             if (fill > depth) {
                 continue;
             }
         } else { // ExpansionPolicy::min_widening
-            delta = group.min_widening_for(module_index, depth, head_room);
+            delta = arch.groups()[g].min_widening_for(module_index, depth, head_room);
             if (delta == 0) {
                 continue;
             }
         }
-        const WireCount new_width = group.width() + delta;
-        Expansion widened;
+        const WireCount new_width = widths[g] + delta;
+        PackExpansion widened;
         widened.group = g;
         widened.added_wires = delta;
-        widened.resulting_total_fill = current_fill - group.fill() +
-                                       group.fill_at_width(new_width) +
-                                       tables.table(module_index).time(new_width);
-        expansions.push_back(widened);
+        widened.resulting_total_fill = current_fill - fills[g] +
+                                       arch.groups()[g].fill_at_width(new_width) +
+                                       row.at_width(new_width);
+        out.push_back(widened);
     }
-    return expansions;
 }
 
 /// Paper's selection: with equal added channels, the smallest total fill
 /// leaves the most free memory. With unequal added wires (min_widening
 /// ablation) compare free memory directly.
-const Expansion& select_expansion(const std::vector<Expansion>& expansions,
-                                  CycleCount depth)
+const PackExpansion& select_expansion(const std::vector<PackExpansion>& expansions,
+                                      CycleCount depth)
 {
-    const auto free_memory = [depth](const Expansion& e) {
+    const auto free_memory = [depth](const PackExpansion& e) {
         return depth * e.added_wires - e.resulting_total_fill;
     };
-    const Expansion* best = &expansions.front();
-    for (const Expansion& candidate : expansions) {
+    const PackExpansion* best = &expansions.front();
+    for (const PackExpansion& candidate : expansions) {
         if (free_memory(candidate) > free_memory(*best)) {
             best = &candidate;
         } else if (free_memory(candidate) == free_memory(*best) &&
@@ -185,51 +206,53 @@ const Expansion& select_expansion(const std::vector<Expansion>& expansions,
     return *best;
 }
 
-/// One greedy Step-1 pass under an explicit wire budget. Returns nullopt
-/// when the budget is too tight for this pass.
+/// One greedy Step-1 pass under an explicit wire budget, built inside
+/// `scratch` (allocation-free after warm-up). Returns nullopt when the
+/// budget is too tight for this pass; on success the packed architecture
+/// is copied out of the scratch (copies drop the scratch-only state:
+/// spare groups, staircase caches).
 std::optional<Architecture> step1_pass(const SocTimeTables& tables,
                                        CycleCount depth,
                                        WireCount wire_budget,
                                        const std::vector<WireCount>& min_widths,
                                        const std::vector<int>& order,
-                                       const OptimizeOptions& options)
+                                       const OptimizeOptions& options,
+                                       PackScratch& scratch)
 {
-    Architecture arch(tables);
+    Architecture& arch = scratch.arch;
+    arch.reset();
     for (const int module_index : order) {
         const WireCount min_width = min_widths[static_cast<std::size_t>(module_index)];
         if (arch.groups().empty()) {
             if (min_width > wire_budget) {
                 return std::nullopt;
             }
-            arch.groups().emplace_back(min_width, tables);
-            arch.groups().back().add_module(module_index);
+            arch.add_module(arch.add_group(min_width), module_index);
             continue;
         }
         const std::optional<std::size_t> existing =
-            pick_existing_group(arch, module_index, depth, options.group_select);
+            pick_existing_group(arch, tables, module_index, depth, options.group_select);
         if (existing) {
-            arch.groups()[*existing].add_module(module_index);
+            arch.add_module(*existing, module_index);
             continue;
         }
-        std::vector<Expansion> expansions = enumerate_expansions(
-            arch, tables, module_index, min_width, depth, wire_budget, options.expansion);
-        if (expansions.empty() && options.expansion == ExpansionPolicy::widen_by_kmin) {
+        enumerate_expansions(arch, tables, module_index, min_width, depth, wire_budget,
+                             options.expansion, scratch.expansions);
+        if (scratch.expansions.empty() && options.expansion == ExpansionPolicy::widen_by_kmin) {
             // Budget pressure: the paper's fixed k_min widening no longer
             // fits the remaining channels, but a smaller widening might.
-            expansions = enumerate_expansions(arch, tables, module_index, min_width, depth,
-                                              wire_budget, ExpansionPolicy::min_widening);
+            enumerate_expansions(arch, tables, module_index, min_width, depth, wire_budget,
+                                 ExpansionPolicy::min_widening, scratch.expansions);
         }
-        if (expansions.empty()) {
+        if (scratch.expansions.empty()) {
             return std::nullopt;
         }
-        const Expansion& chosen = select_expansion(expansions, depth);
+        const PackExpansion& chosen = select_expansion(scratch.expansions, depth);
         if (chosen.group) {
-            ChannelGroup& group = arch.groups()[*chosen.group];
-            group.widen(chosen.added_wires);
-            group.add_module(module_index);
+            arch.widen_group(*chosen.group, chosen.added_wires);
+            arch.add_module(*chosen.group, module_index);
         } else {
-            arch.groups().emplace_back(chosen.added_wires, tables);
-            arch.groups().back().add_module(module_index);
+            arch.add_module(arch.add_group(chosen.added_wires), module_index);
         }
     }
     return arch;
@@ -286,6 +309,8 @@ PackEngine::PackEngine(const SocTimeTables& tables, const OptimizeOptions& optio
 {
 }
 
+PackEngine::~PackEngine() = default;
+
 PackStats PackEngine::stats() const noexcept
 {
     PackStats stats;
@@ -297,22 +322,50 @@ PackStats PackEngine::stats() const noexcept
     return stats;
 }
 
+std::unique_ptr<PackScratch> PackEngine::acquire_scratch()
+{
+    {
+        std::lock_guard<std::mutex> lock(scratch_mutex_);
+        if (!scratch_pool_.empty()) {
+            std::unique_ptr<PackScratch> scratch = std::move(scratch_pool_.back());
+            scratch_pool_.pop_back();
+            return scratch;
+        }
+    }
+    return std::make_unique<PackScratch>(*tables_);
+}
+
+void PackEngine::release_scratch(std::unique_ptr<PackScratch> scratch)
+{
+    std::lock_guard<std::mutex> lock(scratch_mutex_);
+    scratch_pool_.push_back(std::move(scratch));
+}
+
 PackEngine::DepthProfile PackEngine::make_profile(CycleCount depth)
 {
     depth_profiles_.fetch_add(1, std::memory_order_relaxed);
     DepthProfile profile;
     std::vector<WireCount> min_widths(static_cast<std::size_t>(tables_->module_count()));
     for (int m = 0; m < tables_->module_count(); ++m) {
-        const std::optional<WireCount> width = tables_->table(m).min_width_for(depth);
+        const std::optional<WireCount> width = tables_->min_width_for(m, depth);
         if (!width) {
             return profile; // min_widths stays nullopt: depth infeasible
         }
         min_widths[static_cast<std::size_t>(m)] = *width;
         profile.widest = std::max(profile.widest, *width);
-        profile.area_floor += tables_->table(m).min_area_from(*width);
+        profile.area_floor += tables_->min_area_from(m, *width);
     }
     profile.min_widths = std::move(min_widths);
     return profile;
+}
+
+const std::vector<int>& PackEngine::shared_order_locked(ModuleOrder order)
+{
+    auto found = shared_orders_.find(order);
+    if (found == shared_orders_.end()) {
+        found = shared_orders_.emplace(order, module_order(*tables_, order)).first;
+    }
+    return found->second;
 }
 
 const std::vector<int>& PackEngine::order_for(DepthProfile& profile, ModuleOrder order)
@@ -322,10 +375,16 @@ const std::vector<int>& PackEngine::order_for(DepthProfile& profile, ModuleOrder
     // place that needs a lock. Order contents are a pure function of
     // (depth, kind) — whichever thread builds one builds the same.
     std::lock_guard<std::mutex> lock(orders_mutex_);
+    if (order != ModuleOrder::by_min_width) {
+        // Depth-independent kinds are shared across every profile.
+        return shared_order_locked(order);
+    }
     auto found = profile.orders.find(order);
     if (found == profile.orders.end()) {
+        const std::vector<int>& volume_order = shared_order_locked(ModuleOrder::by_volume);
         found = profile.orders
-                    .emplace(order, module_order(*tables_, *profile.min_widths, order))
+                    .emplace(order, order_by_min_width(*profile.min_widths, profile.widest,
+                                                       volume_order))
                     .first;
     }
     return found->second;
@@ -353,8 +412,11 @@ std::optional<Architecture> PackEngine::pack_uncached(CycleCount depth,
         pass_options.expansion = plan.expansion_of(pass);
         greedy_passes_.fetch_add(1, std::memory_order_relaxed);
         const std::vector<int>& order = order_for(profile, plan.order_of(pass));
-        return step1_pass(*tables_, depth, wire_budget, *profile.min_widths, order,
-                          pass_options);
+        std::unique_ptr<PackScratch> scratch = acquire_scratch();
+        std::optional<Architecture> packed = step1_pass(
+            *tables_, depth, wire_budget, *profile.min_widths, order, pass_options, *scratch);
+        release_scratch(std::move(scratch));
+        return packed;
     };
 
     // Adaptive waves over the pass combinations: the winner is always

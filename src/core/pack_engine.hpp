@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -69,10 +70,17 @@ struct PackQuery {
     }
 }
 
+/// Reusable per-pass buffers (architecture with pooled groups, expansion
+/// alternatives). One greedy pass checks a scratch out of the engine's
+/// pool, builds into it, and returns it — repeated passes and wave
+/// probes stop churning the allocator. Defined in pack_engine.cpp.
+struct PackScratch;
+
 /// One optimization run's packing context: time tables + options + caches.
 class PackEngine {
 public:
     PackEngine(const SocTimeTables& tables, const OptimizeOptions& options);
+    ~PackEngine();
 
     [[nodiscard]] const SocTimeTables& tables() const noexcept { return *tables_; }
     [[nodiscard]] const OptimizeOptions& options() const noexcept { return options_; }
@@ -109,16 +117,25 @@ private:
         /// Sum of per-module minimum areas at their minimal widths: no
         /// packing within this depth can occupy fewer wire-cycles.
         CycleCount area_floor = 0;
-        /// Lazily sorted module orders, one per ModuleOrder kind;
-        /// guarded by orders_mutex_ (parallel passes share profiles).
+        /// Lazily built by-min-width module order (the only depth-
+        /// dependent kind); guarded by orders_mutex_ (parallel passes
+        /// share profiles). Depth-independent orders live engine-wide in
+        /// shared_orders_.
         std::map<ModuleOrder, std::vector<int>> orders;
     };
 
     [[nodiscard]] DepthProfile make_profile(CycleCount depth);
     [[nodiscard]] const std::vector<int>& order_for(DepthProfile& profile, ModuleOrder order);
+    [[nodiscard]] const std::vector<int>& shared_order_locked(ModuleOrder order);
     [[nodiscard]] std::optional<Architecture> pack_uncached(CycleCount depth,
                                                             WireCount wire_budget,
                                                             DepthProfile& profile);
+
+    /// Check a scratch out of the pool (or make a fresh one) / hand it
+    /// back. Scratches carry no logical state across passes, so which
+    /// pass gets which scratch never affects results.
+    [[nodiscard]] std::unique_ptr<PackScratch> acquire_scratch();
+    void release_scratch(std::unique_ptr<PackScratch> scratch);
 
     const SocTimeTables* tables_;
     OptimizeOptions options_;
@@ -130,6 +147,16 @@ private:
     std::atomic<std::int64_t> pruned_packs_{0};
 
     std::mutex orders_mutex_;
+    /// Depth-independent module orders (by_volume, by_time, input_order),
+    /// built once per engine; by_min_width depends on the per-depth
+    /// minimal widths and lives in each DepthProfile. Guarded by
+    /// orders_mutex_; map nodes are stable, so references handed to
+    /// parallel passes stay valid.
+    std::map<ModuleOrder, std::vector<int>> shared_orders_;
+
+    std::mutex scratch_mutex_;
+    std::vector<std::unique_ptr<PackScratch>> scratch_pool_;
+
     /// Coordinator-mutated only; parallel tasks receive stable node
     /// pointers resolved before each fan-out.
     std::map<CycleCount, DepthProfile> profiles_;

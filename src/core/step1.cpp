@@ -98,7 +98,7 @@ Step1Result run_step1(PackEngine& engine, const AteSpec& ate)
     // Minimal width per module; infeasible if any module fits nowhere.
     WireCount widest = 1;
     for (int m = 0; m < tables.module_count(); ++m) {
-        const std::optional<WireCount> width = tables.table(m).min_width_for(depth);
+        const std::optional<WireCount> width = tables.min_width_for(m, depth);
         if (!width) {
             throw InfeasibleError("module '" + soc.module(m).name() +
                                   "' does not fit the ATE vector memory at any width");

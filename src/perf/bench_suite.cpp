@@ -49,18 +49,11 @@ std::vector<BenchVariant> bench_variants()
     return variants;
 }
 
-/// Generator-scaled SOC: `scale` times the d695 module count, with the
-/// total stimulus volume grown sub-linearly so the scenarios stay inside
-/// an interactive planning loop's latency envelope.
-Soc scaled_soc(const std::string& name, int modules)
+/// Generator-scaled SOC built from the shared preset (soc/generator):
+/// the golden-fingerprint tests rebuild the very same SOCs.
+Soc scaled_soc(const std::string& name, int modules, ScaledShape shape)
 {
-    GeneratorConfig config;
-    config.name = name;
-    config.seed = 2005; // DATE'05 vintage; fixed so runs are comparable
-    config.logic_modules = modules;
-    config.logic_volume_bits = 20'000'000;
-    config.max_chains = 24;
-    return generate_soc(config);
+    return generate_soc(scaled_benchmark_config(name, modules, shape));
 }
 
 SolutionFingerprint fingerprint_of(const Solution& solution)
@@ -180,19 +173,28 @@ std::vector<BenchCase> canonical_bench_cases(bool quick)
         }
     }
 
-    // Generator-scaled SOCs: 10x (and, in the full suite, 100x) the
-    // d695 module count, probing how the pipeline scales with modules.
-    const auto add_scaled = [&cases](const std::string& soc_name, int modules) {
+    // Generator-scaled SOCs: 10x up to 1000x the d695 module count,
+    // probing how the pipeline scales with modules. The 300x/1000x
+    // scenarios come in the two extreme shapes (wide-shallow and
+    // narrow-deep, see ScaledShape) so both ends of the packing loop
+    // are on the scaling record; the quick suite keeps one large-scale
+    // scenario so CI smoke guards the asymptotics too.
+    const auto add_scaled = [&cases](const std::string& soc_name, int modules,
+                                     ScaledShape shape) {
         BenchCase bench_case;
         bench_case.name = soc_name + "/512x7M/plain";
         bench_case.soc_name = soc_name;
         bench_case.variant = "plain";
-        bench_case.soc = std::make_shared<const Soc>(scaled_soc(soc_name, modules));
+        bench_case.soc = std::make_shared<const Soc>(scaled_soc(soc_name, modules, shape));
         cases.push_back(std::move(bench_case));
     };
-    add_scaled("gen10x", 100);
+    add_scaled("gen10x", 100, ScaledShape::classic);
+    add_scaled("gen300x-deep", 3000, ScaledShape::narrow_deep);
     if (!quick) {
-        add_scaled("gen100x", 1000);
+        add_scaled("gen100x", 1000, ScaledShape::classic);
+        add_scaled("gen300x-wide", 3000, ScaledShape::wide_shallow);
+        add_scaled("gen1000x-wide", 10000, ScaledShape::wide_shallow);
+        add_scaled("gen1000x-deep", 10000, ScaledShape::narrow_deep);
     }
     return cases;
 }

@@ -21,7 +21,7 @@ namespace mst {
 /// variant.
 struct BenchCase {
     std::string name;     ///< e.g. "d695/512x7M/broadcast"
-    std::string soc_name; ///< "d695" ... or "gen10x"/"gen100x"
+    std::string soc_name; ///< "d695" ... or "gen10x"/"gen100x"/"gen1000x-deep"
     std::string variant;  ///< "plain" | "broadcast" | "abort" | "retest"
     std::shared_ptr<const Soc> soc;
     TestCell cell;
@@ -94,9 +94,11 @@ struct BenchOptions {
 
 /// The canonical scenario list: the four ITC'02 SOCs across
 /// representative test cells and broadcast/abort/retest variants, plus
-/// generator-scaled SOCs at 10x and 100x the d695 module count. The
-/// quick suite (>= 16 cases) drops the second cell and the 100x SOC so
-/// CI smoke runs stay fast.
+/// generator-scaled SOCs at 10x up to 1000x the d695 module count (the
+/// 300x/1000x ones in wide-shallow and narrow-deep shapes). The quick
+/// suite (>= 16 cases) drops the second cell and all large scaled SOCs
+/// except gen300x-deep, which stays so CI smoke guards the large-scale
+/// asymptotics.
 [[nodiscard]] std::vector<BenchCase> canonical_bench_cases(bool quick);
 
 /// Run `cases` under `options` (the filter applies here too).

@@ -155,6 +155,41 @@ Soc generate_soc(const GeneratorConfig& config)
     return Soc(config.name, std::move(modules));
 }
 
+GeneratorConfig scaled_benchmark_config(const std::string& name, int modules,
+                                        ScaledShape shape)
+{
+    if (modules < 1) {
+        throw ValidationError("scaled benchmark config needs at least one module");
+    }
+    GeneratorConfig config;
+    config.name = name;
+    config.seed = 2005; // DATE'05 vintage; fixed so runs are comparable
+    config.logic_modules = modules;
+    // ~20 kbit of stimulus volume per module: the gen100x calibration
+    // (20 Mbit over 1000 modules), kept constant per module so scaling
+    // the module count scales the packing problem, not the module sizes.
+    config.logic_volume_bits = 20'000LL * modules;
+    switch (shape) {
+    case ScaledShape::classic:
+        config.logic_volume_bits = 20'000'000;
+        config.max_chains = 24;
+        break;
+    case ScaledShape::wide_shallow:
+        config.min_chains = 16;
+        config.max_chains = 48;
+        config.min_io = 32;
+        config.max_io = 256;
+        break;
+    case ScaledShape::narrow_deep:
+        config.min_chains = 1;
+        config.max_chains = 4;
+        config.min_io = 4;
+        config.max_io = 32;
+        break;
+    }
+    return config;
+}
+
 Soc random_soc(std::uint64_t seed, int module_count)
 {
     if (module_count < 1) {

@@ -45,6 +45,27 @@ struct GeneratorConfig {
 /// non-positive volume for a non-zero module count, bad ranges).
 [[nodiscard]] Soc generate_soc(const GeneratorConfig& config);
 
+/// Shape presets for the generator-scaled benchmark SOCs (gen10x …
+/// gen1000x): the two extreme shapes stress opposite ends of the greedy
+/// packing loop, which is why the scaling suite carries both.
+enum class ScaledShape {
+    /// gen10x/gen100x vintage: mixed chain counts, moderate io.
+    classic,
+    /// Many splittable chains and wide io: wide wrappers, so groups stay
+    /// shallow and the optimizer juggles many narrow-ish groups.
+    wide_shallow,
+    /// Few chains and narrow io: narrow wrappers, so many modules share
+    /// each group and the per-group member lists grow long.
+    narrow_deep,
+};
+
+/// Configuration of one scaled benchmark SOC: `modules` logic modules at
+/// ~20 kbit of stimulus volume each (the gen100x calibration), shaped by
+/// `shape`. Deterministic: the bench suite and the golden-fingerprint
+/// tests build byte-identical SOCs from it.
+[[nodiscard]] GeneratorConfig scaled_benchmark_config(const std::string& name, int modules,
+                                                      ScaledShape shape);
+
 /// Convenience: a small random SOC for property tests. Deterministic in
 /// the seed; module count in [1, 40], moderate volumes.
 [[nodiscard]] Soc random_soc(std::uint64_t seed, int module_count);

@@ -13,15 +13,41 @@ ModuleTimeTable::ModuleTimeTable(const Module& module, WireCount max_width, Tabl
 {
     WireCount limit = (max_width > 0) ? max_width : module.max_useful_width();
     limit = std::clamp(limit, 1, width_cap);
+    // Early saturation: once w covers every scan chain (LPT then puts
+    // each chain alone, so the scan bottleneck is the longest chain) and
+    // both water-fill ceilings have sunk to that longest chain, the
+    // wrapped time is the same constant at every wider width. Ending the
+    // table there changes no observable value — time(), used_width(),
+    // min_width_for(), and min_area_from() all clamp into the flat tail,
+    // and the suffix-min area at the cut equals the true minimum over
+    // the removed widths (w * t grows with w on a constant t). The
+    // saturation width depends only on the module, never on the build
+    // mode, so fast and reference tables stay identical. Explicit
+    // max_width requests keep their exact extent (tests rely on it).
+    if (max_width <= 0 && module.scan_chain_count() > 0) {
+        const FlipFlopCount longest =
+            *std::max_element(module.scan_chain_lengths().begin(),
+                              module.scan_chain_lengths().end());
+        const FlipFlopCount total = module.total_scan_flip_flops();
+        const auto ceil_div = [](FlipFlopCount bits, FlipFlopCount chain) {
+            return static_cast<WireCount>((bits + chain - 1) / chain);
+        };
+        const WireCount saturated = std::max(
+            {module.scan_chain_count(),
+             ceil_div(total + module.scan_in_cells(), longest),
+             ceil_div(total + module.scan_out_cells(), longest)});
+        limit = std::clamp(saturated, 1, limit);
+    }
 
     times_.reserve(static_cast<std::size_t>(limit));
     used_widths_.reserve(static_cast<std::size_t>(limit));
 
     const WrapperTimeCalculator calculator(module);
+    std::vector<FlipFlopCount> lpt_scratch; // reused across the width loop
     CycleCount best_time = 0;
     WireCount best_width = 0;
     for (WireCount w = 1; w <= limit; ++w) {
-        const CycleCount raw = (build == TableBuild::fast) ? calculator.time(w)
+        const CycleCount raw = (build == TableBuild::fast) ? calculator.time(w, lpt_scratch)
                                                            : wrapped_test_time(module, w);
         if (best_width == 0 || raw < best_time) {
             best_time = raw;

@@ -75,6 +75,18 @@ public:
     /// a single greedy pass.
     [[nodiscard]] CycleCount min_area_from(WireCount width) const;
 
+    /// Raw staircase arrays (entry i = value at width i + 1), exposed so
+    /// SocTimeTables can flatten them with range copies instead of one
+    /// checked call per width.
+    [[nodiscard]] const std::vector<CycleCount>& effective_times() const noexcept
+    {
+        return times_;
+    }
+    [[nodiscard]] const std::vector<CycleCount>& suffix_min_areas() const noexcept
+    {
+        return suffix_min_area_;
+    }
+
 private:
     const Module* module_;
     std::vector<CycleCount> times_;      ///< effective time at width i+1

@@ -40,6 +40,14 @@ WrapperTimeCalculator::WrapperTimeCalculator(const Module& module) : module_(&mo
 
 FlipFlopCount WrapperTimeCalculator::lpt_max_load(WireCount width) const
 {
+    // A local buffer keeps const time() safe to call from many threads.
+    std::vector<FlipFlopCount> loads;
+    return lpt_max_load(width, loads);
+}
+
+FlipFlopCount WrapperTimeCalculator::lpt_max_load(WireCount width,
+                                                  std::vector<FlipFlopCount>& loads) const
+{
     // With at least one wrapper chain per scan chain, LPT places every
     // chain alone: the bottleneck is the longest chain.
     if (static_cast<std::size_t>(width) >= sorted_lengths_.size()) {
@@ -49,8 +57,7 @@ FlipFlopCount WrapperTimeCalculator::lpt_max_load(WireCount width) const
     // wrapper chain. Which equal-load chain receives a chain does not
     // affect the evolving load multiset, so tracking loads alone yields
     // the same maximum as the index-tie-broken heap in design_wrapper.
-    // A local buffer keeps const time() safe to call from many threads.
-    std::vector<FlipFlopCount> loads(static_cast<std::size_t>(width), 0);
+    loads.assign(static_cast<std::size_t>(width), 0);
     const auto min_heap = std::greater<FlipFlopCount>();
     for (const FlipFlopCount length : sorted_lengths_) {
         std::pop_heap(loads.begin(), loads.end(), min_heap);
@@ -62,11 +69,18 @@ FlipFlopCount WrapperTimeCalculator::lpt_max_load(WireCount width) const
 
 CycleCount WrapperTimeCalculator::time(WireCount width) const
 {
+    std::vector<FlipFlopCount> loads;
+    return time(width, loads);
+}
+
+CycleCount WrapperTimeCalculator::time(WireCount width,
+                                       std::vector<FlipFlopCount>& loads_scratch) const
+{
     if (width < 1) {
         throw ValidationError("wrapper width must be at least 1 wire (module '" +
                               module_->name() + "')");
     }
-    const FlipFlopCount scan_max = lpt_max_load(width);
+    const FlipFlopCount scan_max = lpt_max_load(width, loads_scratch);
     const FlipFlopCount max_scan_in =
         water_fill_max(scan_max, total_flip_flops_, module_->scan_in_cells(), width);
     const FlipFlopCount max_scan_out =

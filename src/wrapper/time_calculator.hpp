@@ -30,9 +30,18 @@ public:
     /// Throws ValidationError if width < 1.
     [[nodiscard]] CycleCount time(WireCount width) const;
 
+    /// Same result as time(), but the LPT load heap lives in
+    /// `loads_scratch` (cleared and reused per call). The table build
+    /// evaluates every width of every module in a tight loop; reusing
+    /// one buffer per build task keeps that loop allocation-free.
+    [[nodiscard]] CycleCount time(WireCount width,
+                                  std::vector<FlipFlopCount>& loads_scratch) const;
+
 private:
     /// LPT maximum aggregate scan length over `width` wrapper chains.
     [[nodiscard]] FlipFlopCount lpt_max_load(WireCount width) const;
+    [[nodiscard]] FlipFlopCount lpt_max_load(WireCount width,
+                                             std::vector<FlipFlopCount>& loads) const;
 
     const Module* module_;
     std::vector<FlipFlopCount> sorted_lengths_; ///< chain lengths, descending

@@ -21,11 +21,10 @@ Soc three_module_soc()
 Architecture simple_arch(const SocTimeTables& tables)
 {
     Architecture arch(tables);
-    arch.groups().emplace_back(2, tables);
-    arch.groups().back().add_module(0);
-    arch.groups().back().add_module(2);
-    arch.groups().emplace_back(3, tables);
-    arch.groups().back().add_module(1);
+    const std::size_t narrow = arch.add_group(2);
+    arch.add_module(narrow, 0);
+    arch.add_module(narrow, 2);
+    arch.add_module(arch.add_group(3), 1);
     return arch;
 }
 
@@ -87,11 +86,10 @@ TEST(Architecture, CompactRemovesRedundantGroup)
     Architecture arch(tables);
     // Group 0 is large enough to absorb everything at a generous depth;
     // group 1 only holds module 2 and should be eliminated.
-    arch.groups().emplace_back(4, tables);
-    arch.groups().back().add_module(0);
-    arch.groups().back().add_module(1);
-    arch.groups().emplace_back(1, tables);
-    arch.groups().back().add_module(2);
+    const std::size_t big = arch.add_group(4);
+    arch.add_module(big, 0);
+    arch.add_module(big, 1);
+    arch.add_module(arch.add_group(1), 2);
 
     const CycleCount depth = arch.groups()[0].fill() + tables.table(2).time(4) + 1000;
     const WireCount saved = arch.compact(depth);
@@ -140,8 +138,7 @@ TEST(Architecture, ValidateRejectsMissingModule)
     const Soc soc = three_module_soc();
     const SocTimeTables tables(soc);
     Architecture arch(tables);
-    arch.groups().emplace_back(2, tables);
-    arch.groups().back().add_module(0);
+    arch.add_module(arch.add_group(2), 0);
     AteSpec ate;
     ate.channels = 16;
     ate.vector_memory_depth = 1'000'000;
@@ -153,7 +150,7 @@ TEST(Architecture, ValidateRejectsDuplicateAssignment)
     const Soc soc = three_module_soc();
     const SocTimeTables tables(soc);
     Architecture arch = simple_arch(tables);
-    arch.groups().back().add_module(0); // module 0 now in two groups
+    arch.add_module(arch.groups().size() - 1, 0); // module 0 now in two groups
     AteSpec ate;
     ate.channels = 16;
     ate.vector_memory_depth = 10'000'000;

@@ -103,6 +103,47 @@ TEST(ChannelGroup, MinWideningFindsSmallestDelta)
     }
 }
 
+TEST(ChannelGroup, ResetReArmsAPooledGroup)
+{
+    const Soc soc = two_module_soc();
+    const SocTimeTables tables(soc);
+    ChannelGroup group(2, tables);
+    group.add_module(0);
+    group.widen(1); // leave staircase state behind
+    ASSERT_GT(group.fill(), 0);
+
+    group.reset(4);
+    EXPECT_EQ(group.width(), 4);
+    EXPECT_EQ(group.fill(), 0);
+    EXPECT_TRUE(group.module_indices().empty());
+    // A reset group behaves exactly like a freshly constructed one.
+    group.add_module(1);
+    EXPECT_EQ(group.fill(), tables.table(1).time(4));
+    EXPECT_EQ(group.fill_at_width(6), tables.table(1).time(6));
+    EXPECT_THROW(group.reset(0), ValidationError);
+}
+
+TEST(SocTimeTables, FlatAccessorsMirrorTheTables)
+{
+    const Soc soc = two_module_soc();
+    const SocTimeTables tables(soc);
+    for (int m = 0; m < tables.module_count(); ++m) {
+        const ModuleTimeTable& table = tables.table(m);
+        EXPECT_EQ(tables.flat_max_width(m), table.max_width());
+        EXPECT_EQ(tables.volume_bits(m), table.module().test_data_volume_bits());
+        for (WireCount w = 1; w <= table.max_width() + 4; ++w) {
+            EXPECT_EQ(tables.time(m, w), table.time(w)) << "m=" << m << " w=" << w;
+            EXPECT_EQ(tables.min_area_from(m, w), table.min_area_from(w))
+                << "m=" << m << " w=" << w;
+        }
+        for (const CycleCount depth : {CycleCount{1}, table.time(1), table.time(2),
+                                       CycleCount{100'000'000}}) {
+            EXPECT_EQ(tables.min_width_for(m, depth), table.min_width_for(depth))
+                << "m=" << m << " depth=" << depth;
+        }
+    }
+}
+
 TEST(ChannelGroup, MinWideningReturnsZeroWhenHopeless)
 {
     const Soc soc = two_module_soc();

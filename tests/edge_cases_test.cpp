@@ -114,9 +114,9 @@ TEST(EdgeCases, GanttLegendTruncatesBeyondAlphabet)
     const Soc soc("many", std::move(modules));
     const SocTimeTables tables(soc);
     Architecture arch(tables);
-    arch.groups().emplace_back(1, tables);
+    const std::size_t group = arch.add_group(1);
     for (int i = 0; i < 30; ++i) {
-        arch.groups().back().add_module(i);
+        arch.add_module(group, i);
     }
     const std::string text = render_gantt(arch, arch.test_cycles(), 64);
     EXPECT_NE(text.find("..."), std::string::npos);

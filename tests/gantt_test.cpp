@@ -17,10 +17,8 @@ Soc demo_soc()
 Architecture demo_arch(const SocTimeTables& tables)
 {
     Architecture arch(tables);
-    arch.groups().emplace_back(2, tables);
-    arch.groups().back().add_module(0);
-    arch.groups().emplace_back(3, tables);
-    arch.groups().back().add_module(1);
+    arch.add_module(arch.add_group(2), 0);
+    arch.add_module(arch.add_group(3), 1);
     return arch;
 }
 
@@ -53,9 +51,9 @@ TEST(Gantt, FullerGroupsShowFewerDots)
     const Soc soc = demo_soc();
     const SocTimeTables tables(soc);
     Architecture arch(tables);
-    arch.groups().emplace_back(1, tables); // narrow -> long fill
-    arch.groups().back().add_module(0);
-    arch.groups().back().add_module(1);
+    const std::size_t narrow = arch.add_group(1); // narrow -> long fill
+    arch.add_module(narrow, 0);
+    arch.add_module(narrow, 1);
     const CycleCount depth = arch.test_cycles();
     const std::string text = render_gantt(arch, depth, 40);
     // A 100%-full group renders without free-memory dots.

@@ -1,0 +1,80 @@
+// Golden fingerprints for the generator-scaled bench scenarios
+// (gen300x/gen1000x, wide-shallow and narrow-deep): on every scaled SOC
+// the memoized pipeline must produce a Solution byte-identical to the
+// from-scratch run (no packing memo), and byte-identical at 1, 2, and 8
+// threads — the same bar tests/golden_fingerprint_test.cpp and
+// tests/parallel_optimizer_test.cpp set for the ITC'02 SOCs, extended to
+// the scale the incremental packing core exists for. Solutions are
+// compared via their full deterministic JSON rendering, so sites,
+// channels, cycles, throughput, TAM plan, and the whole site curve all
+// participate in the equality.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/channel_group.hpp"
+#include "core/optimizer.hpp"
+#include "report/solution_json.hpp"
+#include "soc/generator.hpp"
+
+namespace mst {
+namespace {
+
+struct ScaledCase {
+    const char* name;
+    int modules;
+    ScaledShape shape;
+};
+
+class GenScaleFingerprint : public ::testing::TestWithParam<ScaledCase> {};
+
+TEST_P(GenScaleFingerprint, MemoizedPipelineMatchesFromScratchAtAnyThreadCount)
+{
+    const ScaledCase& scaled = GetParam();
+    const Soc soc =
+        generate_soc(scaled_benchmark_config(scaled.name, scaled.modules, scaled.shape));
+    const SocTimeTables tables(soc);
+    TestCell cell; // 512 channels x 7M vectors, the paper's cell
+
+    OptimizeOptions from_scratch;
+    from_scratch.memoize = false;
+    from_scratch.threads = 1;
+    const Solution seed = optimize_multi_site(tables, cell, from_scratch);
+    const std::string seed_json = solution_to_json(seed);
+
+    OptimizeOptions memoized;
+    for (const int threads : {1, 2, 8}) {
+        memoized.threads = threads;
+        const Solution fast = optimize_multi_site(tables, cell, memoized);
+        EXPECT_EQ(solution_to_json(fast), seed_json)
+            << scaled.name << " at " << threads << " threads";
+        // Memoization only ever removes greedy work; the schedule itself
+        // is thread-count independent, so the counters cannot vary with
+        // `threads` either.
+        EXPECT_EQ(fast.stats.packing.pack_calls, seed.stats.packing.pack_calls);
+        EXPECT_LE(fast.stats.packing.greedy_passes, seed.stats.packing.greedy_passes);
+    }
+    EXPECT_EQ(seed.stats.packing.pack_cache_hits, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ScaledSocs, GenScaleFingerprint,
+                         ::testing::Values(ScaledCase{"gen300x-wide", 3000,
+                                                      ScaledShape::wide_shallow},
+                                           ScaledCase{"gen300x-deep", 3000,
+                                                      ScaledShape::narrow_deep},
+                                           ScaledCase{"gen1000x-wide", 10000,
+                                                      ScaledShape::wide_shallow},
+                                           ScaledCase{"gen1000x-deep", 10000,
+                                                      ScaledShape::narrow_deep}),
+                         [](const ::testing::TestParamInfo<ScaledCase>& info) {
+                             std::string name = info.param.name;
+                             for (char& c : name) {
+                                 if (c == '-') {
+                                     c = '_';
+                                 }
+                             }
+                             return name;
+                         });
+
+} // namespace
+} // namespace mst

@@ -138,6 +138,32 @@ TEST(Generator, RandomSocIsValidAndDeterministic)
     EXPECT_THROW((void)random_soc(1, 0), ValidationError);
 }
 
+TEST(Generator, ScaledBenchmarkConfigShapesDiffer)
+{
+    // The presets are the contract between the bench suite and the
+    // gen-scale fingerprint tests: deterministic, and the two extreme
+    // shapes must actually produce differently shaped SOCs.
+    const Soc wide = generate_soc(scaled_benchmark_config("w", 50, ScaledShape::wide_shallow));
+    const Soc deep = generate_soc(scaled_benchmark_config("d", 50, ScaledShape::narrow_deep));
+    EXPECT_EQ(wide.module_count(), 50);
+    EXPECT_EQ(deep.module_count(), 50);
+    for (const Module& module : deep.modules()) {
+        EXPECT_LE(module.scan_chain_count(), 4);
+    }
+    std::int64_t wide_chains = 0;
+    for (const Module& module : wide.modules()) {
+        wide_chains += module.scan_chain_count();
+    }
+    EXPECT_GE(wide_chains / wide.module_count(), 16);
+
+    // Deterministic: same preset, same SOC, byte for byte.
+    EXPECT_EQ(soc_to_string(wide),
+              soc_to_string(generate_soc(
+                  scaled_benchmark_config("w", 50, ScaledShape::wide_shallow))));
+    EXPECT_THROW((void)scaled_benchmark_config("x", 0, ScaledShape::classic),
+                 ValidationError);
+}
+
 TEST(Profiles, ModuleCountsMatchPublishedBenchmarks)
 {
     EXPECT_EQ(make_benchmark_soc("d695").module_count(), 10);

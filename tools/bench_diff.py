@@ -10,6 +10,10 @@ Usage: tools/bench_diff.py BASELINE.json NEW.json [options]
                        fingerprints stay strict — integer keys exact,
                        devices_per_hour within a small relative
                        tolerance for cross-toolchain libm drift)
+  --markdown           render the per-scenario comparison as a GitHub
+                       markdown table (p50s and speedup = base/new),
+                       ready to paste into a PR description; exit-code
+                       semantics are identical to the plain output
 
 Scenarios are matched by name; the comparison covers the intersection,
 so a --quick run can be diffed against the committed full-suite
@@ -88,6 +92,7 @@ def main():
     parser.add_argument("new")
     parser.add_argument("--threshold", type=float, default=1.25)
     parser.add_argument("--advisory-timings", action="store_true")
+    parser.add_argument("--markdown", action="store_true")
     args = parser.parse_args()
     if args.threshold <= 0:
         fail("--threshold must be positive")
@@ -103,17 +108,28 @@ def main():
     regressions = []
     compared = 0
     width = max(len(name) for name in shared)
-    print(f"{'scenario':{width}}  {'base p50':>10}  {'new p50':>10}  {'ratio':>7}  fingerprint")
+    if args.markdown:
+        print("| scenario | base p50 | new p50 | speedup | fingerprint |")
+        print("|---|---:|---:|---:|---|")
+    else:
+        print(f"{'scenario':{width}}  {'base p50':>10}  {'new p50':>10}  {'ratio':>7}  "
+              "fingerprint")
     for name in shared:
         old_case, new_case = baseline[name], new[name]
         if not old_case.get("ok"):
             error = old_case.get("error", "no error recorded")
-            print(f"{name:{width}}  baseline run failed ({error}); not compared")
+            if args.markdown:
+                print(f"| {name} | baseline failed ({error}) | — | — | not compared |")
+            else:
+                print(f"{name:{width}}  baseline run failed ({error}); not compared")
             continue
         if not new_case.get("ok"):
             broken.append(name)
             error = new_case.get("error", "no error recorded")
-            print(f"{name:{width}}  ok in baseline but FAILED in new report: {error}")
+            if args.markdown:
+                print(f"| {name} | ok | **FAILED**: {error} | — | — |")
+            else:
+                print(f"{name:{width}}  ok in baseline but FAILED in new report: {error}")
             continue
         compared += 1
         old_fp = {k: scenario_field(args.baseline, name, old_case, "fingerprint", k)
@@ -128,8 +144,13 @@ def main():
         ratio = new_p50 / old_p50 if old_p50 > 0 else float("inf")
         if ratio > args.threshold:
             regressions.append((name, ratio))
-        print(f"{name:{width}}  {old_p50 * 1e3:9.3f}ms  {new_p50 * 1e3:9.3f}ms  "
-              f"{ratio:6.2f}x  {'ok' if fp_ok else 'MISMATCH'}")
+        if args.markdown:
+            speedup = old_p50 / new_p50 if new_p50 > 0 else float("inf")
+            print(f"| {name} | {old_p50 * 1e3:.3f} ms | {new_p50 * 1e3:.3f} ms | "
+                  f"{speedup:.2f}x | {'ok' if fp_ok else '**MISMATCH**'} |")
+        else:
+            print(f"{name:{width}}  {old_p50 * 1e3:9.3f}ms  {new_p50 * 1e3:9.3f}ms  "
+                  f"{ratio:6.2f}x  {'ok' if fp_ok else 'MISMATCH'}")
 
     only_old = sorted(set(baseline) - set(new))
     only_new = sorted(set(new) - set(baseline))
