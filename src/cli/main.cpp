@@ -59,6 +59,7 @@ std::vector<FlagSpec> operator+(std::vector<FlagSpec> base, const std::vector<Fl
 const std::vector<FlagSpec> option_flags = {
     {"broadcast", false}, {"abort-on-fail", false}, {"retest", false},
     {"step1-only", false}, {"pc", true}, {"pm", true},
+    {"exact", false}, {"exact-budget-ms", true},
 };
 
 /// Test-cell flags shared by optimize and flow (batch re-declares the
@@ -109,6 +110,14 @@ OptimizeOptions options_from_flags(const Flags& flags)
     if (flags.count("step1-only") != 0) {
         options.step1_only = true;
     }
+    if (flags.count("exact") != 0) {
+        options.exact = true;
+    }
+    options.exact_budget_ms =
+        parse_int_flag("exact-budget-ms", flag_or(flags, "exact-budget-ms", "0"));
+    if (options.exact_budget_ms > 0) {
+        options.exact = true; // a budget implies the pass
+    }
     options.yields.contact_yield_per_terminal =
         parse_double_flag("pc", flag_or(flags, "pc", "1.0"));
     options.yields.manufacturing_yield = parse_double_flag("pm", flag_or(flags, "pm", "1.0"));
@@ -137,6 +146,14 @@ int cmd_optimize(const Flags& flags)
               << " vectors @ " << cell.ate.test_clock_hz / 1e6 << " MHz\n\n";
     std::cout << "Step 1: k = " << solution.channels_step1
               << " channels, n_max = " << solution.max_sites_step1 << "\n";
+    if (solution.exact) {
+        std::cout << "Exact:  " << solution.exact->wires << " wires vs greedy "
+                  << solution.exact->greedy_wires << " (gap " << solution.exact->gap << ", "
+                  << solution.exact->nodes_explored << " B&B nodes, "
+                  << (solution.exact->certified ? "certified optimum"
+                                                : "not certified: node budget hit")
+                  << ")\n";
+    }
     std::cout << "Optimal: n_opt = " << solution.sites
               << " sites, k = " << solution.channels_per_site << " channels/site\n";
     std::cout << "Test length: " << solution.test_cycles << " cycles = "
@@ -421,6 +438,80 @@ int cmd_bench(const Flags& flags)
     return 0;
 }
 
+int cmd_certify(const Flags& flags)
+{
+    BenchOptions options;
+    options.filter = flag_or(flags, "filter", "");
+    options.threads = parse_int_flag("threads", flag_or(flags, "threads", "0"));
+    const std::string repeat = flag_or(flags, "repeat", "");
+    if (!repeat.empty()) {
+        options.repetitions = parse_int_flag("repeat", repeat);
+        if (options.repetitions < 1) {
+            throw ValidationError("--repeat expects a positive iteration count");
+        }
+    }
+
+    const std::string out_path = flag_or(flags, "out", "");
+    std::ofstream out_file;
+    if (!out_path.empty()) {
+        out_file.open(out_path);
+        if (!out_file) {
+            throw ValidationError("cannot open '" + out_path + "' for writing");
+        }
+    }
+
+    const BenchReport report = run_certify(options);
+    if (report.results.empty()) {
+        std::cerr << "error: --filter '" << options.filter << "' matched no scenarios\n";
+        return 1;
+    }
+
+    if (!out_path.empty()) {
+        write_bench_json(out_file, report);
+        out_file.flush();
+        if (!out_file.good()) {
+            throw ValidationError("failed writing '" + out_path + "'");
+        }
+    }
+    if (flags.count("json") != 0) {
+        write_bench_json(std::cout, report);
+    } else {
+        Table table({"scenario", "LB", "exact", "step1", "binpack", "gap", "B&B nodes",
+                     "certified", "t_p50"});
+        for (const BenchCaseResult& result : report.results) {
+            if (!result.ok) {
+                table.add_row({result.name, "-", "-", "-", "-", "-", "-", "-",
+                               "error: " + result.error});
+                continue;
+            }
+            if (!result.exact) {
+                table.add_row(
+                    {result.name, "-", "-", "-", "-", "-", "-", "-", "no exact record"});
+                continue;
+            }
+            const ExactGapInfo& gap = *result.exact;
+            table.add_row({result.name, std::to_string(gap.lower_bound_wires),
+                           std::to_string(gap.exact_wires), std::to_string(gap.step1_wires),
+                           std::to_string(gap.binpack_wires), std::to_string(gap.exact_gap),
+                           std::to_string(gap.bnb_nodes), gap.certified ? "yes" : "NO",
+                           format_seconds(result.wall.p50)});
+        }
+        std::cout << table;
+        std::cout << '\n' << report.results.size() << " scenarios (" << report.suite
+                  << " suite), " << report.repetitions << " repetitions, "
+                  << format_seconds(report.total_seconds) << " total";
+        if (!out_path.empty()) {
+            std::cout << ", wrote " << out_path;
+        }
+        std::cout << '\n';
+    }
+    if (!report.all_ok()) {
+        std::cerr << "error: certify suite had failing scenarios\n";
+        return 1;
+    }
+    return 0;
+}
+
 int cmd_flow(const Flags& flags)
 {
     const Soc soc = load_soc_argument(flags);
@@ -496,9 +587,11 @@ int cmd_help()
         "  optimize --soc <name|path> [--channels N] [--depth 7M] [--clock HZ]\n"
         "           [--index S] [--contact S] [--broadcast] [--abort-on-fail]\n"
         "           [--retest] [--pc P] [--pm P] [--step1-only] [--gantt] [--json]\n"
-        "           [--threads N]\n"
+        "           [--threads N] [--exact] [--exact-budget-ms N]\n"
         "           (--threads caps the intra-scenario search concurrency;\n"
-        "            the solution is byte-identical at any thread count)\n"
+        "            the solution is byte-identical at any thread count;\n"
+        "            --exact certifies Step 1 with the branch-and-bound solver,\n"
+        "            --exact-budget-ms caps it by a deterministic node budget)\n"
         "  batch    --socs <list> [--channels <list>] [--depths <list>]\n"
         "           [--threads N] [optimize flags] [--json]\n"
         "           (cross product of comma-separated lists, run in parallel)\n"
@@ -514,6 +607,11 @@ int cmd_help()
         "           (canonical perf suite; --compare also times the\n"
         "            from-scratch baseline and cross-checks fingerprints;\n"
         "            --threads caps the intra-scenario concurrency)\n"
+        "  certify  [--filter substr] [--repeat N] [--threads N]\n"
+        "           [--out BENCH_certify.json] [--json]\n"
+        "           (exact-optimality gap suite: branch-and-bound vs Step 1 vs\n"
+        "            bin-packing on every <= 14-module scenario; B&B node\n"
+        "            counts are byte-identical at any thread count)\n"
         "  flow     --soc <name|path> [optimize flags] [--final-channels N]\n"
         "           [--handler-sites N] [--final-retest]\n"
         "  inspect  --soc <name|path>\n"
@@ -567,6 +665,12 @@ int main(int argc, char** argv)
                 args, command,
                 {{"quick", false}, {"compare", false}, {"filter", true},
                  {"repeat", true}, {"out", true}, {"json", false}, {"threads", true}}));
+        }
+        if (command == "certify") {
+            return cmd_certify(cli::parse_flags(
+                args, command,
+                {{"filter", true}, {"repeat", true}, {"out", true}, {"json", false},
+                 {"threads", true}}));
         }
         if (command == "flow") {
             return cmd_flow(cli::parse_flags(

@@ -4,6 +4,7 @@
 #include "common/executor.hpp"
 #include "core/step1.hpp"
 #include "core/step2.hpp"
+#include "exact/branch_bound.hpp"
 
 namespace mst {
 
@@ -24,6 +25,40 @@ std::vector<GroupSummary> summarize_groups(const Architecture& arch, const Soc& 
         summaries.push_back(std::move(summary));
     }
     return summaries;
+}
+
+/// Certify the Step-1 architecture with the exact solver: same depth
+/// constraint, greedy partition as the initial incumbent. Runs after
+/// Step 1 so the greedy pipeline (and its fingerprints) is untouched;
+/// the outcome is reported alongside, not substituted into Step 2.
+ExactSummary certify_step1(const SocTimeTables& tables, const AteSpec& ate,
+                           const Step1Result& step1, const OptimizeOptions& options)
+{
+    ExactOptions exact_options;
+    exact_options.threads = options.threads;
+    if (options.exact_budget_ms > 0) {
+        exact_options.node_limit = options.exact_budget_ms * exact_nodes_per_ms;
+    }
+    for (const ChannelGroup& group : step1.architecture.groups()) {
+        exact_options.seed.push_back(group.module_indices());
+    }
+    const ExactResult exact = exact_search(tables, ate.vector_memory_depth, exact_options);
+
+    ExactSummary summary;
+    summary.wires = exact.wires;
+    summary.greedy_wires = step1.architecture.total_wires();
+    summary.gap = summary.greedy_wires - exact.wires;
+    summary.nodes_explored = exact.nodes_explored;
+    summary.certified = exact.certified;
+    for (const std::vector<int>& group : exact.groups) {
+        std::vector<std::string> names;
+        names.reserve(group.size());
+        for (const int module_index : group) {
+            names.push_back(tables.soc().module(module_index).name());
+        }
+        summary.groups.push_back(std::move(names));
+    }
+    return summary;
 }
 
 } // namespace
@@ -57,6 +92,10 @@ Solution optimize_multi_site(const SocTimeTables& tables,
         solution.throughput = step2.best_throughput;
         solution.site_curve = step2.curve;
         final_arch = &step2.best_architecture;
+    }
+
+    if (options.exact) {
+        solution.exact = certify_step1(tables, cell.ate, step1, options);
     }
 
     solution.channels_per_site = final_arch->channels();

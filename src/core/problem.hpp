@@ -72,6 +72,18 @@ struct OptimizeOptions {
     /// to measure the from-scratch baseline with `mst bench --compare`.
     bool memoize = true;
 
+    /// Certify Step 1 with the exact branch-and-bound (src/exact/):
+    /// seed the search from the greedy architecture and report the
+    /// optimality gap in Solution::exact. Only valid for SOCs within
+    /// exact_module_limit modules (ValidationError beyond).
+    bool exact = false;
+
+    /// Anytime budget for the exact pass, in "milliseconds" of the
+    /// deterministic exact_nodes_per_ms calibration (0 = exhaust the
+    /// tree). The summary's `certified` flag reports whether the tree
+    /// was exhausted within the budget.
+    std::int64_t exact_budget_ms = 0;
+
     /// Concurrency cap for the intra-scenario search (Step-1 budget
     /// probes, Step-2 re-pack scans, greedy pass waves, table builds).
     /// <= 0 uses the whole shared executor (hardware width); 1 runs the

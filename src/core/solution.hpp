@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,20 @@ struct GroupSummary {
     std::vector<std::string> module_names;
 };
 
+/// Outcome of the optional exact branch-and-bound pass over the Step-1
+/// question (minimum wires within the ATE memory depth), seeded from
+/// the greedy architecture. `wires <= greedy_wires` always; when
+/// `certified` the gap is a proven optimality gap, otherwise it is only
+/// the best the node budget allowed.
+struct ExactSummary {
+    WireCount wires = 0;        ///< best exact-search wires
+    WireCount greedy_wires = 0; ///< Step-1 wires it was seeded with
+    WireCount gap = 0;          ///< greedy_wires - wires
+    std::int64_t nodes_explored = 0;
+    bool certified = false;     ///< search exhausted the pruned tree
+    std::vector<std::vector<std::string>> groups; ///< module names per exact group
+};
+
 /// One point of the sites -> throughput curve (the x-axis of Figure 5).
 struct SitePoint {
     SiteCount sites = 0;
@@ -69,6 +84,9 @@ struct Solution {
 
     // Full linear-search trace of Step 2 (n = n_max .. 1).
     std::vector<SitePoint> site_curve;
+
+    // Exact certification of Step 1 (set only with OptimizeOptions::exact).
+    std::optional<ExactSummary> exact;
 
     // Search-effort counters (see OptimizerStats).
     OptimizerStats stats;

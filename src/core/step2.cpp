@@ -1,6 +1,7 @@
 #include "core/step2.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -46,12 +47,8 @@ SitePoint make_point(SiteCount sites, const PointShape& shape, const TestCell& c
     return point;
 }
 
-/// The virtual depths the re-pack fallback scans for one wire budget:
-/// bottom-up from the total-area floor in 0.025-of-depth steps (integer
-/// step counts, so floating-point accumulation can never skip or repeat
-/// a depth), truncated at the first depth that could not beat
-/// `beat_cycles` — the sequential scan's early exit, computable up
-/// front because the depths ascend.
+} // namespace
+
 std::vector<CycleCount> repack_candidates(const SocTimeTables& tables,
                                           CycleCount depth,
                                           WireCount wire_budget,
@@ -60,11 +57,17 @@ std::vector<CycleCount> repack_candidates(const SocTimeTables& tables,
     const CycleCount total_min_area = tables.total_min_area();
     const double floor_fraction = static_cast<double>(total_min_area) /
                                   (static_cast<double>(wire_budget) * static_cast<double>(depth));
-    const double start = std::max(0.05, floor_fraction);
+    // Snap the sweep start *up* to the 0.025 lattice. The scan walks
+    // integer lattice multiples only; starting at the raw area-floor
+    // fraction used to shift the whole grid off-lattice whenever the
+    // floor bound, making the scanned depths (and the memo keys they
+    // feed) drift by the floor's sub-lattice remainder.
+    const auto first_step = std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(std::ceil(floor_fraction / 0.025)));
 
     std::vector<CycleCount> depths;
-    for (int step = 0;; ++step) {
-        const double fraction = start + 0.025 * step;
+    for (std::int64_t step = first_step;; ++step) {
+        const double fraction = 0.025 * static_cast<double>(step);
         if (fraction > 1.0) {
             break;
         }
@@ -80,6 +83,8 @@ std::vector<CycleCount> repack_candidates(const SocTimeTables& tables,
     }
     return depths;
 }
+
+namespace {
 
 /// Re-pack fallback: when widening the bottleneck group cannot shorten
 /// the test any further (its modules are width-saturated), rebuilding the

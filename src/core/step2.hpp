@@ -30,4 +30,15 @@ struct Step2Result {
                                     const TestCell& cell,
                                     const OptimizeOptions& options);
 
+/// The virtual depths the re-pack fallback scans for one wire budget:
+/// ascending integer multiples of 0.025 * depth, starting at the first
+/// lattice point at or above the total-area floor (never below 0.05),
+/// truncated at the first depth that could not beat `beat_cycles`.
+/// Exposed for the lattice regression tests; the scan itself lives in
+/// run_step2's re-pack fallback.
+[[nodiscard]] std::vector<CycleCount> repack_candidates(const SocTimeTables& tables,
+                                                        CycleCount depth,
+                                                        WireCount wire_budget,
+                                                        CycleCount beat_cycles);
+
 } // namespace mst

@@ -51,6 +51,15 @@ void write_case(std::ostream& out, const BenchCaseResult& result)
         out << ",\n      \"fingerprint_matches_baseline\": "
             << (*result.fingerprint_matches_baseline ? "true" : "false");
     }
+    if (result.exact) {
+        out << ",\n      \"exact\": { \"exact_wires\": " << result.exact->exact_wires
+            << ", \"step1_wires\": " << result.exact->step1_wires
+            << ", \"binpack_wires\": " << result.exact->binpack_wires
+            << ", \"lower_bound_wires\": " << result.exact->lower_bound_wires
+            << ", \"exact_gap\": " << result.exact->exact_gap
+            << ", \"bnb_nodes\": " << result.exact->bnb_nodes
+            << ", \"certified\": " << (result.exact->certified ? "true" : "false") << " }";
+    }
     out << ",\n      \"fingerprint\": { \"sites\": " << result.fingerprint.sites
         << ", \"channels_per_site\": " << result.fingerprint.channels_per_site
         << ", \"test_cycles\": " << result.fingerprint.test_cycles

@@ -18,8 +18,11 @@ namespace mst {
 /// v2: top-level "threads" (configured intra-scenario concurrency cap,
 /// 0 = executor-wide) and per-scenario optimizer_stats gained
 /// "pruned_packs" (area-floor prune hits) and "threads" (resolved cap).
+/// v3: optional per-scenario "exact" block (the certify suite's
+/// optimality-gap record: exact/step1/binpack/lower-bound wires,
+/// "exact_gap", "bnb_nodes", "certified").
 inline constexpr const char* bench_schema_name = "mst.bench";
-inline constexpr int bench_schema_version = 2;
+inline constexpr int bench_schema_version = 3;
 
 /// Serialize a bench report as one self-contained JSON object with a
 /// deterministic key order.

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "arch/channel_group.hpp"
+#include "baseline/bin_packing.hpp"
+#include "baseline/lower_bound.hpp"
 #include "common/error.hpp"
 #include "core/optimizer.hpp"
 #include "soc/generator.hpp"
@@ -56,6 +58,16 @@ Soc scaled_soc(const std::string& name, int modules, ScaledShape shape)
     return generate_soc(scaled_benchmark_config(name, modules, shape));
 }
 
+/// The first `module_count` modules of an ITC'02 SOC, renamed — the
+/// exact solver's module-count ceiling makes the full p-chips
+/// intractable, so the certify suite works their prefixes.
+Soc subset_soc(const std::string& name, const Soc& full, int module_count)
+{
+    std::vector<Module> modules(full.modules().begin(),
+                                full.modules().begin() + module_count);
+    return Soc(name, std::move(modules));
+}
+
 SolutionFingerprint fingerprint_of(const Solution& solution)
 {
     SolutionFingerprint fingerprint;
@@ -94,9 +106,32 @@ BenchCaseResult run_case(const BenchCase& bench_case, int repetitions, bool comp
             if (rep == 0) {
                 result.fingerprint = fingerprint;
                 result.stats = solution.stats;
+                if (solution.exact) {
+                    ExactGapInfo gap;
+                    gap.exact_wires = solution.exact->wires;
+                    gap.step1_wires = solution.exact->greedy_wires;
+                    gap.exact_gap = solution.exact->gap;
+                    gap.bnb_nodes = solution.exact->nodes_explored;
+                    gap.certified = solution.exact->certified;
+                    result.exact = gap;
+                }
             } else if (!(fingerprint == result.fingerprint)) {
                 throw ValidationError("nondeterministic solution across bench repetitions");
+            } else if (solution.exact && result.exact &&
+                       solution.exact->nodes_explored != result.exact->bnb_nodes) {
+                throw ValidationError("nondeterministic B&B node count across repetitions");
             }
+        }
+        if (result.exact) {
+            // Bracket the gap with the two reference answers; tables are
+            // rebuilt once outside the timing loop on purpose.
+            const SocTimeTables tables(*bench_case.soc, TableBuild::fast, threads);
+            result.exact->binpack_wires =
+                pack_rectangles(tables, bench_case.cell.ate, case_options.broadcast).channels /
+                2;
+            const std::optional<WireCount> bound =
+                lower_bound_wires(tables, bench_case.cell.ate.vector_memory_depth);
+            result.exact->lower_bound_wires = bound.value_or(0);
         }
         result.wall = TimingStats::from_samples(std::move(samples));
 
@@ -228,6 +263,60 @@ BenchReport run_bench(const BenchOptions& options)
     BenchReport report = run_bench(canonical_bench_cases(options.quick), options);
     if (options.filter.empty()) {
         report.suite = options.quick ? "quick" : "full";
+    }
+    return report;
+}
+
+std::vector<BenchCase> certify_bench_cases()
+{
+    std::vector<BenchCase> cases;
+    const auto add = [&cases](const std::string& soc_name, std::shared_ptr<const Soc> soc,
+                              const char* cell_name, CycleCount depth) {
+        BenchCase bench_case;
+        bench_case.name = soc_name + "/" + cell_name + "/exact";
+        bench_case.soc_name = soc_name;
+        bench_case.variant = "exact";
+        bench_case.soc = std::move(soc);
+        bench_case.cell.ate.channels = 512;
+        bench_case.cell.ate.vector_memory_depth = depth;
+        bench_case.options.exact = true;
+        cases.push_back(std::move(bench_case));
+    };
+
+    // Depths are deliberately tight: at the stock 7M vectors one wire
+    // fits everything and every gap is trivially zero. Near the packing
+    // floor the greedy has real decisions to get wrong, which is where a
+    // certifier earns its keep.
+    const auto d695 = std::make_shared<const Soc>(make_benchmark_soc("d695"));
+    add("d695", d695, "512x30K", 30'000);
+    add("d695", d695, "512x12K", 12'000);
+
+    struct SubsetSpec {
+        const char* soc;
+        CycleCount depth;
+        const char* cell_name;
+    };
+    for (const SubsetSpec& spec : {SubsetSpec{"p22810", 180'000, "512x180K"},
+                                   SubsetSpec{"p34392", 550'000, "512x550K"},
+                                   SubsetSpec{"p93791", 400'000, "512x400K"}}) {
+        const std::string name = std::string(spec.soc) + "x12";
+        const auto soc =
+            std::make_shared<const Soc>(subset_soc(name, make_benchmark_soc(spec.soc), 12));
+        add(name, soc, spec.cell_name, spec.depth);
+    }
+
+    // Small generated SOCs: same generator the property tests draw from.
+    add("gen12a", std::make_shared<const Soc>(random_soc(17, 12)), "512x40K", 40'000);
+    add("gen12b", std::make_shared<const Soc>(random_soc(23, 12)), "512x58K", 58'000);
+    add("gen14", std::make_shared<const Soc>(random_soc(31, 14)), "512x35K", 35'000);
+    return cases;
+}
+
+BenchReport run_certify(const BenchOptions& options)
+{
+    BenchReport report = run_bench(certify_bench_cases(), options);
+    if (options.filter.empty()) {
+        report.suite = "certify";
     }
     return report;
 }

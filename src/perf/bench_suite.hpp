@@ -43,6 +43,22 @@ struct SolutionFingerprint {
     }
 };
 
+/// Optimality-gap record of one certify scenario: the exact
+/// branch-and-bound answer bracketed by the theoretical lower bound,
+/// the Step-1 greedy, and the rectangle bin-packing baseline. Part of
+/// the fingerprint family: bench_diff.py compares every field exactly,
+/// so a node-count drift (lost determinism) or a gap drift (changed
+/// answer) fails the diff just like a solution fingerprint mismatch.
+struct ExactGapInfo {
+    WireCount exact_wires = 0;       ///< B&B optimum (certified) or best found
+    WireCount step1_wires = 0;       ///< greedy Step-1 wires
+    WireCount binpack_wires = 0;     ///< bin-packing baseline wires
+    WireCount lower_bound_wires = 0; ///< theoretical LB of [7]
+    WireCount exact_gap = 0;         ///< step1_wires - exact_wires
+    std::int64_t bnb_nodes = 0;      ///< thread-count-invariant node count
+    bool certified = false;          ///< tree exhausted within budget
+};
+
 /// Measured outcome of one bench case.
 struct BenchCaseResult {
     std::string name;
@@ -60,6 +76,7 @@ struct BenchCaseResult {
 
     SolutionFingerprint fingerprint;
     OptimizerStats stats;
+    std::optional<ExactGapInfo> exact; ///< set for certify scenarios
 };
 
 /// A full bench run, serialized by write_bench_json().
@@ -107,5 +124,15 @@ struct BenchOptions {
 
 /// Run the canonical suite selected by options.quick.
 [[nodiscard]] BenchReport run_bench(const BenchOptions& options);
+
+/// The certify scenario list: every ≤14-module view of the ITC'02 SOCs
+/// (d695 whole, 12-module subsets of the larger three) plus small
+/// generated SOCs, each run with OptimizeOptions::exact at depths tight
+/// enough that the greedy is not trivially optimal. All scenarios are
+/// sized to exhaust the B&B tree, so every gap is certified.
+[[nodiscard]] std::vector<BenchCase> certify_bench_cases();
+
+/// Run the certify suite (suite name "certify"; "custom" when filtered).
+[[nodiscard]] BenchReport run_certify(const BenchOptions& options);
 
 } // namespace mst

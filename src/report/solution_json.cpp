@@ -73,6 +73,21 @@ void write_solution_json(std::ostream& out, const Solution& solution, JsonStyle 
         << number(solution.throughput.unique_devices_per_hour) << sep;
     out << key << "step1\": { \"channels\": " << solution.channels_step1
         << ", \"max_sites\": " << solution.max_sites_step1 << " }" << sep;
+    if (solution.exact) {
+        const ExactSummary& exact = *solution.exact;
+        out << key << "exact\": { \"wires\": " << exact.wires
+            << ", \"greedy_wires\": " << exact.greedy_wires << ", \"gap\": " << exact.gap
+            << ", \"bnb_nodes\": " << exact.nodes_explored << ", \"certified\": "
+            << (exact.certified ? "true" : "false") << ", \"groups\": [";
+        for (std::size_t g = 0; g < exact.groups.size(); ++g) {
+            out << (g == 0 ? "" : ", ") << '[';
+            for (std::size_t m = 0; m < exact.groups[g].size(); ++m) {
+                out << (m == 0 ? "" : ", ") << '"' << json_escape(exact.groups[g][m]) << '"';
+            }
+            out << ']';
+        }
+        out << "] }" << sep;
+    }
     out << key << "erpct\": { \"external_channels\": " << solution.erpct.external_channels
         << ", \"internal_wires\": " << solution.erpct.internal_wires
         << ", \"control_pads\": " << solution.erpct.control_pads

@@ -60,6 +60,7 @@ const std::vector<cli::FlagSpec>& request_fields()
         {"clock", true},     {"index", true},   {"contact", true},
         {"broadcast", true}, {"abort_on_fail", true}, {"retest", true},
         {"step1_only", true}, {"pc", true},     {"pm", true},
+        {"exact", true},     {"exact_budget_ms", true},
     };
     return fields;
 }
@@ -123,7 +124,8 @@ std::string memo_key(const std::string& fingerprint, const TestCell& cell,
         << "|r=" << static_cast<int>(options.retest)
         << "|s1=" << (options.step1_only ? 1 : 0)
         << "|pc=" << key_number(options.yields.contact_yield_per_terminal)
-        << "|pm=" << key_number(options.yields.manufacturing_yield);
+        << "|pm=" << key_number(options.yields.manufacturing_yield)
+        << "|ex=" << (options.exact ? 1 : 0) << "|exms=" << options.exact_budget_ms;
     return key.str();
 }
 
@@ -230,6 +232,13 @@ RequestService::ParsedRequest RequestService::parse_request(const std::string& l
                 }
             } else if (field == "step1_only") {
                 request.options.step1_only = require_bool(value, field);
+            } else if (field == "exact") {
+                request.options.exact = require_bool(value, field);
+            } else if (field == "exact_budget_ms") {
+                request.options.exact_budget_ms = require_int(value, field);
+                if (request.options.exact_budget_ms > 0) {
+                    request.options.exact = true; // a budget implies the pass
+                }
             } else if (field == "pc") {
                 request.options.yields.contact_yield_per_terminal =
                     require_number(value, field);

@@ -1,0 +1,121 @@
+// Integration tests of the certify suite: scenario shape, the exact
+// block's bracketing invariants, thread-count invariance of the B&B
+// node counts, and the JSON surfaces that carry the gap record.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "exact/branch_bound.hpp"
+#include "perf/bench_json.hpp"
+#include "perf/bench_suite.hpp"
+#include "report/solution_json.hpp"
+#include "soc/profiles.hpp"
+
+namespace mst {
+namespace {
+
+TEST(CertifySuite, ScenariosFitTheExactSolver)
+{
+    const std::vector<BenchCase> cases = certify_bench_cases();
+    ASSERT_GE(cases.size(), 6u);
+    std::set<std::string> names;
+    for (const BenchCase& bench_case : cases) {
+        EXPECT_TRUE(names.insert(bench_case.name).second)
+            << "duplicate scenario name " << bench_case.name;
+        ASSERT_TRUE(bench_case.soc);
+        EXPECT_LE(bench_case.soc->modules().size(),
+                  static_cast<std::size_t>(exact_module_limit))
+            << bench_case.name;
+        EXPECT_TRUE(bench_case.options.exact) << bench_case.name;
+        EXPECT_EQ(bench_case.variant, "exact") << bench_case.name;
+    }
+}
+
+TEST(CertifyRun, GapsAreBracketedAndCertified)
+{
+    BenchOptions options;
+    options.repetitions = 1;
+    options.filter = "d695";
+    const BenchReport report = run_certify(options);
+    EXPECT_EQ(report.suite, "custom"); // filtered runs are custom
+    ASSERT_GE(report.results.size(), 1u);
+    EXPECT_TRUE(report.all_ok());
+    for (const BenchCaseResult& result : report.results) {
+        ASSERT_TRUE(result.exact.has_value()) << result.name;
+        const ExactGapInfo& exact = *result.exact;
+        EXPECT_LE(exact.lower_bound_wires, exact.exact_wires) << result.name;
+        EXPECT_LE(exact.exact_wires, exact.step1_wires) << result.name;
+        EXPECT_EQ(exact.exact_gap, exact.step1_wires - exact.exact_wires) << result.name;
+        EXPECT_GE(exact.bnb_nodes, 1) << result.name;
+        EXPECT_GT(exact.binpack_wires, 0) << result.name;
+        EXPECT_TRUE(exact.certified) << result.name;
+    }
+}
+
+TEST(CertifyRun, NodeCountsAreThreadCountInvariant)
+{
+    BenchOptions options;
+    options.repetitions = 1;
+    options.filter = "d695/512x12K";
+    options.threads = 1;
+    const BenchReport one = run_certify(options);
+    options.threads = 8;
+    const BenchReport eight = run_certify(options);
+    ASSERT_GE(one.results.size(), 1u);
+    ASSERT_EQ(one.results.size(), eight.results.size());
+    for (std::size_t i = 0; i < one.results.size(); ++i) {
+        ASSERT_TRUE(one.results[i].exact.has_value());
+        ASSERT_TRUE(eight.results[i].exact.has_value());
+        const ExactGapInfo& a = *one.results[i].exact;
+        const ExactGapInfo& b = *eight.results[i].exact;
+        EXPECT_EQ(a.bnb_nodes, b.bnb_nodes) << one.results[i].name;
+        EXPECT_EQ(a.exact_wires, b.exact_wires) << one.results[i].name;
+        EXPECT_EQ(a.exact_gap, b.exact_gap) << one.results[i].name;
+        EXPECT_EQ(a.certified, b.certified) << one.results[i].name;
+    }
+}
+
+TEST(CertifyJson, ExactBlockIsSerialized)
+{
+    BenchOptions options;
+    options.repetitions = 1;
+    options.filter = "gen12a";
+    const BenchReport report = run_certify(options);
+    ASSERT_TRUE(report.all_ok());
+    const std::string json = bench_report_to_json(report);
+    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"exact\""), std::string::npos);
+    EXPECT_NE(json.find("\"exact_gap\""), std::string::npos);
+    EXPECT_NE(json.find("\"bnb_nodes\""), std::string::npos);
+    EXPECT_NE(json.find("\"lower_bound_wires\""), std::string::npos);
+    EXPECT_NE(json.find("\"binpack_wires\""), std::string::npos);
+}
+
+TEST(CertifyJson, SolutionCarriesExactOnlyWhenRequested)
+{
+    const Soc soc = make_benchmark_soc("d695");
+    TestCell cell;
+    cell.ate.vector_memory_depth = 30'000;
+
+    const Solution without = optimize_multi_site(soc, cell, OptimizeOptions{});
+    EXPECT_FALSE(without.exact.has_value());
+    EXPECT_EQ(solution_to_json(without).find("\"exact\""), std::string::npos);
+
+    OptimizeOptions exact_options;
+    exact_options.exact = true;
+    const Solution with = optimize_multi_site(soc, cell, exact_options);
+    ASSERT_TRUE(with.exact.has_value());
+    EXPECT_LE(with.exact->wires, with.exact->greedy_wires);
+    EXPECT_EQ(with.exact->gap, with.exact->greedy_wires - with.exact->wires);
+    EXPECT_TRUE(with.exact->certified);
+    const std::string json = solution_to_json(with);
+    EXPECT_NE(json.find("\"exact\""), std::string::npos);
+    EXPECT_NE(json.find("\"certified\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"greedy_wires\""), std::string::npos);
+}
+
+} // namespace
+} // namespace mst

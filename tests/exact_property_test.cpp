@@ -1,0 +1,160 @@
+// Property tests of the exact layer over the random SOC population:
+// the LB <= exact <= Step-1 sandwich, anytime determinism across
+// thread counts, and seeding-never-worsens.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "baseline/lower_bound.hpp"
+#include "common/error.hpp"
+#include "core/step1.hpp"
+#include "exact/branch_bound.hpp"
+#include "soc/generator.hpp"
+
+namespace mst {
+namespace {
+
+std::vector<std::vector<int>> step1_groups(const Step1Result& step1)
+{
+    std::vector<std::vector<int>> groups;
+    groups.reserve(step1.architecture.groups().size());
+    for (const ChannelGroup& group : step1.architecture.groups()) {
+        groups.push_back(group.module_indices());
+    }
+    return groups;
+}
+
+/// Step 1 on a 512-channel ATE at `depth`, or nullopt when the instance
+/// is infeasible there (skipped by the properties below).
+std::optional<Step1Result> try_step1(const SocTimeTables& tables, CycleCount depth)
+{
+    AteSpec ate;
+    ate.channels = 512;
+    ate.vector_memory_depth = depth;
+    try {
+        return run_step1(tables, ate, OptimizeOptions{});
+    } catch (const InfeasibleError&) {
+        return std::nullopt;
+    }
+}
+
+TEST(ExactProperty, SandwichHoldsAcrossPopulation)
+{
+    // LB <= exact <= Step 1 on random SOCs up to 10 modules, across
+    // depths from tight to roomy. The exact search is seeded from the
+    // Step-1 partition exactly as the certifier runs it.
+    int checked = 0;
+    for (const std::uint64_t seed : {3u, 5u, 8u, 13u, 21u}) {
+        for (const int count : {6, 10}) {
+            const Soc soc = random_soc(seed, count);
+            const SocTimeTables tables(soc);
+            for (const CycleCount depth : {60'000, 90'000, 150'000}) {
+                const auto step1 = try_step1(tables, depth);
+                if (!step1) {
+                    continue;
+                }
+                const WireCount step1_wires = wires_from_channels(step1->channels);
+                ExactOptions options;
+                options.seed = step1_groups(*step1);
+                const ExactResult exact = exact_search(tables, depth, options);
+                const auto lb = lower_bound_wires(tables, depth);
+                ASSERT_TRUE(lb.has_value());
+                EXPECT_TRUE(exact.certified);
+                EXPECT_LE(*lb, exact.wires) << soc.name() << " depth " << depth;
+                EXPECT_LE(exact.wires, step1_wires) << soc.name() << " depth " << depth;
+                ++checked;
+            }
+        }
+    }
+    // The population must actually exercise the property.
+    EXPECT_GE(checked, 10);
+}
+
+TEST(ExactProperty, ResultsAreThreadCountInvariant)
+{
+    // Both the exhaustive search and a node-budget-truncated anytime
+    // run must return byte-identical results (wires, node counts,
+    // certification, groups) at 1, 2, and 8 threads.
+    const Soc soc = random_soc(7, 10);
+    const SocTimeTables tables(soc);
+    CycleCount depth = 0;
+    std::optional<ExactResult> full;
+    for (const CycleCount candidate : {60'000, 90'000, 150'000, 300'000}) {
+        try {
+            full = exact_search(tables, candidate, {});
+            depth = candidate;
+            break;
+        } catch (const InfeasibleError&) {
+        }
+    }
+    if (!full) {
+        GTEST_SKIP() << "instance infeasible at every probed depth";
+    }
+    ASSERT_GE(full->nodes_explored, 8);
+
+    ExactOptions options;
+    for (const int threads : {1, 2, 8}) {
+        options.threads = threads;
+        options.node_limit = 0;
+        const ExactResult exhaustive = exact_search(tables, depth, options);
+        EXPECT_EQ(exhaustive.wires, full->wires) << "threads " << threads;
+        EXPECT_EQ(exhaustive.nodes_explored, full->nodes_explored) << "threads " << threads;
+        EXPECT_EQ(exhaustive.groups, full->groups) << "threads " << threads;
+        EXPECT_TRUE(exhaustive.certified);
+    }
+
+    options.threads = 1;
+    options.node_limit = std::max<std::int64_t>(1, full->nodes_explored / 2);
+    const ExactResult reference = exact_search(tables, depth, options);
+    EXPECT_GE(reference.wires, full->wires); // truncation never beats the optimum
+    for (const int threads : {2, 8}) {
+        options.threads = threads;
+        const ExactResult truncated = exact_search(tables, depth, options);
+        EXPECT_EQ(truncated.wires, reference.wires) << "threads " << threads;
+        EXPECT_EQ(truncated.nodes_explored, reference.nodes_explored) << "threads " << threads;
+        EXPECT_EQ(truncated.certified, reference.certified) << "threads " << threads;
+        EXPECT_EQ(truncated.groups, reference.groups) << "threads " << threads;
+    }
+}
+
+TEST(ExactProperty, SeedingNeverWorsens)
+{
+    for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+        const Soc soc = random_soc(seed, 8);
+        const SocTimeTables tables(soc);
+        const CycleCount depth = 120'000;
+        const auto step1 = try_step1(tables, depth);
+        if (!step1) {
+            continue;
+        }
+        const WireCount step1_wires = wires_from_channels(step1->channels);
+
+        // Seeded and unseeded certified runs agree on the optimum, and
+        // the seeded one never returns more wires than its seed.
+        ExactOptions seeded;
+        seeded.seed = step1_groups(*step1);
+        const ExactResult with_seed = exact_search(tables, depth, seeded);
+        const ExactResult without_seed = exact_search(tables, depth, {});
+        ASSERT_TRUE(with_seed.certified);
+        ASSERT_TRUE(without_seed.certified);
+        EXPECT_EQ(with_seed.wires, without_seed.wires);
+        EXPECT_LE(with_seed.wires, step1_wires);
+
+        // With no node budget to improve on it, the incumbent built
+        // from the seed comes back as-is — still never worse. (A
+        // one-node run may still certify: when the seed is optimal the
+        // root relaxation alone can exhaust the tree.)
+        ExactOptions stunted = seeded;
+        stunted.node_limit = 1;
+        const ExactResult incumbent = exact_search(tables, depth, stunted);
+        EXPECT_LE(incumbent.wires, step1_wires);
+        if (incumbent.certified) {
+            EXPECT_EQ(incumbent.wires, without_seed.wires);
+        }
+    }
+}
+
+} // namespace
+} // namespace mst

@@ -2,6 +2,9 @@
 // optimality checks it enables on Step 1 and the lower bound.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "baseline/lower_bound.hpp"
 #include "common/error.hpp"
 #include "core/step1.hpp"
@@ -65,6 +68,150 @@ TEST(Exact, NulloptWhenUntestable)
     const Soc soc("solo", {Module("m", 1, 1, 0, 100, {500})});
     const SocTimeTables tables(soc);
     EXPECT_FALSE(exact_min_wires(tables, 50).has_value());
+}
+
+/// Minimum group width by exhaustive scan, using only the clamped
+/// accessors: the reference the solver's binary search is checked
+/// against in the wide+narrow saturation regression below.
+WireCount brute_group_width(const SocTimeTables& tables, const std::vector<int>& members,
+                            CycleCount depth)
+{
+    WireCount max_width = 0;
+    for (const int m : members) {
+        max_width = std::max(max_width, tables.flat_max_width(m));
+    }
+    for (WireCount width = 1; width <= max_width; ++width) {
+        CycleCount fill = 0;
+        for (const int m : members) {
+            fill += tables.time_row(m).at_width(width);
+        }
+        if (fill <= depth) {
+            return width;
+        }
+    }
+    return 0; // no width fits
+}
+
+TEST(Exact, WideNarrowSaturationMatchesBruteForce)
+{
+    // One module with a wide staircase next to one whose staircase
+    // truncates early (a single short chain): a merged group probes
+    // widths far past the narrow module's recorded widths. Those probes
+    // must read the saturated tail of the truncated staircase — never
+    // past its end — and agree with a brute-force scan over both
+    // partitions of the pair using the clamped accessors.
+    const Soc soc("mix", {Module("wide", 8, 8, 0, 40, {60, 55, 50, 45, 40, 35, 30, 25}),
+                          Module("narrow", 1, 1, 0, 25, {35})});
+    const SocTimeTables tables(soc);
+    ASSERT_GT(tables.flat_max_width(0), tables.flat_max_width(1));
+
+    const CycleCount solo_floor = std::max(tables.table(0).time(tables.flat_max_width(0)),
+                                           tables.table(1).time(tables.flat_max_width(1)));
+    const std::vector<CycleCount> depths = {solo_floor, solo_floor + 50, 2 * solo_floor,
+                                            8 * solo_floor, 64 * solo_floor};
+    for (const CycleCount depth : depths) {
+        const WireCount merged = brute_group_width(tables, {0, 1}, depth);
+        const WireCount solo0 = brute_group_width(tables, {0}, depth);
+        const WireCount solo1 = brute_group_width(tables, {1}, depth);
+        WireCount best = merged;
+        if (solo0 > 0 && solo1 > 0 && (best == 0 || solo0 + solo1 < best)) {
+            best = solo0 + solo1;
+        }
+        const auto result = exact_min_wires(tables, depth);
+        ASSERT_TRUE(result.has_value()) << "depth " << depth;
+        EXPECT_TRUE(result->certified);
+        EXPECT_EQ(result->wires, best) << "depth " << depth;
+    }
+}
+
+TEST(Exact, DepthInfeasibilityCarriesKind)
+{
+    const Soc soc("solo", {Module("m", 1, 1, 0, 100, {500})});
+    const SocTimeTables tables(soc);
+    try {
+        (void)exact_search(tables, 50, {});
+        FAIL() << "expected ExactInfeasibleError";
+    } catch (const ExactInfeasibleError& error) {
+        EXPECT_EQ(error.kind(), ExactInfeasible::depth);
+    }
+    // The InfeasibleError base keeps generic taxonomy mapping (serve's
+    // "infeasible" response kind, batch error rows) working unchanged.
+    EXPECT_THROW((void)exact_search(tables, 50, {}), InfeasibleError);
+}
+
+TEST(Exact, BudgetInfeasibilityCarriesKind)
+{
+    std::vector<Module> modules;
+    for (int i = 0; i < 3; ++i) {
+        modules.emplace_back("m" + std::to_string(i), 2, 2, 0, 10,
+                             std::vector<FlipFlopCount>{20});
+    }
+    const Soc soc("trio", std::move(modules));
+    const SocTimeTables tables(soc);
+    const CycleCount depth = tables.table(0).time(1) + 1; // forces > 1 wire
+    const ExactResult unconstrained = exact_search(tables, depth, {});
+    ASSERT_GT(unconstrained.wires, 1);
+
+    ExactOptions tight;
+    tight.wire_budget = unconstrained.wires - 1;
+    try {
+        (void)exact_search(tables, depth, tight);
+        FAIL() << "expected ExactInfeasibleError";
+    } catch (const ExactInfeasibleError& error) {
+        EXPECT_EQ(error.kind(), ExactInfeasible::budget);
+    }
+
+    // A budget exactly at the optimum is met, not rejected.
+    ExactOptions enough;
+    enough.wire_budget = unconstrained.wires;
+    const ExactResult at_budget = exact_search(tables, depth, enough);
+    EXPECT_EQ(at_budget.wires, unconstrained.wires);
+    EXPECT_TRUE(at_budget.certified);
+}
+
+TEST(Exact, MalformedSeedsAreRejected)
+{
+    const Soc soc = random_soc(3, 4);
+    const SocTimeTables tables(soc);
+    const CycleCount depth = 150'000;
+    ASSERT_TRUE(exact_min_wires(tables, depth).has_value());
+
+    const auto run = [&](std::vector<std::vector<int>> seed) {
+        ExactOptions options;
+        options.seed = std::move(seed);
+        return exact_search(tables, depth, options);
+    };
+    EXPECT_THROW((void)run({{0, 1, 2}}), ValidationError);          // misses module 3
+    EXPECT_THROW((void)run({{0, 1}, {1, 2, 3}}), ValidationError);  // covers 1 twice
+    EXPECT_THROW((void)run({{0, 1}, {}, {2, 3}}), ValidationError); // empty group
+    EXPECT_THROW((void)run({{0, 1}, {2, 4}}), ValidationError);     // out of range
+}
+
+TEST(Exact, NodeLimitReturnsUncertifiedIncumbent)
+{
+    const Soc soc = random_soc(7, 8);
+    const SocTimeTables tables(soc);
+    const CycleCount depth = 120'000;
+    const ExactResult full = exact_search(tables, depth, {});
+    ASSERT_TRUE(full.certified);
+    ASSERT_GT(full.nodes_explored, 1);
+
+    ExactOptions stunted;
+    stunted.node_limit = 1;
+    const ExactResult truncated = exact_search(tables, depth, stunted);
+    EXPECT_FALSE(truncated.certified);
+    EXPECT_GE(truncated.wires, full.wires);
+    EXPECT_LT(truncated.nodes_explored, full.nodes_explored);
+    // Even the truncated answer is a complete, valid partition.
+    std::vector<int> seen(8, 0);
+    for (const auto& group : truncated.groups) {
+        for (const int m : group) {
+            ++seen[static_cast<std::size_t>(m)];
+        }
+    }
+    for (const int count : seen) {
+        EXPECT_EQ(count, 1);
+    }
 }
 
 TEST(Exact, RejectsOversizedProblems)

@@ -162,7 +162,7 @@ TEST(BenchJson, SchemaSurfaceIsStable)
     const std::string json = bench_report_to_json(report);
 
     for (const char* key :
-         {"\"schema\": \"mst.bench\"", "\"schema_version\": 2", "\"suite\": \"custom\"",
+         {"\"schema\": \"mst.bench\"", "\"schema_version\": 3", "\"suite\": \"custom\"",
           "\"repetitions\": 1", "\"compared_baseline\": false", "\"threads\": 0",
           "\"total_seconds\":",
           "\"scenario_count\": 1", "\"scenarios\": [", "\"name\": \"d695/512x7M/plain\"",

@@ -2,6 +2,11 @@
 // redistribution.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "common/error.hpp"
 #include "core/step1.hpp"
 #include "core/step2.hpp"
@@ -166,6 +171,48 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Values(Step2Combo{11, BroadcastMode::none}, Step2Combo{11, BroadcastMode::stimuli},
                     Step2Combo{23, BroadcastMode::none}, Step2Combo{23, BroadcastMode::stimuli},
                     Step2Combo{37, BroadcastMode::none}, Step2Combo{37, BroadcastMode::stimuli}));
+
+TEST(Step2, RepackCandidatesAreConsecutiveLatticePoints)
+{
+    // Regression for the off-lattice sweep start: the re-pack scan must
+    // walk consecutive 0.025-lattice multiples of the depth, starting at
+    // the first lattice point at or above the area floor — never at the
+    // raw floor fraction itself, which drifted the whole grid (and the
+    // memo keys it feeds) off-lattice whenever the floor bound.
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    const CycleCount depth = 48 * kibi;
+    for (const WireCount budget : {6, 12, 24, 96}) {
+        const CycleCount beat = depth - 1;
+        const std::vector<CycleCount> candidates =
+            repack_candidates(tables, depth, budget, beat);
+        const double floor_fraction =
+            static_cast<double>(tables.total_min_area()) /
+            (static_cast<double>(budget) * static_cast<double>(depth));
+        auto step = std::max<std::int64_t>(
+            2, static_cast<std::int64_t>(std::ceil(floor_fraction / 0.025)));
+        for (const CycleCount candidate : candidates) {
+            const auto expected = static_cast<CycleCount>(
+                static_cast<double>(depth) * (0.025 * static_cast<double>(step)));
+            EXPECT_EQ(candidate, expected) << "budget " << budget << " step " << step;
+            EXPECT_LT(candidate, beat);
+            ++step;
+        }
+    }
+}
+
+TEST(Step2, RepackCandidatesRespectTheIncumbent)
+{
+    // Depths at or beyond the incumbent cannot improve it and must not
+    // be scanned.
+    const Soc soc = make_d695();
+    const SocTimeTables tables(soc);
+    const CycleCount depth = 48 * kibi;
+    const CycleCount beat = depth / 2;
+    for (const CycleCount candidate : repack_candidates(tables, depth, 24, beat)) {
+        EXPECT_LT(candidate, beat);
+    }
+}
 
 } // namespace
 } // namespace mst

@@ -39,6 +39,24 @@ FINGERPRINT_KEYS = ("sites", "channels_per_site", "test_cycles", "devices_per_ho
 # change moves test_cycles/sites long before it moves only the float.
 FLOAT_KEYS = {"devices_per_hour"}
 FLOAT_REL_TOL = 1e-4
+# The certify suite's per-scenario "exact" block is part of the
+# fingerprint family and is compared strictly, every key exact: a
+# bnb_nodes drift means the B&B lost its thread-count determinism, a
+# wires/gap drift means the certified answer changed. Either is a
+# hard failure (exit 2), never a timing advisory.
+EXACT_KEYS = ("exact_wires", "step1_wires", "binpack_wires",
+              "lower_bound_wires", "exact_gap", "bnb_nodes", "certified")
+
+
+def exact_blocks_match(old_case, new_case):
+    """True when the scenarios' exact blocks agree (both absent counts)."""
+    old_exact = old_case.get("exact")
+    new_exact = new_case.get("exact")
+    if (old_exact is None) != (new_exact is None):
+        return False
+    if old_exact is None:
+        return True
+    return all(old_exact.get(key) == new_exact.get(key) for key in EXACT_KEYS)
 
 
 def fingerprints_match(old_fp, new_fp):
@@ -136,7 +154,7 @@ def main():
                   for k in FINGERPRINT_KEYS}
         new_fp = {k: scenario_field(args.new, name, new_case, "fingerprint", k)
                   for k in FINGERPRINT_KEYS}
-        fp_ok = fingerprints_match(old_fp, new_fp)
+        fp_ok = fingerprints_match(old_fp, new_fp) and exact_blocks_match(old_case, new_case)
         if not fp_ok:
             mismatches.append(name)
         old_p50 = scenario_field(args.baseline, name, old_case, "wall_seconds", "p50_s")

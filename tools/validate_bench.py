@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a BENCH JSON file against the mst.bench v2 schema.
+"""Validate a BENCH JSON file against the mst.bench v3 schema.
 
 Usage: tools/validate_bench.py BENCH_optimizer.json
 
@@ -13,7 +13,7 @@ import json
 import sys
 
 SCHEMA_NAME = "mst.bench"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 TIMING_KEYS = {"iterations": int, "min_s": (int, float), "p50_s": (int, float),
                "mean_s": (int, float), "max_s": (int, float)}
@@ -22,6 +22,12 @@ FINGERPRINT_KEYS = {"sites": int, "channels_per_site": int, "test_cycles": int,
 STATS_KEYS = {"pack_calls": int, "pack_cache_hits": int, "greedy_passes": int,
               "depth_profiles": int, "pruned_packs": int, "site_points": int,
               "threads": int}
+# v3: the certify suite's optimality-gap record. Optional per scenario
+# (plain bench scenarios don't carry it), but when present every key is
+# required and the bracket LB <= exact <= step1 must hold.
+EXACT_KEYS = {"exact_wires": int, "step1_wires": int, "binpack_wires": int,
+              "lower_bound_wires": int, "exact_gap": int, "bnb_nodes": int,
+              "certified": bool}
 
 
 def fail(message):
@@ -70,6 +76,16 @@ def check_scenario(scenario, index):
     check_timing(scenario, "wall_seconds", where)
     check_block(scenario, "fingerprint", FINGERPRINT_KEYS, where)
     check_block(scenario, "optimizer_stats", STATS_KEYS, where)
+    if "exact" in scenario:
+        exact = check_block(scenario, "exact", EXACT_KEYS, where)
+        if not (exact["lower_bound_wires"] <= exact["exact_wires"]
+                <= exact["step1_wires"]):
+            fail(f"{where}.exact: expected lower_bound_wires <= exact_wires "
+                 "<= step1_wires")
+        if exact["exact_gap"] != exact["step1_wires"] - exact["exact_wires"]:
+            fail(f"{where}.exact: exact_gap must equal step1_wires - exact_wires")
+        if exact["bnb_nodes"] < 1:
+            fail(f"{where}.exact: bnb_nodes must be >= 1")
     if "baseline_wall_seconds" in scenario:
         check_timing(scenario, "baseline_wall_seconds", where)
     if "fingerprint_matches_baseline" in scenario:
