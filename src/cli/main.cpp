@@ -32,9 +32,13 @@
 #include "flow/test_flow.hpp"
 #include "perf/bench_json.hpp"
 #include "perf/bench_suite.hpp"
+#include "common/net.hpp"
+#include "common/signals.hpp"
 #include "report/gantt.hpp"
 #include "report/solution_json.hpp"
 #include "report/table.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "service/service.hpp"
 #include "soc/profiles.hpp"
 #include "soc/writer.hpp"
@@ -55,23 +59,25 @@ std::vector<FlagSpec> operator+(std::vector<FlagSpec> base, const std::vector<Fl
     return base;
 }
 
-/// Optimize-option flags shared by optimize, batch, and flow.
-const std::vector<FlagSpec> option_flags = {
-    {"broadcast", false}, {"abort-on-fail", false}, {"retest", false},
-    {"step1-only", false}, {"pc", true}, {"pm", true},
-    {"exact", false}, {"exact-budget-ms", true},
-};
+/// Optimize-option flags shared by optimize, batch, and flow — generated
+/// from the protocol binding tables, so the CLI surface and the request
+/// API cannot drift (see service/protocol.hpp).
+const std::vector<FlagSpec> option_flags = protocol::option_flag_specs();
 
 /// Test-cell flags shared by optimize and flow (batch re-declares the
-/// list-valued ones).
-const std::vector<FlagSpec> cell_flags = {
-    {"channels", true}, {"depth", true}, {"clock", true},
-    {"index", true}, {"contact", true},
-};
+/// list-valued ones). Same source of truth as the request fields.
+const std::vector<FlagSpec> cell_flags = protocol::cell_flag_specs();
 
 /// Service-tuning flags shared by serve and replay.
 const std::vector<FlagSpec> service_flags = {
     {"threads", true}, {"tables-cache", true}, {"memo", true},
+};
+
+/// Network flags accepted by `serve` (active with --listen).
+const std::vector<FlagSpec> server_flags = {
+    {"listen", true},          {"port-file", true},       {"max-connections", true},
+    {"queue", true},           {"conn-queue", true},      {"idle-timeout-ms", true},
+    {"read-timeout-ms", true}, {"write-timeout-ms", true}, {"max-frame-bytes", true},
 };
 
 Soc load_soc_argument(const Flags& flags)
@@ -83,46 +89,11 @@ Soc load_soc_argument(const Flags& flags)
     return load_soc_spec(spec);
 }
 
-TestCell cell_from_flags(const Flags& flags)
-{
-    TestCell cell;
-    cell.ate.channels = parse_int_flag("channels", flag_or(flags, "channels", "512"));
-    cell.ate.vector_memory_depth = parse_depth(flag_or(flags, "depth", "7M"));
-    cell.ate.test_clock_hz = parse_double_flag("clock", flag_or(flags, "clock", "5e6"));
-    cell.prober.index_time = parse_double_flag("index", flag_or(flags, "index", "0.5"));
-    cell.prober.contact_test_time =
-        parse_double_flag("contact", flag_or(flags, "contact", "0.001"));
-    return cell;
-}
-
-OptimizeOptions options_from_flags(const Flags& flags)
-{
-    OptimizeOptions options;
-    if (flags.count("broadcast") != 0) {
-        options.broadcast = BroadcastMode::stimuli;
-    }
-    if (flags.count("abort-on-fail") != 0) {
-        options.abort = AbortOnFail::on;
-    }
-    if (flags.count("retest") != 0) {
-        options.retest = RetestPolicy::retest_contact_failures;
-    }
-    if (flags.count("step1-only") != 0) {
-        options.step1_only = true;
-    }
-    if (flags.count("exact") != 0) {
-        options.exact = true;
-    }
-    options.exact_budget_ms =
-        parse_int_flag("exact-budget-ms", flag_or(flags, "exact-budget-ms", "0"));
-    if (options.exact_budget_ms > 0) {
-        options.exact = true; // a budget implies the pass
-    }
-    options.yields.contact_yield_per_terminal =
-        parse_double_flag("pc", flag_or(flags, "pc", "1.0"));
-    options.yields.manufacturing_yield = parse_double_flag("pm", flag_or(flags, "pm", "1.0"));
-    return options;
-}
+// Cell/option flag interpretation is the protocol's binding tables
+// applied to the parsed flag map — one implementation for every
+// subcommand and for JSON requests.
+using protocol::cell_from_flags;
+using protocol::options_from_flags;
 
 int cmd_optimize(const Flags& flags)
 {
@@ -323,13 +294,66 @@ ServiceConfig service_config_from_flags(const Flags& flags)
     return config;
 }
 
-/// `serve`: persistent JSON-lines request loop on stdin/stdout. One
-/// response line per request line; the caches live for the whole
-/// session, so repeated SOCs and repeated requests get cheaper.
+/// `serve`: persistent JSON-lines request loop. Without --listen it runs
+/// on stdin/stdout; with --listen it becomes a TCP server speaking the
+/// same protocol (see service/server.hpp for delivery modes, admission
+/// control, and graceful shutdown). Caches live for the whole session.
 int cmd_serve(const Flags& flags)
 {
-    RequestService service(service_config_from_flags(flags));
-    service.serve(std::cin, std::cout);
+    const std::string listen = flag_or(flags, "listen", "");
+    if (listen.empty()) {
+        for (const FlagSpec& spec : server_flags) {
+            if (spec.name != std::string("listen") && flags.count(spec.name) != 0) {
+                throw ValidationError(std::string("--") + spec.name +
+                                      " requires --listen <host:port>");
+            }
+        }
+        RequestService service(service_config_from_flags(flags));
+        service.serve(std::cin, std::cout);
+        return 0;
+    }
+
+    ServerConfig config;
+    config.listen = net::parse_endpoint(listen);
+    config.service = service_config_from_flags(flags);
+    config.max_connections =
+        parse_int_flag("max-connections", flag_or(flags, "max-connections", "64"));
+    config.global_queue_limit = parse_int_flag("queue", flag_or(flags, "queue", "256"));
+    config.connection_queue_limit =
+        parse_int_flag("conn-queue", flag_or(flags, "conn-queue", "32"));
+    config.idle_timeout_ms =
+        parse_int_flag("idle-timeout-ms", flag_or(flags, "idle-timeout-ms", "300000"));
+    config.read_timeout_ms =
+        parse_int_flag("read-timeout-ms", flag_or(flags, "read-timeout-ms", "30000"));
+    config.write_timeout_ms =
+        parse_int_flag("write-timeout-ms", flag_or(flags, "write-timeout-ms", "30000"));
+    const int max_frame =
+        parse_int_flag("max-frame-bytes", flag_or(flags, "max-frame-bytes", "1048576"));
+    if (config.max_connections < 1 || config.global_queue_limit < 1 ||
+        config.connection_queue_limit < 1 || max_frame < 1) {
+        throw ValidationError("server limits must be at least 1");
+    }
+    config.max_frame_bytes = static_cast<std::size_t>(max_frame);
+
+    ShutdownLatch& latch = ShutdownLatch::global();
+    latch.install_handlers();
+    Server server(config);
+    server.start();
+    const net::Endpoint bound = server.endpoint();
+    const std::string port_file = flag_or(flags, "port-file", "");
+    if (!port_file.empty()) {
+        // Written after bind so a port-0 request records the kernel pick;
+        // scripts can poll for this file instead of parsing stderr.
+        std::ofstream out(port_file);
+        if (!out) {
+            server.stop();
+            throw ValidationError("cannot open '" + port_file + "' for writing");
+        }
+        out << bound.to_string() << '\n';
+    }
+    std::cerr << "mst serve: listening on " << bound.to_string() << " (protocol v"
+              << protocol::version << "); SIGTERM drains and exits\n";
+    server.run(latch); // blocks until SIGTERM/SIGINT, then drains
     return 0;
 }
 
@@ -596,9 +620,15 @@ int cmd_help()
         "           [--threads N] [optimize flags] [--json]\n"
         "           (cross product of comma-separated lists, run in parallel)\n"
         "  serve    [--threads N] [--tables-cache N] [--memo N]\n"
-        "           (persistent request loop: one JSON request per stdin line,\n"
-        "            one JSON response per stdout line; SOC time tables and\n"
-        "            solutions are cached across requests)\n"
+        "           [--listen host:port] [--port-file F] [--max-connections N]\n"
+        "           [--queue N] [--conn-queue N] [--idle-timeout-ms N]\n"
+        "           [--read-timeout-ms N] [--write-timeout-ms N]\n"
+        "           [--max-frame-bytes N]\n"
+        "           (persistent request loop: one JSON request per line, one\n"
+        "            JSON response per line; SOC time tables and solutions are\n"
+        "            cached across requests. --listen serves the same protocol\n"
+        "            over TCP: streaming or ordered responses, bounded request\n"
+        "            queues, graceful SIGTERM drain; see docs/protocol.md)\n"
         "  replay   <file> [--threads N] [--tables-cache N] [--memo N]\n"
         "           (run a JSON-lines request file concurrently; responses\n"
         "            print in request order at any thread count)\n"
@@ -619,7 +649,7 @@ int cmd_help()
         "  help\n"
         "\n"
         "benchmark SOCs: d695 p22810 p34392 p93791 pnx8550\n"
-        "request schema: see 'Request service' in README.md\n";
+        "request schema: protocol v1, see docs/protocol.md and README.md\n";
     return 0;
 }
 
@@ -650,7 +680,7 @@ int main(int argc, char** argv)
                     option_flags));
         }
         if (command == "serve") {
-            return cmd_serve(cli::parse_flags(args, command, service_flags));
+            return cmd_serve(cli::parse_flags(args, command, service_flags + server_flags));
         }
         if (command == "replay") {
             if (args.empty() || args.front().rfind("--", 0) == 0) {

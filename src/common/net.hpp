@@ -1,0 +1,118 @@
+// Thin POSIX TCP wrappers for the network server (service/server.hpp).
+//
+// Scope is deliberately small: blocking stream sockets with poll-based
+// readiness waits and full-write semantics, RAII ownership of the file
+// descriptor, and IPv4/IPv6 endpoint parsing. No frameworks — the repo
+// serves newline-delimited JSON, not HTTP.
+//
+// Error model: setup failures (bind, listen, bad endpoint text) throw
+// mst::Error/ValidationError with the errno text; per-connection I/O
+// failures are return values (a dropped peer is a normal event for a
+// server, not an exception).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mst::net {
+
+/// A host:port pair. `host` is a numeric IPv4/IPv6 address or a name
+/// resolvable by getaddrinfo; port 0 asks the kernel for a free port.
+struct Endpoint {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Parse "host:port" ("[v6]:port" for bracketed IPv6). Throws
+/// ValidationError on malformed text or an out-of-range port.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& text);
+
+/// One connected TCP stream. Move-only; closes on destruction.
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) noexcept : fd_(fd) {}
+    ~Socket();
+
+    Socket(Socket&& other) noexcept;
+    Socket& operator=(Socket&& other) noexcept;
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+
+    /// Wait until the socket is readable. timeout_ms < 0 waits forever;
+    /// returns false on timeout, true on readable/EOF/error (a read
+    /// will then not block).
+    [[nodiscard]] bool wait_readable(int timeout_ms) const;
+
+    /// Read up to `size` bytes. Returns the byte count, 0 at EOF, -1 on
+    /// a connection error. Retries EINTR.
+    [[nodiscard]] long read_some(char* data, std::size_t size) const;
+
+    /// Write the whole buffer (handling partial writes and EINTR;
+    /// SIGPIPE is suppressed). False when the peer is gone or a send
+    /// timeout configured via set_write_timeout expired.
+    [[nodiscard]] bool write_all(const char* data, std::size_t size) const;
+    [[nodiscard]] bool write_all(const std::string& data) const
+    {
+        return write_all(data.data(), data.size());
+    }
+
+    /// SO_SNDTIMEO: bound how long write_all may block on a peer that
+    /// stopped reading (0 disables the bound).
+    void set_write_timeout(int timeout_ms) const;
+
+    /// Half-close: no more writes, reads still drain (client side).
+    void shutdown_write() const;
+
+    void close() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// A listening TCP socket. Move-only; closes on destruction.
+class Listener {
+public:
+    Listener() = default;
+    ~Listener();
+
+    Listener(Listener&& other) noexcept;
+    Listener& operator=(Listener&& other) noexcept;
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    /// Bind + listen on `endpoint` (SO_REUSEADDR set). Throws mst::Error
+    /// with the errno text when the address is unavailable.
+    [[nodiscard]] static Listener bind(const Endpoint& endpoint, int backlog = 64);
+
+    /// The actual bound address — resolves port 0 to the kernel's pick.
+    [[nodiscard]] Endpoint local_endpoint() const;
+
+    /// Accept one connection, waiting at most timeout_ms (< 0: forever).
+    /// nullopt on timeout or when the listener was closed concurrently.
+    [[nodiscard]] std::optional<Socket> accept(int timeout_ms) const;
+
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+    /// Close the listening socket (wakes a blocked accept with nullopt).
+    void close() noexcept;
+
+private:
+    explicit Listener(int fd) noexcept : fd_(fd) {}
+
+    int fd_ = -1;
+};
+
+/// Connect to `endpoint` (test clients; timeout_ms < 0 waits forever).
+/// Throws mst::Error when the connection is refused or times out.
+[[nodiscard]] Socket connect(const Endpoint& endpoint, int timeout_ms = 5000);
+
+} // namespace mst::net

@@ -1,0 +1,151 @@
+#include "service/framing.hpp"
+
+#include <cstdint>
+
+namespace mst {
+
+namespace {
+
+constexpr std::size_t length_prefix_bytes = 4;
+
+bool is_blank(const std::string& line)
+{
+    return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+} // namespace
+
+FrameReader::FrameReader(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes < 1 ? 1 : max_frame_bytes)
+{
+}
+
+void FrameReader::set_framing(Framing framing)
+{
+    framing_ = framing;
+    skipping_line_ = false;
+    skip_remaining_ = 0;
+}
+
+void FrameReader::feed(const char* data, std::size_t size)
+{
+    buffer_.append(data, size);
+}
+
+bool FrameReader::mid_frame() const noexcept
+{
+    return !buffer_.empty() || skip_remaining_ != 0 || skipping_line_;
+}
+
+void FrameReader::consume(std::size_t bytes)
+{
+    buffer_.erase(0, bytes);
+}
+
+FrameReader::Status FrameReader::next(std::string& frame)
+{
+    return framing_ == Framing::ndjson ? next_ndjson(frame) : next_length_prefix(frame);
+}
+
+FrameReader::Status FrameReader::next_ndjson(std::string& frame)
+{
+    for (;;) {
+        const std::size_t newline = buffer_.find('\n');
+        if (skipping_line_) {
+            // Discarding the remainder of an oversized line.
+            if (newline == std::string::npos) {
+                buffer_.clear();
+                return Status::need_more;
+            }
+            consume(newline + 1);
+            skipping_line_ = false;
+            continue;
+        }
+        if (newline == std::string::npos) {
+            if (buffer_.size() > max_frame_bytes_) {
+                // Longer than any acceptable line and still no
+                // terminator: report now, discard until the next '\n'.
+                buffer_.clear();
+                skipping_line_ = true;
+                frame = "line exceeds " + std::to_string(max_frame_bytes_) + " bytes";
+                return Status::oversized;
+            }
+            return Status::need_more;
+        }
+        if (newline > max_frame_bytes_) {
+            consume(newline + 1);
+            frame = "line exceeds " + std::to_string(max_frame_bytes_) + " bytes";
+            return Status::oversized;
+        }
+        std::string line = buffer_.substr(0, newline);
+        consume(newline + 1);
+        if (!line.empty() && line.back() == '\r') {
+            line.pop_back();
+        }
+        if (is_blank(line)) {
+            continue; // blank lines are not requests (stdio serve parity)
+        }
+        frame = std::move(line);
+        return Status::frame;
+    }
+}
+
+FrameReader::Status FrameReader::next_length_prefix(std::string& frame)
+{
+    for (;;) {
+        if (skip_remaining_ != 0) {
+            // Discarding an oversized payload; the declared length keeps
+            // the stream in sync.
+            const std::size_t drop =
+                buffer_.size() < skip_remaining_ ? buffer_.size() : skip_remaining_;
+            consume(drop);
+            skip_remaining_ -= drop;
+            if (skip_remaining_ != 0) {
+                return Status::need_more;
+            }
+            continue;
+        }
+        if (buffer_.size() < length_prefix_bytes) {
+            return Status::need_more;
+        }
+        const auto* bytes = reinterpret_cast<const unsigned char*>(buffer_.data());
+        const std::uint32_t length = (static_cast<std::uint32_t>(bytes[0]) << 24) |
+                                     (static_cast<std::uint32_t>(bytes[1]) << 16) |
+                                     (static_cast<std::uint32_t>(bytes[2]) << 8) |
+                                     static_cast<std::uint32_t>(bytes[3]);
+        if (length > max_frame_bytes_) {
+            consume(length_prefix_bytes);
+            skip_remaining_ = length;
+            frame = "frame of " + std::to_string(length) + " bytes exceeds " +
+                    std::to_string(max_frame_bytes_) + " bytes";
+            return Status::oversized;
+        }
+        if (buffer_.size() < length_prefix_bytes + length) {
+            return Status::need_more;
+        }
+        frame = buffer_.substr(length_prefix_bytes, length);
+        consume(length_prefix_bytes + length);
+        if (is_blank(frame)) {
+            continue;
+        }
+        return Status::frame;
+    }
+}
+
+std::string encode_frame(protocol::Framing framing, const std::string& payload)
+{
+    if (framing == protocol::Framing::ndjson) {
+        return payload + '\n';
+    }
+    const auto length = static_cast<std::uint32_t>(payload.size());
+    std::string frame;
+    frame.reserve(length_prefix_bytes + payload.size());
+    frame.push_back(static_cast<char>((length >> 24) & 0xff));
+    frame.push_back(static_cast<char>((length >> 16) & 0xff));
+    frame.push_back(static_cast<char>((length >> 8) & 0xff));
+    frame.push_back(static_cast<char>(length & 0xff));
+    frame += payload;
+    return frame;
+}
+
+} // namespace mst

@@ -1,0 +1,229 @@
+// Versioned wire protocol of the request API (protocol version 1).
+//
+// This is the single definition of the request/response surface shared
+// by every front end: `mst serve` over stdio, `mst serve --listen`
+// over TCP, `mst replay`, and the in-library RequestService. Field
+// names, option plumbing, and the error taxonomy live here and only
+// here — the CLI's flag binding for the same knobs is generated from
+// the same tables (option_bindings / cell_bindings), so the surfaces
+// cannot drift.
+//
+// Requests (one JSON object per frame; all fields optional unless
+// noted; unknown fields are rejected with a nearest-match suggestion):
+//   {"id": <string|number>,       echoed verbatim in the response
+//    "v": 1,                      protocol version (default 1; other
+//                                 values are rejected with kind "version")
+//    "op": "optimize"|"stats"|"hello",   default "optimize"
+//    "soc": "<name|path>",        optimize: exactly one of soc/soc_text
+//    "soc_text": "<.soc text>",
+//    "channels": 512, "depth": "7M"|<vectors>, "clock": 5e6,
+//    "index": 0.5, "contact": 0.001,
+//    "broadcast": true, "abort_on_fail": true, "retest": true,
+//    "step1_only": true, "pc": 1.0, "pm": 1.0,
+//    "exact": true, "exact_budget_ms": 100,
+//    "scope": "service"|"server",        stats only (default "service")
+//    "framing": "ndjson"|"length_prefix", hello only
+//    "stream": true|false}                hello only
+//
+// Responses (always carry "v"; key order is fixed so byte identity is
+// meaningful):
+//   {"id":..., "v":1, "ok":true, "fingerprint":"<16 hex>", "solution":{...}}
+//   {"id":..., "v":1, "ok":false,
+//    "error":{"kind":"<kind>", "message":"...", "detail":"..."}}
+//   {"id":..., "v":1, "ok":true, "stats":{...}}
+//   {"id":..., "v":1, "ok":true, "hello":{"framing":"...","stream":...}}
+//
+// The error kind taxonomy (the one place it is defined):
+//   parse            malformed frame JSON / .soc content / oversized frame
+//   validation       well-formed but semantically invalid request
+//   version          request declared an unsupported protocol version
+//   infeasible       InfeasibleError: no solution on the given cell
+//   exact_infeasible the exact certifier proved depth/budget infeasible
+//   overloaded       admission control refused the request (queue full,
+//                    connection limit, or server shutting down)
+//   internal         anything else; the server never dies for one request
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ate/ate.hpp"
+#include "cli/flags.hpp"
+#include "core/problem.hpp"
+#include "service/lru_cache.hpp"
+
+namespace mst::protocol {
+
+/// The protocol version this build speaks (echoed in every response).
+inline constexpr int version = 1;
+
+/// Error classes of one request. Documented in the header comment above;
+/// `none` marks a request that parsed cleanly.
+enum class ErrorKind {
+    none,
+    parse,
+    validation,
+    version,
+    infeasible,
+    exact_infeasible,
+    overloaded,
+    internal,
+};
+
+[[nodiscard]] const char* error_kind_name(ErrorKind kind) noexcept;
+
+/// One wire error: the typed kind, a human-readable message, and an
+/// optional supplementary detail (a nearest-match suggestion, the list
+/// of supported versions, ...). Serialized by error_response().
+struct WireError {
+    ErrorKind kind = ErrorKind::none;
+    std::string message;
+    std::string detail;
+};
+
+/// Frame encodings a connection can negotiate (see service/framing.hpp).
+enum class Framing {
+    ndjson,        ///< newline-delimited JSON (the default)
+    length_prefix, ///< 4-byte big-endian payload length, then the payload
+};
+
+[[nodiscard]] const char* framing_name(Framing framing) noexcept;
+
+/// Which sections a stats response reports.
+enum class StatsScope {
+    service, ///< request counters + cache counters (transport-independent)
+    server,  ///< service sections plus the network server's counters
+};
+
+/// One request after JSON interpretation. Interpretation failures are
+/// captured in `error` instead of thrown, so a bad frame costs one error
+/// response, never a dead server.
+struct Request {
+    enum class Op { optimize, stats, hello };
+
+    std::string id_json; ///< the id value as written (raw token), "" = absent
+    Op op = Op::optimize;
+
+    // optimize payload
+    std::string soc_spec;
+    std::string soc_text;
+    bool inline_soc = false;
+    TestCell cell;
+    OptimizeOptions options;
+
+    // stats payload
+    StatsScope scope = StatsScope::service;
+
+    // hello payload (absent fields keep the connection's current mode)
+    bool has_framing = false;
+    Framing framing = Framing::ndjson;
+    bool has_stream = false;
+    bool stream = false;
+
+    WireError error; ///< kind != none: the request failed interpretation
+};
+
+/// Interpret one request frame. Never throws; failures land in
+/// `Request::error` with the taxonomy above.
+[[nodiscard]] Request parse_request(const std::string& frame);
+
+// --- Response serialization (the only writers of response JSON) ---
+
+/// Request counter snapshot reported by stats responses.
+struct RequestCounters {
+    std::uint64_t received = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+};
+
+/// Network-server counter snapshot, reported by stats responses with
+/// `"scope":"server"`. Transport-dependent (and timing-dependent for the
+/// high-water marks), which is why the default stats scope excludes it:
+/// default-scope responses stay byte-identical across stdio and TCP.
+struct ServerCounters {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_active = 0;
+    std::uint64_t requests_admitted = 0;
+    std::uint64_t requests_rejected = 0;
+    std::uint64_t global_queue_high_water = 0;
+    std::uint64_t connection_queue_high_water = 0;
+};
+
+[[nodiscard]] std::string ok_response(const std::string& id_json,
+                                      const std::string& fingerprint,
+                                      const std::string& solution_json);
+[[nodiscard]] std::string error_response(const std::string& id_json, const WireError& error);
+[[nodiscard]] std::string error_response(const std::string& id_json, ErrorKind kind,
+                                         const std::string& message,
+                                         const std::string& detail = "");
+/// `server` == nullptr omits the "server" section (the default scope).
+[[nodiscard]] std::string stats_response(const std::string& id_json,
+                                         const RequestCounters& requests,
+                                         const CacheStats& tables, const CacheStats& memo,
+                                         const ServerCounters* server);
+[[nodiscard]] std::string hello_response(const std::string& id_json, Framing framing,
+                                         bool stream);
+
+// --- The one options/cell surface shared by JSON requests and CLI flags ---
+
+/// How one optimize knob is spelled on each surface and applied. The
+/// JSON request field uses snake_case, the CLI flag kebab-case; both are
+/// generated from this table, so adding a knob here adds it everywhere.
+struct OptionBinding {
+    const char* json_field; ///< request JSON member name
+    const char* cli_flag;   ///< CLI flag name (without "--")
+    enum class Kind {
+        toggle,  ///< bare CLI flag / JSON boolean; true applies, false = default
+        integer, ///< value flag / JSON integer
+        number,  ///< value flag / JSON number
+    } kind;
+    const char* cli_default;                        ///< value flags: default token
+    void (*apply_toggle)(OptimizeOptions&);         ///< toggle kind
+    void (*apply_int)(OptimizeOptions&, int);       ///< integer kind
+    void (*apply_number)(OptimizeOptions&, double); ///< number kind
+    // Read accessors for the canonical options_to_json rendition.
+    bool (*read_toggle)(const OptimizeOptions&);
+    std::int64_t (*read_int)(const OptimizeOptions&);
+    double (*read_number)(const OptimizeOptions&);
+};
+
+/// How one test-cell field is spelled (same name on both surfaces).
+struct CellBinding {
+    const char* field; ///< JSON member name == CLI flag name
+    enum class Kind {
+        integer,
+        depth, ///< "7M"/"48K" shorthand or a plain vector count
+        number,
+    } kind;
+    const char* cli_default;
+    void (*apply_int)(TestCell&, int);
+    void (*apply_depth)(TestCell&, CycleCount);
+    void (*apply_number)(TestCell&, double);
+    // Read accessors for the canonical cell_to_json rendition.
+    std::int64_t (*read_int)(const TestCell&); ///< integer and depth kinds
+    double (*read_number)(const TestCell&);
+};
+
+[[nodiscard]] const std::vector<OptionBinding>& option_bindings();
+[[nodiscard]] const std::vector<CellBinding>& cell_bindings();
+
+/// CLI flag specs generated from the binding tables (what `mst optimize`,
+/// `batch`, and `flow` register with the strict flag parser).
+[[nodiscard]] std::vector<cli::FlagSpec> option_flag_specs();
+[[nodiscard]] std::vector<cli::FlagSpec> cell_flag_specs();
+
+/// Apply the binding tables to a parsed CLI flag map. These replace the
+/// per-subcommand hand-wiring: every surface that accepts optimize
+/// options goes through here. Throws ValidationError on bad values.
+[[nodiscard]] OptimizeOptions options_from_flags(const cli::Flags& flags);
+[[nodiscard]] TestCell cell_from_flags(const cli::Flags& flags);
+
+/// Canonical compact JSON renditions (one field per binding, fixed
+/// order, %.17g numbers). Two cells/option sets that differ anywhere
+/// differ in these strings, which is what makes them usable as the
+/// solution-memo key.
+[[nodiscard]] std::string options_to_json(const OptimizeOptions& options);
+[[nodiscard]] std::string cell_to_json(const TestCell& cell);
+
+} // namespace mst::protocol

@@ -1,0 +1,131 @@
+// Network front end of the request service: `mst serve --listen`.
+//
+// One TCP listener, one reader thread per connection, one shared
+// RequestService. Requests execute on the process-wide Executor, so N
+// connections share the same worker pool (and the same caches) as the
+// stdio and replay front ends.
+//
+// Delivery modes (negotiated per connection by the protocol's `hello`
+// request, first frame only):
+//   * streaming (default): each response is written the moment its
+//     request completes, out of order; clients correlate by `id`.
+//   * ordered (`"stream": false`): responses are released strictly in
+//     request order. A replayed request file produces byte-identical
+//     output to `mst replay` at any thread count.
+//
+// Backpressure and admission control:
+//   * bounded in-flight requests, per connection and server-wide; a
+//     request over either bound gets a typed "overloaded" error
+//     response immediately instead of stalling the socket,
+//   * SO_SNDTIMEO bounds how long a slow-reading peer can block a
+//     writer; a timed-out connection is dropped, never the server,
+//   * idle and mid-frame read timeouts reclaim dead connections.
+//
+// Graceful shutdown (stop(), or SIGTERM/SIGINT via run()): the listener
+// closes, buffered-but-unstarted optimize requests are refused with
+// "overloaded", in-flight requests drain and their responses flush, then
+// connections close.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/net.hpp"
+#include "common/signals.hpp"
+#include "service/service.hpp"
+
+namespace mst {
+
+class FrameReader;
+
+struct ServerConfig {
+    /// Address to listen on; port 0 picks a free port (see endpoint()).
+    net::Endpoint listen;
+    /// Concurrent connections; further accepts get an overloaded error.
+    int max_connections = 64;
+    /// In-flight optimize requests across all connections.
+    int global_queue_limit = 256;
+    /// In-flight optimize requests per connection.
+    int connection_queue_limit = 32;
+    /// Close a connection with no traffic at a frame boundary (ms).
+    int idle_timeout_ms = 300000;
+    /// Close a connection stalled in the middle of a frame (ms).
+    int read_timeout_ms = 30000;
+    /// Bound on how long a slow-reading peer may block a write (ms).
+    int write_timeout_ms = 30000;
+    /// Frames over this size are rejected (and skipped) as oversized.
+    std::size_t max_frame_bytes = std::size_t{1} << 20;
+    ServiceConfig service;
+};
+
+class Server {
+public:
+    explicit Server(ServerConfig config = {});
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Bind the listener and start accepting. Throws mst::Error when the
+    /// address is unavailable.
+    void start();
+
+    /// The bound address (resolves a port-0 request to the kernel pick).
+    [[nodiscard]] net::Endpoint endpoint() const { return endpoint_; }
+
+    /// start(), block until `latch` requests shutdown, then stop().
+    void run(ShutdownLatch& latch);
+
+    /// Graceful shutdown: refuse new work, drain in-flight requests,
+    /// flush responses, close every connection, join all threads.
+    /// Idempotent.
+    void stop();
+
+    /// Snapshot of the network-side counters (stats scope "server").
+    [[nodiscard]] protocol::ServerCounters counters() const;
+
+    [[nodiscard]] RequestService& service() { return service_; }
+
+private:
+    struct Connection;
+
+    void accept_loop();
+    void connection_main(std::shared_ptr<Connection> conn);
+    void handle_connection(const std::shared_ptr<Connection>& conn);
+    [[nodiscard]] bool process_buffered(const std::shared_ptr<Connection>& conn,
+                                        FrameReader& reader, bool& first_frame);
+    [[nodiscard]] bool deliver(Connection& conn, std::uint64_t seq,
+                               const std::string& payload);
+    void finish_request(const std::shared_ptr<Connection>& conn);
+    void reap_finished_locked();
+
+    ServerConfig config_;
+    RequestService service_;
+
+    net::Listener listener_;
+    net::Endpoint endpoint_;
+    std::thread accept_thread_;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+
+    struct ConnectionThread {
+        std::thread thread;
+        std::shared_ptr<Connection> conn;
+    };
+    std::mutex connections_mutex_;
+    std::vector<ConnectionThread> connections_;
+
+    // Server-level counters (stats scope "server").
+    std::atomic<std::uint64_t> connections_accepted_{0};
+    std::atomic<std::uint64_t> connections_active_{0};
+    std::atomic<std::uint64_t> requests_admitted_{0};
+    std::atomic<std::uint64_t> requests_rejected_{0};
+    std::atomic<std::uint64_t> global_inflight_{0};
+    std::atomic<std::uint64_t> global_queue_high_water_{0};
+    std::atomic<std::uint64_t> connection_queue_high_water_{0};
+};
+
+} // namespace mst

@@ -1,157 +1,17 @@
 #include "service/service.hpp"
 
-#include <cstdio>
 #include <istream>
-#include <limits>
 #include <ostream>
-#include <sstream>
 
 #include "batch/batch_runner.hpp"
 #include "common/executor.hpp"
-#include "cli/flags.hpp"
-#include "common/format.hpp"
 #include "core/optimizer.hpp"
+#include "exact/branch_bound.hpp"
 #include "report/solution_json.hpp"
-#include "service/json.hpp"
 #include "soc/parser.hpp"
 #include "soc/profiles.hpp"
 
 namespace mst {
-
-const char* request_error_kind_name(RequestErrorKind kind) noexcept
-{
-    switch (kind) {
-    case RequestErrorKind::none: return "none";
-    case RequestErrorKind::parse: return "parse";
-    case RequestErrorKind::validation: return "validation";
-    case RequestErrorKind::infeasible: return "infeasible";
-    case RequestErrorKind::internal: return "internal";
-    }
-    return "?";
-}
-
-/// One request line after JSON interpretation. Interpretation failures
-/// are captured in error_kind/error instead of thrown, so a bad line is
-/// one error response, never a dead server.
-struct RequestService::ParsedRequest {
-    enum class Op { optimize, stats };
-
-    std::string id_json;  ///< the id value as written (raw token), "" = absent
-    Op op = Op::optimize;
-    std::string soc_spec;
-    std::string soc_text;
-    bool inline_soc = false;
-    TestCell cell;
-    OptimizeOptions options;
-
-    RequestErrorKind error_kind = RequestErrorKind::none;
-    std::string error;
-};
-
-namespace {
-
-/// Known request fields, reusing the CLI's FlagSpec so unknown-field
-/// errors get the same nearest-match suggestions as unknown flags.
-const std::vector<cli::FlagSpec>& request_fields()
-{
-    static const std::vector<cli::FlagSpec> fields = {
-        {"id", true},        {"op", true},      {"soc", true},
-        {"soc_text", true},  {"channels", true}, {"depth", true},
-        {"clock", true},     {"index", true},   {"contact", true},
-        {"broadcast", true}, {"abort_on_fail", true}, {"retest", true},
-        {"step1_only", true}, {"pc", true},     {"pm", true},
-        {"exact", true},     {"exact_budget_ms", true},
-    };
-    return fields;
-}
-
-int require_int(const JsonValue& value, const std::string& field)
-{
-    if (!value.is_number()) {
-        throw ValidationError("request field '" + field + "' expects an integer");
-    }
-    const std::int64_t wide = value.as_int();
-    if (wide < std::numeric_limits<int>::min() || wide > std::numeric_limits<int>::max()) {
-        throw ValidationError("request field '" + field + "' is out of range: '" +
-                              value.raw() + "'");
-    }
-    return static_cast<int>(wide);
-}
-
-double require_number(const JsonValue& value, const std::string& field)
-{
-    if (!value.is_number()) {
-        throw ValidationError("request field '" + field + "' expects a number");
-    }
-    return value.as_number();
-}
-
-bool require_bool(const JsonValue& value, const std::string& field)
-{
-    if (!value.is_bool()) {
-        throw ValidationError("request field '" + field + "' expects true or false");
-    }
-    return value.as_bool();
-}
-
-const std::string& require_string(const JsonValue& value, const std::string& field)
-{
-    if (!value.is_string()) {
-        throw ValidationError("request field '" + field + "' expects a string");
-    }
-    return value.as_string();
-}
-
-/// %.17g round-trips doubles exactly: two cells that differ anywhere
-/// differ in the memo key.
-std::string key_number(double value)
-{
-    char buffer[40];
-    std::snprintf(buffer, sizeof buffer, "%.17g", value);
-    return buffer;
-}
-
-std::string memo_key(const std::string& fingerprint, const TestCell& cell,
-                     const OptimizeOptions& options)
-{
-    std::ostringstream key;
-    key << fingerprint << "|ch=" << cell.ate.channels << "|d=" << cell.ate.vector_memory_depth
-        << "|clk=" << key_number(cell.ate.test_clock_hz)
-        << "|idx=" << key_number(cell.prober.index_time)
-        << "|ct=" << key_number(cell.prober.contact_test_time)
-        << "|b=" << static_cast<int>(options.broadcast)
-        << "|a=" << static_cast<int>(options.abort)
-        << "|r=" << static_cast<int>(options.retest)
-        << "|s1=" << (options.step1_only ? 1 : 0)
-        << "|pc=" << key_number(options.yields.contact_yield_per_terminal)
-        << "|pm=" << key_number(options.yields.manufacturing_yield)
-        << "|ex=" << (options.exact ? 1 : 0) << "|exms=" << options.exact_budget_ms;
-    return key.str();
-}
-
-std::string cache_stats_json(const char* name, const CacheStats& stats)
-{
-    std::ostringstream out;
-    out << '"' << name << "\":{\"capacity\":" << stats.capacity << ",\"size\":" << stats.size
-        << ",\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
-        << ",\"evictions\":" << stats.evictions << '}';
-    return out.str();
-}
-
-std::string error_response(const std::string& id_json, RequestErrorKind kind,
-                           const std::string& message)
-{
-    std::ostringstream out;
-    out << '{';
-    if (!id_json.empty()) {
-        out << "\"id\":" << id_json << ',';
-    }
-    out << "\"ok\":false,\"error_kind\":\"" << request_error_kind_name(kind)
-        << "\",\"error\":\"" << json_escape(message) << "\"}";
-    return out.str();
-}
-
-} // namespace
 
 RequestService::RequestService(ServiceConfig config)
     : config_(config),
@@ -165,120 +25,8 @@ int RequestService::thread_count(std::size_t jobs) const noexcept
     return resolve_thread_count(config_.threads, jobs);
 }
 
-RequestService::ParsedRequest RequestService::parse_request(const std::string& line)
-{
-    ParsedRequest request;
-    using Op = ParsedRequest::Op;
-    try {
-        const JsonValue root = JsonValue::parse(line);
-        if (!root.is_object()) {
-            throw ValidationError("request must be a JSON object");
-        }
-        // id first, so later field errors can echo it.
-        if (const JsonValue* id = root.find("id")) {
-            if (!id->is_string() && !id->is_number()) {
-                throw ValidationError("request field 'id' expects a string or number");
-            }
-            request.id_json = id->raw();
-        }
-        bool has_payload_fields = false;
-        for (const JsonValue::Member& member : root.as_object()) {
-            const std::string& field = member.first;
-            const JsonValue& value = member.second;
-            if (field == "id") {
-                continue;
-            }
-            if (field == "op") {
-                const std::string& op = require_string(value, field);
-                if (op == "optimize") {
-                    request.op = Op::optimize;
-                } else if (op == "stats") {
-                    request.op = Op::stats;
-                } else {
-                    throw ValidationError("unknown op '" + op + "' (optimize, stats)");
-                }
-                continue;
-            }
-            has_payload_fields = true;
-            if (field == "soc") {
-                request.soc_spec = require_string(value, field);
-            } else if (field == "soc_text") {
-                request.soc_text = require_string(value, field);
-                request.inline_soc = true;
-            } else if (field == "channels") {
-                request.cell.ate.channels = require_int(value, field);
-            } else if (field == "depth") {
-                // "7M"/"48K" shorthand or a plain vector count.
-                request.cell.ate.vector_memory_depth =
-                    value.is_string() ? parse_depth(value.as_string())
-                                      : value.as_int();
-            } else if (field == "clock") {
-                request.cell.ate.test_clock_hz = require_number(value, field);
-            } else if (field == "index") {
-                request.cell.prober.index_time = require_number(value, field);
-            } else if (field == "contact") {
-                request.cell.prober.contact_test_time = require_number(value, field);
-            } else if (field == "broadcast") {
-                if (require_bool(value, field)) {
-                    request.options.broadcast = BroadcastMode::stimuli;
-                }
-            } else if (field == "abort_on_fail") {
-                if (require_bool(value, field)) {
-                    request.options.abort = AbortOnFail::on;
-                }
-            } else if (field == "retest") {
-                if (require_bool(value, field)) {
-                    request.options.retest = RetestPolicy::retest_contact_failures;
-                }
-            } else if (field == "step1_only") {
-                request.options.step1_only = require_bool(value, field);
-            } else if (field == "exact") {
-                request.options.exact = require_bool(value, field);
-            } else if (field == "exact_budget_ms") {
-                request.options.exact_budget_ms = require_int(value, field);
-                if (request.options.exact_budget_ms > 0) {
-                    request.options.exact = true; // a budget implies the pass
-                }
-            } else if (field == "pc") {
-                request.options.yields.contact_yield_per_terminal =
-                    require_number(value, field);
-            } else if (field == "pm") {
-                request.options.yields.manufacturing_yield = require_number(value, field);
-            } else {
-                std::string message = "unknown request field '" + field + "'";
-                const std::string suggestion = cli::nearest_flag_name(field, request_fields());
-                if (!suggestion.empty()) {
-                    message += " (did you mean '" + suggestion + "'?)";
-                }
-                throw ValidationError(message);
-            }
-        }
-        if (request.op == Op::stats) {
-            if (has_payload_fields) {
-                throw ValidationError("a stats request accepts only 'id' and 'op'");
-            }
-            return request;
-        }
-        if (request.inline_soc == !request.soc_spec.empty()) {
-            // both set, or neither
-            throw ValidationError(
-                "an optimize request needs exactly one of 'soc' (name or path) "
-                "and 'soc_text' (inline .soc)");
-        }
-    } catch (const JsonParseError& e) {
-        request.error_kind = RequestErrorKind::parse;
-        request.error = e.what();
-    } catch (const ValidationError& e) {
-        request.error_kind = RequestErrorKind::validation;
-        request.error = e.what();
-    } catch (const std::exception& e) {
-        request.error_kind = RequestErrorKind::internal;
-        request.error = e.what();
-    }
-    return request;
-}
-
-std::shared_ptr<const SolutionOutcome> RequestService::outcome_for(const ParsedRequest& request)
+std::shared_ptr<const SolutionOutcome> RequestService::outcome_for(
+    const protocol::Request& request)
 {
     // Resolve the SOC outside the memo: name/path/inline forms of the
     // same content must land on one memo entry, and .soc problems are
@@ -289,26 +37,27 @@ std::shared_ptr<const SolutionOutcome> RequestService::outcome_for(const ParsedR
                                            : load_soc_spec(request.soc_spec));
     } catch (const ParseError& e) {
         auto outcome = std::make_shared<SolutionOutcome>();
-        outcome->error_kind = RequestErrorKind::parse;
-        outcome->error = e.what();
+        outcome->error = {protocol::ErrorKind::parse, e.what(), ""};
         return outcome;
     } catch (const ValidationError& e) {
         auto outcome = std::make_shared<SolutionOutcome>();
-        outcome->error_kind = RequestErrorKind::validation;
-        outcome->error = e.what();
+        outcome->error = {protocol::ErrorKind::validation, e.what(), ""};
         return outcome;
     } catch (const std::exception& e) {
         // e.g. bad_alloc loading a huge .soc file: still one error
         // response, not a dead server.
         auto outcome = std::make_shared<SolutionOutcome>();
-        outcome->error_kind = RequestErrorKind::internal;
-        outcome->error = e.what();
+        outcome->error = {protocol::ErrorKind::internal, e.what(), ""};
         return outcome;
     }
 
     const std::uint64_t fingerprint = soc_fingerprint(*soc);
     const std::string fingerprint_text = fingerprint_hex(fingerprint);
-    const std::string key = memo_key(fingerprint_text, request.cell, request.options);
+    // The canonical protocol renditions double as the memo key: two
+    // requests agree on (fingerprint, cell, options) iff they agree on
+    // this string.
+    const std::string key = fingerprint_text + '|' + protocol::cell_to_json(request.cell) +
+                            '|' + protocol::options_to_json(request.options);
     return memo_.get_or_compute(key, [&]() -> std::shared_ptr<const SolutionOutcome> {
         auto outcome = std::make_shared<SolutionOutcome>();
         outcome->fingerprint = fingerprint_text;
@@ -324,64 +73,104 @@ std::shared_ptr<const SolutionOutcome> RequestService::outcome_for(const ParsedR
                 optimize_multi_site(shared->tables(), request.cell, run_options);
             outcome->ok = true;
             outcome->solution_json = solution_to_json(solution, JsonStyle::compact);
+        } catch (const ExactInfeasibleError& e) {
+            outcome->error = {protocol::ErrorKind::exact_infeasible, e.what(), ""};
         } catch (const InfeasibleError& e) {
-            outcome->error_kind = RequestErrorKind::infeasible;
-            outcome->error = e.what();
+            outcome->error = {protocol::ErrorKind::infeasible, e.what(), ""};
         } catch (const ValidationError& e) {
-            outcome->error_kind = RequestErrorKind::validation;
-            outcome->error = e.what();
+            outcome->error = {protocol::ErrorKind::validation, e.what(), ""};
         } catch (const std::exception& e) {
-            outcome->error_kind = RequestErrorKind::internal;
-            outcome->error = e.what();
+            outcome->error = {protocol::ErrorKind::internal, e.what(), ""};
         } catch (...) {
-            outcome->error_kind = RequestErrorKind::internal;
-            outcome->error = "unknown exception";
+            outcome->error = {protocol::ErrorKind::internal, "unknown exception", ""};
         }
         return outcome;
     });
 }
 
-std::string RequestService::run_optimize(const ParsedRequest& request, bool& ok)
+std::string RequestService::run_optimize(const protocol::Request& request, bool& ok)
 {
     const std::shared_ptr<const SolutionOutcome> outcome = outcome_for(request);
     ok = outcome->ok;
     if (!outcome->ok) {
-        return error_response(request.id_json, outcome->error_kind, outcome->error);
+        return protocol::error_response(request.id_json, outcome->error);
     }
-    std::ostringstream out;
-    out << '{';
-    if (!request.id_json.empty()) {
-        out << "\"id\":" << request.id_json << ',';
-    }
-    out << "\"ok\":true,\"fingerprint\":\"" << outcome->fingerprint
-        << "\",\"solution\":" << outcome->solution_json << '}';
-    return out.str();
+    return protocol::ok_response(request.id_json, outcome->fingerprint,
+                                 outcome->solution_json);
 }
 
-std::string RequestService::stats_response(const ParsedRequest& request) const
+std::string RequestService::run_request(const protocol::Request& request)
 {
-    std::ostringstream out;
-    out << '{';
-    if (!request.id_json.empty()) {
-        out << "\"id\":" << request.id_json << ',';
+    using Op = protocol::Request::Op;
+    ++received_;
+    // An exception escaping a request would kill its worker (or abort a
+    // whole batch), so this is the last-resort net under the per-stage
+    // handlers: every failure becomes that request's error response.
+    try {
+        if (request.error.kind != protocol::ErrorKind::none) {
+            ++failed_;
+            return protocol::error_response(request.id_json, request.error);
+        }
+        if (request.op == Op::hello) {
+            ++failed_;
+            return protocol::error_response(
+                request.id_json, protocol::ErrorKind::validation,
+                "'hello' is only accepted as the first frame of a network connection");
+        }
+        if (request.op == Op::stats) {
+            // Defensive only: callers route stats through stats_response
+            // at a barrier. A lone stats request has trivially quiesced.
+            --received_; // stats_response counts itself
+            return stats_response(request, nullptr);
+        }
+        bool ok = false;
+        std::string response = run_optimize(request, ok);
+        if (ok) {
+            ++ok_;
+        } else {
+            ++failed_;
+        }
+        return response;
+    } catch (const std::exception& e) {
+        ++failed_;
+        return protocol::error_response(request.id_json, protocol::ErrorKind::internal,
+                                        e.what());
+    } catch (...) {
+        ++failed_;
+        return protocol::error_response(request.id_json, protocol::ErrorKind::internal,
+                                        "unknown exception");
     }
-    out << "\"ok\":true,\"stats\":{\"requests\":{\"received\":" << received_
-        << ",\"ok\":" << ok_ << ",\"failed\":" << failed_ << "},"
-        << cache_stats_json("tables_cache", tables_.stats()) << ','
-        << cache_stats_json("solution_memo", memo_.stats()) << "}}";
-    return out.str();
+}
+
+std::string RequestService::stats_response(const protocol::Request& request,
+                                           const protocol::ServerCounters* server)
+{
+    // Snapshot before counting: a stats response reports the state after
+    // every preceding request and before itself...
+    protocol::RequestCounters counters;
+    counters.received = received_.load();
+    counters.ok = ok_.load();
+    counters.failed = failed_.load();
+    const CacheStats tables = tables_.stats();
+    const CacheStats memo = memo_.stats();
+    // ...and then counts itself, so a following stats request sees it.
+    ++received_;
+    ++ok_;
+    if (server != nullptr && request.scope != protocol::StatsScope::server) {
+        server = nullptr; // default scope: transport-independent sections only
+    }
+    return protocol::stats_response(request.id_json, counters, tables, memo, server);
 }
 
 std::vector<std::string> RequestService::execute(const std::vector<std::string>& lines)
 {
-    std::vector<ParsedRequest> parsed;
+    std::vector<protocol::Request> parsed;
     parsed.reserve(lines.size());
     for (const std::string& line : lines) {
-        parsed.push_back(parse_request(line));
+        parsed.push_back(protocol::parse_request(line));
     }
 
     std::vector<std::string> responses(lines.size());
-    std::vector<char> succeeded(lines.size(), 0);
     std::size_t begin = 0;
     while (begin < lines.size()) {
         // A stats request is a barrier: everything before it runs (and
@@ -389,48 +178,16 @@ std::vector<std::string> RequestService::execute(const std::vector<std::string>&
         // thread count.
         std::size_t end = begin;
         while (end < lines.size() &&
-               !(parsed[end].error_kind == RequestErrorKind::none &&
-                 parsed[end].op == ParsedRequest::Op::stats)) {
+               !(parsed[end].error.kind == protocol::ErrorKind::none &&
+                 parsed[end].op == protocol::Request::Op::stats)) {
             ++end;
         }
         const std::size_t count = end - begin;
         parallel_for_index(count, thread_count(count), [&](std::size_t i) {
-            // An exception escaping a request would abort the whole
-            // batch once the fan-out rethrows it, so this is the
-            // last-resort net under the per-stage handlers: every
-            // failure becomes that request's error response.
-            const ParsedRequest& request = parsed[begin + i];
-            try {
-                if (request.error_kind != RequestErrorKind::none) {
-                    responses[begin + i] =
-                        error_response(request.id_json, request.error_kind, request.error);
-                } else {
-                    bool ok = false;
-                    responses[begin + i] = run_optimize(request, ok);
-                    succeeded[begin + i] = ok ? 1 : 0;
-                }
-            } catch (const std::exception& e) {
-                succeeded[begin + i] = 0;
-                responses[begin + i] =
-                    error_response(request.id_json, RequestErrorKind::internal, e.what());
-            } catch (...) {
-                succeeded[begin + i] = 0;
-                responses[begin + i] = error_response(
-                    request.id_json, RequestErrorKind::internal, "unknown exception");
-            }
+            responses[begin + i] = run_request(parsed[begin + i]);
         });
-        for (std::size_t i = begin; i < end; ++i) {
-            ++received_;
-            if (succeeded[i] != 0) {
-                ++ok_;
-            } else {
-                ++failed_;
-            }
-        }
         if (end < lines.size()) {
-            responses[end] = stats_response(parsed[end]);
-            ++received_;
-            ++ok_;
+            responses[end] = stats_response(parsed[end], nullptr);
             ++end;
         }
         begin = end;

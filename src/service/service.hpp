@@ -1,42 +1,28 @@
-// Persistent request service: the engine behind `mst serve` (JSON-lines
-// on stdin/stdout) and `mst replay <file>` (request files).
+// Persistent request service: the engine behind `mst serve` (stdio and
+// TCP), `mst replay <file>` (request files), and the network server.
 //
-// Each request line is one JSON object naming an SOC (benchmark name,
-// .soc file path, or inline .soc text), a test cell, and optimize
-// options; the response line carries the existing solution JSON. The
-// service layer adds what a one-shot CLI cannot:
+// The request/response wire format is owned by service/protocol.hpp —
+// one parse/serialize path for every front end. This layer adds what a
+// one-shot CLI cannot:
 //   * a TablesCache - LRU of immutable SocTimeTables keyed by SOC
 //     content fingerprint, shared across requests and threads,
 //   * a bounded solution memo keyed by (fingerprint, cell, options),
 //     with hit/miss counters surfaced via `{"op": "stats"}` requests,
-//   * concurrent request execution over the batch engine's fan-out with
+//   * concurrent request execution over the shared executor with
 //     deterministic per-request response ordering: responses[i] always
 //     answers lines[i], and response bytes are identical at any thread
 //     count (caches are single-flight, so even the stats counters are
 //     stable as long as nothing is evicted),
-//   * per-request error isolation mirroring BatchErrorKind: a malformed
-//     request yields one error response, never a dead server.
+//   * per-request error isolation: a malformed request yields one typed
+//     error response (protocol::ErrorKind taxonomy), never a dead
+//     server.
 //
-// Request schema (all fields optional unless noted):
-//   {"id": <string|number>,        echoed verbatim in the response
-//    "op": "optimize"|"stats",     default "optimize"
-//    "soc": "<name|path>",         optimize: exactly one of soc/soc_text
-//    "soc_text": "<.soc text>",
-//    "channels": 512, "depth": "7M"|<vectors>, "clock": 5e6,
-//    "index": 0.5, "contact": 0.001,
-//    "broadcast": true, "abort_on_fail": true, "retest": true,
-//    "step1_only": true, "pc": 1.0, "pm": 1.0}
-// Unknown fields are rejected (with a nearest-match suggestion), like
-// the CLI's strict flag parsing.
-//
-// Response lines:
-//   {"id": ..., "ok": true, "fingerprint": "<16 hex>", "solution": {...}}
-//   {"id": ..., "ok": false, "error_kind": "parse|validation|infeasible|internal",
-//    "error": "..."}
-//   {"id": ..., "ok": true, "stats": {"requests": {...},
-//    "tables_cache": {...}, "solution_memo": {...}}}
+// The network server (service/server.hpp) runs on the same instance:
+// run_request() executes one already-parsed request thread-safely, and
+// stats_response() snapshots the counters for a stats barrier.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -44,21 +30,10 @@
 #include <vector>
 
 #include "service/lru_cache.hpp"
+#include "service/protocol.hpp"
 #include "service/tables_cache.hpp"
 
 namespace mst {
-
-/// Error classes of one request, mirroring BatchErrorKind plus the
-/// request-layer `parse` class (malformed JSON / .soc input).
-enum class RequestErrorKind {
-    none,
-    parse,       ///< malformed request JSON or .soc content
-    validation,  ///< well-formed but semantically invalid request
-    infeasible,  ///< InfeasibleError: no solution on the given cell
-    internal,    ///< anything else (mirrors BatchErrorKind::other)
-};
-
-[[nodiscard]] const char* request_error_kind_name(RequestErrorKind kind) noexcept;
 
 struct ServiceConfig {
     /// Worker threads for execute(); <= 0 selects hardware_concurrency.
@@ -77,8 +52,7 @@ struct SolutionOutcome {
     bool ok = false;
     std::string solution_json;  ///< compact JSON object when ok
     std::string fingerprint;    ///< SOC content fingerprint, hex
-    RequestErrorKind error_kind = RequestErrorKind::none;
-    std::string error;
+    protocol::WireError error;  ///< kind != none when !ok
 };
 
 class RequestService {
@@ -90,12 +64,25 @@ public:
     /// every preceding line completed. Never throws per-request errors.
     [[nodiscard]] std::vector<std::string> execute(const std::vector<std::string>& lines);
 
-    /// One request line (the serve loop's unit of work).
+    /// One request line (the stdio serve loop's unit of work).
     [[nodiscard]] std::string execute_one(const std::string& line);
 
     /// JSON-lines loop: one response per non-blank request line, flushed
     /// after each so the peer can pipeline. Returns at EOF.
     void serve(std::istream& in, std::ostream& out);
+
+    /// Run one already-parsed request (optimize, or a request that
+    /// failed interpretation) to its response line, counting it.
+    /// Thread-safe; never throws. `hello` requests are rejected here —
+    /// negotiation belongs to the network connection, not the service.
+    [[nodiscard]] std::string run_request(const protocol::Request& request);
+
+    /// Stats response for a barrier point: snapshots the counters, then
+    /// counts the stats request itself. The caller guarantees barrier
+    /// semantics (all prior requests completed, none admitted after).
+    /// `server` adds the network server's section (scope "server").
+    [[nodiscard]] std::string stats_response(const protocol::Request& request,
+                                             const protocol::ServerCounters* server);
 
     /// Worker threads execute() will use for `jobs` requests.
     [[nodiscard]] int thread_count(std::size_t jobs) const noexcept;
@@ -104,25 +91,20 @@ public:
     [[nodiscard]] CacheStats memo_stats() const { return memo_.stats(); }
 
 private:
-    struct ParsedRequest;
-
-    /// Interpret one request line; never throws (failures are captured
-    /// in the returned request's error fields).
-    [[nodiscard]] static ParsedRequest parse_request(const std::string& line);
-
-    [[nodiscard]] std::string run_optimize(const ParsedRequest& request, bool& ok);
-    [[nodiscard]] std::string stats_response(const ParsedRequest& request) const;
-    [[nodiscard]] std::shared_ptr<const SolutionOutcome> outcome_for(const ParsedRequest& request);
+    [[nodiscard]] std::string run_optimize(const protocol::Request& request, bool& ok);
+    [[nodiscard]] std::shared_ptr<const SolutionOutcome> outcome_for(
+        const protocol::Request& request);
 
     ServiceConfig config_;
     TablesCache tables_;
     LruCache<std::string, SolutionOutcome> memo_;
 
-    // Request counters surfaced by stats requests. Only mutated at
-    // barrier points / sequentially, so plain integers suffice.
-    std::uint64_t received_ = 0;
-    std::uint64_t ok_ = 0;
-    std::uint64_t failed_ = 0;
+    // Request counters surfaced by stats requests. Atomic because the
+    // network server counts from many connection/worker threads; the
+    // totals a barrier reads are scheduling-independent either way.
+    std::atomic<std::uint64_t> received_{0};
+    std::atomic<std::uint64_t> ok_{0};
+    std::atomic<std::uint64_t> failed_{0};
 };
 
 } // namespace mst

@@ -1,0 +1,466 @@
+// Integration tests for the TCP front end (service/server.hpp) and its
+// frame splitter: loopback round-trips, ordered-mode byte-identity with
+// the stdio replay path, streaming id-correlation, admission control,
+// graceful-shutdown drain, and malformed/oversized frame isolation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "common/net.hpp"
+#include "common/signals.hpp"
+#include "service/framing.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+namespace mst {
+namespace {
+
+/// A tiny two-module SOC as inline request text: optimizes in
+/// microseconds, so server tests spend their time on the network
+/// machinery instead of the optimizer.
+const char* const tiny_soc =
+    R"(soc tiny\nmodule a inputs 8 outputs 8 patterns 50 scan 40 40\n)"
+    R"(module b inputs 4 outputs 4 patterns 120 scan 64 60 56\nend\n)";
+
+std::string tiny_request(const std::string& id, int channels)
+{
+    return std::string("{\"id\":\"") + id + "\",\"soc_text\":\"" + tiny_soc +
+           "\",\"channels\":" + std::to_string(channels) + ",\"depth\":\"1M\"}";
+}
+
+std::string recv_all(const net::Socket& socket)
+{
+    std::string data;
+    char buffer[16 * 1024];
+    for (;;) {
+        const long n = socket.read_some(buffer, sizeof buffer);
+        if (n <= 0) {
+            return data;
+        }
+        data.append(buffer, static_cast<std::size_t>(n));
+    }
+}
+
+std::vector<std::string> split_lines(const std::string& text)
+{
+    std::vector<std::string> lines;
+    std::size_t begin = 0;
+    while (begin < text.size()) {
+        std::size_t end = text.find('\n', begin);
+        if (end == std::string::npos) {
+            end = text.size();
+        }
+        lines.push_back(text.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return lines;
+}
+
+/// Split a received byte stream of length-prefixed frames.
+std::vector<std::string> split_length_prefixed(const std::string& data)
+{
+    std::vector<std::string> frames;
+    std::size_t at = 0;
+    while (at + 4 <= data.size()) {
+        const std::size_t length =
+            (static_cast<std::size_t>(static_cast<unsigned char>(data[at])) << 24) |
+            (static_cast<std::size_t>(static_cast<unsigned char>(data[at + 1])) << 16) |
+            (static_cast<std::size_t>(static_cast<unsigned char>(data[at + 2])) << 8) |
+            static_cast<std::size_t>(static_cast<unsigned char>(data[at + 3]));
+        EXPECT_LE(at + 4 + length, data.size()) << "truncated length-prefixed frame";
+        frames.push_back(data.substr(at + 4, length));
+        at += 4 + length;
+    }
+    EXPECT_EQ(at, data.size()) << "trailing bytes after the last frame";
+    return frames;
+}
+
+JsonValue response(const std::string& line)
+{
+    return JsonValue::parse(line);
+}
+
+bool wait_until(const std::function<bool()>& predicate, int timeout_ms = 10000)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!predicate()) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+}
+
+/// Occupies every global-executor worker until release(), so admitted
+/// requests deterministically stay in flight (the admission and drain
+/// tests depend on that, not on timing).
+class ExecutorBlocker {
+public:
+    ExecutorBlocker()
+    {
+        const int workers = Executor::global().worker_count();
+        for (int i = 0; i < workers; ++i) {
+            futures_.push_back(Executor::global().submit([this] {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [this] { return released_; });
+            }));
+        }
+    }
+
+    void release()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (released_) {
+                return;
+            }
+            released_ = true;
+        }
+        cv_.notify_all();
+        for (std::future<void>& future : futures_) {
+            future.wait();
+        }
+    }
+
+    ~ExecutorBlocker() { release(); }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool released_ = false;
+    std::vector<std::future<void>> futures_;
+};
+
+// --- FrameReader (transport-independent splitter) ---
+
+TEST(Framing, NdjsonSplitsStripsAndSkipsBlanks)
+{
+    FrameReader reader(1024);
+    const std::string bytes = "{\"a\":1}\r\n\n   \n{\"b\":2}\n{\"partial";
+    reader.feed(bytes.data(), bytes.size());
+    std::string frame;
+    ASSERT_EQ(reader.next(frame), FrameReader::Status::frame);
+    EXPECT_EQ(frame, "{\"a\":1}"); // '\r' stripped
+    ASSERT_EQ(reader.next(frame), FrameReader::Status::frame);
+    EXPECT_EQ(frame, "{\"b\":2}"); // blank lines skipped
+    EXPECT_EQ(reader.next(frame), FrameReader::Status::need_more);
+    EXPECT_TRUE(reader.mid_frame());
+    reader.feed("}\n", 2);
+    ASSERT_EQ(reader.next(frame), FrameReader::Status::frame);
+    EXPECT_EQ(frame, "{\"partial}");
+    EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST(Framing, NdjsonOversizedLineResyncsAtNewline)
+{
+    FrameReader reader(8);
+    const std::string bytes = "0123456789abcdef\nok\n";
+    reader.feed(bytes.data(), bytes.size());
+    std::string frame;
+    ASSERT_EQ(reader.next(frame), FrameReader::Status::oversized);
+    ASSERT_EQ(reader.next(frame), FrameReader::Status::frame);
+    EXPECT_EQ(frame, "ok"); // the stream recovered at the next newline
+}
+
+TEST(Framing, NdjsonOversizedReportsOnceAcrossChunks)
+{
+    FrameReader reader(4);
+    std::string frame;
+    reader.feed("xxxxxxxx", 8); // over the cap, newline not yet seen
+    ASSERT_EQ(reader.next(frame), FrameReader::Status::oversized);
+    reader.feed("yyyy\nok\n", 8); // the rest of the bad line + a good one
+    ASSERT_EQ(reader.next(frame), FrameReader::Status::frame);
+    EXPECT_EQ(frame, "ok");
+}
+
+TEST(Framing, LengthPrefixRoundTripsAndSkipsOversized)
+{
+    FrameReader reader(16);
+    reader.set_framing(protocol::Framing::length_prefix);
+    const std::string good = encode_frame(protocol::Framing::length_prefix, "{\"a\":1}");
+    const std::string big =
+        encode_frame(protocol::Framing::length_prefix, std::string(64, 'x'));
+    const std::string bytes = big + good;
+    reader.feed(bytes.data(), bytes.size());
+    std::string frame;
+    ASSERT_EQ(reader.next(frame), FrameReader::Status::oversized);
+    ASSERT_EQ(reader.next(frame), FrameReader::Status::frame);
+    EXPECT_EQ(frame, "{\"a\":1}"); // the declared length skipped the bad payload
+    EXPECT_EQ(reader.next(frame), FrameReader::Status::need_more);
+}
+
+// --- Loopback server ---
+
+TEST(Server, LoopbackRoundTripAndServerScopeStats)
+{
+    Server server;
+    server.start();
+    const net::Socket client = net::connect(server.endpoint());
+    const std::string requests = tiny_request("q1", 64) + "\n" +
+                                 "{\"id\":\"s1\",\"op\":\"stats\"}\n" +
+                                 "{\"id\":\"s2\",\"op\":\"stats\",\"scope\":\"server\"}\n";
+    ASSERT_TRUE(client.write_all(requests));
+    client.shutdown_write();
+    const std::vector<std::string> lines = split_lines(recv_all(client));
+    ASSERT_EQ(lines.size(), 3U);
+
+    const JsonValue ok = response(lines[0]);
+    EXPECT_EQ(ok.find("id")->as_string(), "q1");
+    EXPECT_EQ(ok.find("v")->as_int(), 1);
+    EXPECT_TRUE(ok.find("ok")->as_bool());
+    EXPECT_NE(ok.find("solution"), nullptr);
+
+    // Default scope: no transport-dependent section, byte-compatible
+    // with the stdio path. Server scope: the network counters appear.
+    const JsonValue service_stats = response(lines[1]);
+    EXPECT_EQ(service_stats.find("stats")->find("server"), nullptr);
+    const JsonValue server_stats = response(lines[2]);
+    const JsonValue* section = server_stats.find("stats")->find("server");
+    ASSERT_NE(section, nullptr);
+    EXPECT_EQ(section->find("connections_accepted")->as_int(), 1);
+    EXPECT_EQ(section->find("connections_active")->as_int(), 1);
+    EXPECT_EQ(section->find("requests_admitted")->as_int(), 3);
+    EXPECT_EQ(section->find("requests_rejected")->as_int(), 0);
+    server.stop();
+}
+
+TEST(Server, OrderedModeIsByteIdenticalToStdioReplay)
+{
+    std::ifstream file(std::string(MST_TEST_DATA_DIR) + "/service_replay_50.jsonl");
+    ASSERT_TRUE(file.is_open());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(file, line)) {
+        if (line.find_first_not_of(" \t\r") != std::string::npos) {
+            lines.push_back(line);
+        }
+    }
+    ASSERT_EQ(lines.size(), 50U);
+
+    for (const int threads : {1, 8}) {
+        // The stdio replay path (what `mst replay --threads N` runs).
+        ServiceConfig service_config;
+        service_config.threads = threads;
+        const std::vector<std::string> expected =
+            RequestService(service_config).execute(lines);
+
+        // The same stream through a real socket in ordered mode.
+        ServerConfig config;
+        config.service = service_config;
+        Server server(config);
+        server.start();
+        const net::Socket client = net::connect(server.endpoint());
+        std::string payload = "{\"op\":\"hello\",\"stream\":false}\n";
+        for (const std::string& request : lines) {
+            payload += request;
+            payload += '\n';
+        }
+        ASSERT_TRUE(client.write_all(payload));
+        client.shutdown_write();
+        std::vector<std::string> received = split_lines(recv_all(client));
+        server.stop();
+
+        ASSERT_EQ(received.size(), 51U) << "threads=" << threads;
+        EXPECT_TRUE(response(received[0]).find("hello") != nullptr);
+        received.erase(received.begin());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(received[i], expected[i])
+                << "response " << i << " at threads=" << threads;
+        }
+    }
+}
+
+TEST(Server, StreamingResponsesCorrelateById)
+{
+    Server server;
+    server.start();
+    const net::Socket client = net::connect(server.endpoint());
+    std::string payload;
+    std::set<std::string> ids;
+    for (const int channels : {16, 24, 32, 48, 64, 96}) {
+        const std::string id = "c" + std::to_string(channels);
+        ids.insert(id);
+        payload += tiny_request(id, channels);
+        payload += '\n';
+    }
+    ASSERT_TRUE(client.write_all(payload));
+    client.shutdown_write();
+    const std::vector<std::string> lines = split_lines(recv_all(client));
+    server.stop();
+
+    // Streaming mode promises one response per request with matching
+    // ids, not any particular order.
+    ASSERT_EQ(lines.size(), ids.size());
+    std::set<std::string> seen;
+    for (const std::string& text : lines) {
+        const JsonValue reply = response(text);
+        EXPECT_TRUE(reply.find("ok")->as_bool()) << text;
+        seen.insert(reply.find("id")->as_string());
+    }
+    EXPECT_EQ(seen, ids);
+}
+
+TEST(Server, AdmissionControlRejectsWithTypedErrors)
+{
+    ServerConfig config;
+    config.connection_queue_limit = 2;
+    Server server(config);
+    server.start();
+
+    ExecutorBlocker blocker; // admitted requests stay in flight
+    const net::Socket client = net::connect(server.endpoint());
+    std::string payload;
+    for (const int channels : {16, 24, 32, 48, 64, 96}) {
+        payload += tiny_request("c" + std::to_string(channels), channels);
+        payload += '\n';
+    }
+    ASSERT_TRUE(client.write_all(payload));
+    ASSERT_TRUE(wait_until([&] {
+        const protocol::ServerCounters counters = server.counters();
+        return counters.requests_admitted + counters.requests_rejected >= 6;
+    }));
+    const protocol::ServerCounters counters = server.counters();
+    EXPECT_EQ(counters.requests_admitted, 2U);
+    EXPECT_EQ(counters.requests_rejected, 4U);
+    EXPECT_EQ(counters.connection_queue_high_water, 2U);
+
+    blocker.release();
+    client.shutdown_write();
+    const std::vector<std::string> lines = split_lines(recv_all(client));
+    server.stop();
+
+    ASSERT_EQ(lines.size(), 6U);
+    int ok = 0;
+    int overloaded = 0;
+    for (const std::string& text : lines) {
+        const JsonValue reply = response(text);
+        if (reply.find("ok")->as_bool()) {
+            ++ok;
+        } else {
+            EXPECT_EQ(reply.find("error")->find("kind")->as_string(), "overloaded") << text;
+            ++overloaded;
+        }
+    }
+    EXPECT_EQ(ok, 2);
+    EXPECT_EQ(overloaded, 4);
+}
+
+TEST(Server, GracefulStopDrainsInFlightRequests)
+{
+    Server server;
+    server.start();
+
+    ExecutorBlocker blocker;
+    const net::Socket client = net::connect(server.endpoint());
+    const std::string payload =
+        tiny_request("a", 16) + "\n" + tiny_request("b", 32) + "\n" + tiny_request("c", 64) + "\n";
+    ASSERT_TRUE(client.write_all(payload));
+    ASSERT_TRUE(wait_until([&] { return server.counters().requests_admitted >= 3; }));
+
+    // Stop while all three are in flight: stop() must block until they
+    // complete and their responses are flushed, never drop them.
+    std::thread stopper([&] { server.stop(); });
+    blocker.release();
+    const std::vector<std::string> lines = split_lines(recv_all(client));
+    stopper.join();
+
+    ASSERT_EQ(lines.size(), 3U);
+    std::set<std::string> seen;
+    for (const std::string& text : lines) {
+        const JsonValue reply = response(text);
+        EXPECT_TRUE(reply.find("ok")->as_bool()) << text;
+        seen.insert(reply.find("id")->as_string());
+    }
+    EXPECT_EQ(seen, (std::set<std::string>{"a", "b", "c"}));
+}
+
+TEST(Server, MalformedAndOversizedFramesDoNotKillTheConnection)
+{
+    ServerConfig config;
+    config.max_frame_bytes = 96;
+    Server server(config);
+    server.start();
+    const net::Socket client = net::connect(server.endpoint());
+    const std::string payload = "{ not json\n" + std::string(200, 'x') + "\n" +
+                                "{\"id\":\"after\",\"op\":\"stats\"}\n";
+    ASSERT_TRUE(client.write_all(payload));
+    client.shutdown_write();
+    const std::vector<std::string> lines = split_lines(recv_all(client));
+    server.stop();
+
+    ASSERT_EQ(lines.size(), 3U);
+    EXPECT_EQ(response(lines[0]).find("error")->find("kind")->as_string(), "parse");
+    EXPECT_EQ(response(lines[1]).find("error")->find("kind")->as_string(), "parse");
+    const JsonValue after = response(lines[2]);
+    EXPECT_TRUE(after.find("ok")->as_bool()) << lines[2];
+    EXPECT_EQ(after.find("id")->as_string(), "after");
+}
+
+TEST(Server, HelloNegotiatesLengthPrefixFraming)
+{
+    Server server;
+    server.start();
+    const net::Socket client = net::connect(server.endpoint());
+    // The hello travels in the connection's initial framing (ndjson);
+    // everything after it — responses included — uses the negotiated one.
+    std::string payload = "{\"id\":\"h\",\"op\":\"hello\",\"framing\":\"length_prefix\","
+                          "\"stream\":false}\n";
+    payload += encode_frame(protocol::Framing::length_prefix, tiny_request("lp", 64));
+    payload += encode_frame(protocol::Framing::length_prefix, "{\"id\":\"s\",\"op\":\"stats\"}");
+    ASSERT_TRUE(client.write_all(payload));
+    client.shutdown_write();
+    const std::vector<std::string> frames = split_length_prefixed(recv_all(client));
+    server.stop();
+
+    ASSERT_EQ(frames.size(), 3U);
+    const JsonValue hello = response(frames[0]);
+    EXPECT_EQ(hello.find("hello")->find("framing")->as_string(), "length_prefix");
+    EXPECT_FALSE(hello.find("hello")->find("stream")->as_bool());
+    EXPECT_TRUE(response(frames[1]).find("ok")->as_bool()) << frames[1];
+    EXPECT_EQ(response(frames[1]).find("id")->as_string(), "lp");
+    EXPECT_NE(response(frames[2]).find("stats"), nullptr);
+}
+
+TEST(Server, LateHelloIsRejectedWithoutClosing)
+{
+    Server server;
+    server.start();
+    const net::Socket client = net::connect(server.endpoint());
+    const std::string payload = tiny_request("first", 64) + "\n" +
+                                "{\"id\":\"late\",\"op\":\"hello\",\"stream\":false}\n" +
+                                "{\"id\":\"s\",\"op\":\"stats\"}\n";
+    ASSERT_TRUE(client.write_all(payload));
+    client.shutdown_write();
+    const std::vector<std::string> lines = split_lines(recv_all(client));
+    server.stop();
+
+    ASSERT_EQ(lines.size(), 3U);
+    std::set<std::string> kinds;
+    bool saw_ok = false;
+    for (const std::string& text : lines) {
+        const JsonValue reply = response(text);
+        if (reply.find("ok")->as_bool()) {
+            saw_ok = true;
+        } else {
+            kinds.insert(reply.find("error")->find("kind")->as_string());
+        }
+    }
+    EXPECT_TRUE(saw_ok);
+    EXPECT_EQ(kinds, (std::set<std::string>{"validation"}));
+}
+
+} // namespace
+} // namespace mst

@@ -11,6 +11,7 @@
 #include "core/optimizer.hpp"
 #include "report/solution_json.hpp"
 #include "service/json.hpp"
+#include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "service/tables_cache.hpp"
 #include "soc/profiles.hpp"
@@ -158,12 +159,13 @@ TEST(Service, IsolatesEveryRequestError)
     const auto kind_of = [&](std::size_t i) {
         const JsonValue reply = response(out[i]);
         EXPECT_FALSE(reply.find("ok")->as_bool()) << out[i];
-        return reply.find("error_kind")->as_string();
+        EXPECT_EQ(reply.find("v")->as_int(), 1) << out[i];
+        return reply.find("error")->find("kind")->as_string();
     };
     EXPECT_EQ(kind_of(0), "parse");       // malformed request JSON
     EXPECT_EQ(kind_of(1), "parse");       // duplicate JSON key
     EXPECT_EQ(kind_of(2), "validation");  // unknown field
-    EXPECT_NE(response(out[2]).find("error")->as_string().find("channels"),
+    EXPECT_NE(response(out[2]).find("error")->find("detail")->as_string().find("channels"),
               std::string::npos);          // ... with a suggestion
     EXPECT_EQ(kind_of(3), "validation");  // soc and soc_text together
     EXPECT_EQ(kind_of(4), "validation");  // neither
@@ -234,8 +236,55 @@ TEST(Service, ServeLoopAnswersLineByLine)
     }
     ASSERT_EQ(lines.size(), 3U); // blank lines produce no responses
     EXPECT_TRUE(response(lines[0]).find("ok")->as_bool());
-    EXPECT_EQ(response(lines[1]).find("error_kind")->as_string(), "parse");
+    EXPECT_EQ(response(lines[1]).find("error")->find("kind")->as_string(), "parse");
     EXPECT_EQ(stat(response(lines[2]), "requests", "received"), 2.0);
+}
+
+TEST(Service, ProtocolVersionIsEchoedAndEnforced)
+{
+    RequestService service;
+    const std::vector<std::string> out = service.execute({
+        R"({"id":1,"v":1,"op":"stats"})",
+        R"({"id":2,"v":2,"op":"stats"})",
+        R"({"id":3,"op":"optimise","soc":"d695"})",
+    });
+    EXPECT_TRUE(response(out[0]).find("ok")->as_bool());
+    EXPECT_EQ(response(out[0]).find("v")->as_int(), 1);
+    const JsonValue bad = response(out[1]);
+    EXPECT_EQ(bad.find("v")->as_int(), 1); // rejection still speaks v1
+    EXPECT_EQ(bad.find("error")->find("kind")->as_string(), "version");
+    EXPECT_EQ(bad.find("error")->find("detail")->as_string(), "supported versions: 1");
+    const JsonValue typo = response(out[2]);
+    EXPECT_EQ(typo.find("error")->find("kind")->as_string(), "validation");
+    // Unknown ops come back with a nearest-match suggestion.
+    EXPECT_NE(typo.find("error")->find("detail")->as_string().find("optimize"),
+              std::string::npos);
+}
+
+TEST(Service, HelloIsAConnectionLevelRequest)
+{
+    // Over stdio there is no connection to negotiate; the op is typed
+    // but rejected, pointing the client at the network server.
+    RequestService service;
+    const std::string out = service.execute_one(R"({"id":"h","op":"hello","stream":false})");
+    const JsonValue reply = response(out);
+    EXPECT_FALSE(reply.find("ok")->as_bool());
+    EXPECT_EQ(reply.find("error")->find("kind")->as_string(), "validation");
+}
+
+TEST(Service, CanonicalJsonCoversEveryBinding)
+{
+    // The canonical renditions are the solution-memo key: every binding
+    // must appear, in fixed order, with round-trippable numbers.
+    EXPECT_EQ(protocol::options_to_json(OptimizeOptions{}),
+              R"({"broadcast":false,"abort_on_fail":false,"retest":false,)"
+              R"("step1_only":false,"exact":false,"exact_budget_ms":0,"pc":1,"pm":1})");
+    EXPECT_EQ(protocol::cell_to_json(TestCell{}),
+              R"({"channels":512,"depth":7340032,"clock":5000000,"index":0.5,)"
+              R"("contact":0.001})");
+    // And the CLI flag surface is generated from the same tables.
+    EXPECT_EQ(protocol::option_flag_specs().size(), protocol::option_bindings().size());
+    EXPECT_EQ(protocol::cell_flag_specs().size(), protocol::cell_bindings().size());
 }
 
 TEST(Service, SocFingerprintIsContentBased)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Replay a JSON-lines request file through a running `mst serve --listen`
+endpoint and print the responses to stdout.
+
+Usage: tools/serve_replay.py HOST:PORT REQUESTS.jsonl [--stream]
+
+Default is ordered mode: the client opens one TCP connection, sends
+`{"op":"hello","v":1,"stream":false}` as the first frame, then every
+line of REQUESTS.jsonl, half-closes the write side, reads to EOF, drops
+the hello response, and prints the remaining lines. In ordered mode that
+output is byte-identical to `mst replay REQUESTS.jsonl`, which is
+exactly what CI's service-smoke job asserts with cmp(1).
+
+With --stream the hello is omitted (streaming is the default on the
+wire) and responses are printed in arrival order; the caller is expected
+to compare after an id-keyed sort rather than byte-for-byte. Stdlib-only
+on purpose.
+"""
+import socket
+import sys
+
+HELLO = b'{"op":"hello","v":1,"stream":false}\n'
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    unknown = flags - {"--stream"}
+    if len(args) != 2 or unknown:
+        sys.stderr.write(__doc__)
+        return 2
+    host, _, port = args[0].rpartition(":")
+    with open(args[1], "rb") as f:
+        payload = f.read()
+    if not payload.endswith(b"\n"):
+        payload += b"\n"
+
+    ordered = "--stream" not in flags
+    with socket.create_connection((host, int(port)), timeout=60) as sock:
+        if ordered:
+            sock.sendall(HELLO)
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+
+    lines = b"".join(chunks).split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    if ordered:
+        if not lines or b'"hello"' not in lines[0]:
+            sys.stderr.write("serve_replay: missing hello response\n")
+            return 1
+        lines.pop(0)
+    out = sys.stdout.buffer
+    for line in lines:
+        out.write(line + b"\n")
+    out.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
