@@ -3,8 +3,9 @@
 // Section-7 economics analysis as a reusable decision helper.
 //
 // The candidate upgrades are independent optimizations of the same SOC,
-// so they run as one BatchRunner batch (baseline + options A/B/C)
-// instead of four back-to-back optimizer calls.
+// so they form one ScenarioSpec (one SOC x four named cells) whose
+// expansion runs as a batch (baseline + options A/B/C) instead of four
+// back-to-back optimizer calls.
 //
 // Usage: ate_buying_guide [budget-usd]   (default: $48,000, the paper's
 // cost of doubling a 512-channel tester's memory)
@@ -12,28 +13,25 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <memory>
 #include <vector>
 
 #include "ate/cost.hpp"
 #include "batch/batch_runner.hpp"
 #include "common/format.hpp"
 #include "report/table.hpp"
-#include "soc/profiles.hpp"
+#include "scenario/scenario_spec.hpp"
 
 namespace {
 
 using namespace mst;
 
-BatchScenario upgrade_scenario(const std::shared_ptr<const Soc>& soc, const std::string& label,
-                               ChannelCount channels, CycleCount depth)
+CellPoint upgrade_cell(const std::string& label, ChannelCount channels, CycleCount depth)
 {
-    BatchScenario scenario;
-    scenario.label = label;
-    scenario.soc = soc;
-    scenario.cell.ate.channels = channels;
-    scenario.cell.ate.vector_memory_depth = depth;
-    return scenario;
+    CellPoint point;
+    point.label = label;
+    point.cell.ate.channels = channels;
+    point.cell.ate.vector_memory_depth = depth;
+    return point;
 }
 
 } // namespace
@@ -42,7 +40,6 @@ int main(int argc, char** argv)
 {
     const UsDollars budget = (argc > 1) ? std::atof(argv[1]) : 48'000.0;
     const AteCostModel prices;
-    const std::shared_ptr<const Soc> soc = share_soc(make_benchmark_soc("pnx8550"));
 
     const AteSpec base; // 512 channels x 7M
 
@@ -65,13 +62,17 @@ int main(int argc, char** argv)
         half_depth *= 2;
     }
 
-    const std::vector<BatchScenario> scenarios = {
-        upgrade_scenario(soc, "baseline", base.channels, base.vector_memory_depth),
-        upgrade_scenario(soc, "A: channels", base.channels + extra, base.vector_memory_depth),
-        upgrade_scenario(soc, "B: memory", base.channels, depth),
-        upgrade_scenario(soc, "C: split", base.channels + half_extra, half_depth),
+    ScenarioSpec spec;
+    spec.name = "ate-buying-guide";
+    spec.socs.push_back(SocSource::by_spec("pnx8550"));
+    spec.cells = {
+        upgrade_cell("baseline", base.channels, base.vector_memory_depth),
+        upgrade_cell("A: channels", base.channels + extra, base.vector_memory_depth),
+        upgrade_cell("B: memory", base.channels, depth),
+        upgrade_cell("C: split", base.channels + half_extra, half_depth),
     };
-    const std::vector<BatchResult> results = run_batch(scenarios);
+    spec.variants.push_back({"plain", {}});
+    const std::vector<BatchResult> results = run_batch(expand(spec));
     for (const BatchResult& result : results) {
         if (!result.ok()) {
             std::cerr << result.label << ": " << result.error << '\n';

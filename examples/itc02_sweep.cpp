@@ -2,17 +2,18 @@
 // report the optimal multi-site configuration for each -- the kind of
 // what-if table a test engineer builds when choosing a floor tester.
 //
-// The 16 scenarios are independent, so they fan out across a BatchRunner
-// thread pool instead of a sequential loop; results come back in input
-// order, so the report below reads them off grid position.
+// The grid is one declarative ScenarioSpec (SOC sources x named cells x
+// one broadcast variant); expand() produces the 16 scenarios in
+// soc-major order and run_batch fans them out across a thread pool.
+// Results come back in input order, so the report reads them off grid
+// position.
 #include <iostream>
-#include <memory>
 #include <vector>
 
 #include "batch/batch_runner.hpp"
 #include "common/format.hpp"
 #include "report/table.hpp"
-#include "soc/profiles.hpp"
+#include "scenario/scenario_spec.hpp"
 
 int main()
 {
@@ -31,22 +32,25 @@ int main()
     };
     const std::vector<std::string> soc_names = {"d695", "p22810", "p34392", "p93791"};
 
-    std::vector<BatchScenario> scenarios;
+    ScenarioSpec spec;
+    spec.name = "itc02-tester-sweep";
     for (const std::string& soc_name : soc_names) {
-        const std::shared_ptr<const Soc> soc = share_soc(make_benchmark_soc(soc_name));
-        for (const TesterChoice& tester : testers) {
-            BatchScenario scenario;
-            scenario.label = tester.name;
-            scenario.soc = soc;
-            scenario.cell.ate.channels = tester.channels;
-            scenario.cell.ate.vector_memory_depth = tester.depth;
-            scenario.cell.ate.test_clock_hz = 20e6; // modern 20 MHz scan clock
-            scenario.options.broadcast = BroadcastMode::stimuli;
-            scenarios.push_back(std::move(scenario));
-        }
+        spec.socs.push_back(SocSource::by_spec(soc_name));
     }
+    for (const TesterChoice& tester : testers) {
+        CellPoint cell;
+        cell.label = tester.name;
+        cell.cell.ate.channels = tester.channels;
+        cell.cell.ate.vector_memory_depth = tester.depth;
+        cell.cell.ate.test_clock_hz = 20e6; // modern 20 MHz scan clock
+        spec.cells.push_back(cell);
+    }
+    OptionVariant broadcast;
+    broadcast.label = "broadcast";
+    broadcast.options.broadcast = BroadcastMode::stimuli;
+    spec.variants.push_back(broadcast);
 
-    const std::vector<BatchResult> results = run_batch(scenarios);
+    const std::vector<BatchResult> results = run_batch(expand(spec));
 
     std::size_t slot = 0;
     for (const std::string& soc_name : soc_names) {
@@ -55,11 +59,11 @@ int main()
         for (std::size_t t = 0; t < testers.size(); ++t, ++slot) {
             const BatchResult& result = results[slot];
             if (!result.ok()) {
-                table.add_row({result.label, "-", "-", "-", result.error});
+                table.add_row({testers[t].name, "-", "-", "-", result.error});
                 continue;
             }
             const Solution& solution = *result.solution;
-            table.add_row({result.label, std::to_string(solution.channels_per_site),
+            table.add_row({testers[t].name, std::to_string(solution.channels_per_site),
                            std::to_string(solution.sites),
                            format_seconds(solution.manufacturing_time),
                            format_throughput(solution.best_throughput())});

@@ -115,4 +115,24 @@ std::vector<BatchResult> run_batch(const std::vector<BatchScenario>& scenarios, 
     return BatchRunner(threads).run(scenarios);
 }
 
+std::vector<BatchScenario> to_batch_scenarios(const std::vector<Scenario>& scenarios)
+{
+    std::vector<BatchScenario> batch;
+    batch.reserve(scenarios.size());
+    for (const Scenario& scenario : scenarios) {
+        BatchScenario job;
+        job.label = scenario.name;
+        job.soc = scenario.soc;
+        job.cell = scenario.cell;
+        job.options = scenario.options;
+        batch.push_back(std::move(job));
+    }
+    return batch;
+}
+
+std::vector<BatchResult> run_batch(const std::vector<Scenario>& scenarios, int threads)
+{
+    return run_batch(to_batch_scenarios(scenarios), threads);
+}
+
 } // namespace mst

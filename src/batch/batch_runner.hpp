@@ -26,6 +26,7 @@
 #include "ate/ate.hpp"
 #include "core/problem.hpp"
 #include "core/solution.hpp"
+#include "scenario/scenario_spec.hpp"
 #include "soc/soc.hpp"
 
 namespace mst {
@@ -89,6 +90,16 @@ private:
 
 /// Convenience one-shot form of BatchRunner(threads).run(scenarios).
 [[nodiscard]] std::vector<BatchResult> run_batch(const std::vector<BatchScenario>& scenarios,
+                                                 int threads = 0);
+
+/// Bridge from the scenario layer: an expanded ScenarioSpec list runs
+/// as a batch directly, result labels being the scenario names. SOC
+/// sharing carries over (expand() resolves each source once).
+[[nodiscard]] std::vector<BatchScenario>
+to_batch_scenarios(const std::vector<Scenario>& scenarios);
+
+/// Run an expanded scenario list: run_batch(to_batch_scenarios(...)).
+[[nodiscard]] std::vector<BatchResult> run_batch(const std::vector<Scenario>& scenarios,
                                                  int threads = 0);
 
 } // namespace mst

@@ -2,6 +2,7 @@
 //
 //   mst_cli optimize --soc d695 --channels 256 --depth 48K [--broadcast]
 //   mst_cli batch    --socs d695,p22810 --channels 256,512 --depths 8M,32M
+//   mst_cli sweep    --spec grid.sweep --out results/ --shards 16 --workers 4
 //   mst_cli serve                        # JSON-lines request loop on stdin
 //   mst_cli replay requests.jsonl        # request file, concurrent, in-order
 //   mst_cli inspect  --soc data/d695.soc
@@ -37,6 +38,8 @@
 #include "report/gantt.hpp"
 #include "report/solution_json.hpp"
 #include "report/table.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "scenario/sweep.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
@@ -178,9 +181,29 @@ std::vector<std::string> split_csv(const std::string& text)
     return items;
 }
 
-/// `batch`: fan the cross product of --socs x --channels x --depths out
-/// across a thread pool and print one row per scenario. Infeasible
-/// combinations report as such instead of aborting the sweep.
+/// The option-variant label of a CLI-built spec: the toggled option
+/// flags joined with '+' ("broadcast+retest"), or "plain" when the run
+/// uses pure defaults. Derived from the protocol binding tables like
+/// the flags themselves.
+std::string variant_label_from_flags(const Flags& flags)
+{
+    std::string label;
+    for (const protocol::OptionBinding& binding : protocol::option_bindings()) {
+        if (flags.count(binding.cli_flag) == 0) {
+            continue;
+        }
+        if (!label.empty()) {
+            label += '+';
+        }
+        label += binding.cli_flag;
+    }
+    return label.empty() ? "plain" : label;
+}
+
+/// `batch`: build the --socs x --channels x --depths cross product as a
+/// ScenarioSpec, expand it, and fan it out across a thread pool — one
+/// row per scenario. Infeasible combinations report as such instead of
+/// aborting the sweep.
 int cmd_batch(const Flags& flags)
 {
     const std::vector<std::string> soc_specs = split_csv(flag_or(flags, "socs", ""));
@@ -199,12 +222,6 @@ int cmd_batch(const Flags& flags)
         throw ValidationError("--depths expects a non-empty list, e.g. --depths 8M,32M");
     }
     const int threads = parse_int_flag("threads", flag_or(flags, "threads", "0"));
-    OptimizeOptions options = options_from_flags(flags);
-    // One meaning for --threads across the CLI: it caps this process's
-    // optimizer concurrency, so the per-scenario search inherits the
-    // same cap as the scenario fan-out (results are identical either
-    // way; the shared pool bounds the total in any case).
-    options.threads = threads;
 
     // The clock/prober flags are scenario-invariant; parse them once.
     // --channels and --depth hold comma-separated lists here, so they
@@ -214,27 +231,33 @@ int cmd_batch(const Flags& flags)
     scenario_invariant.erase("depth");
     const TestCell base_cell = cell_from_flags(scenario_invariant);
 
-    std::vector<BatchScenario> scenarios;
-    for (const std::string& spec : soc_specs) {
-        // One SOC build per spec, shared by the whole cross product: the
-        // runner then also builds that SOC's wrapper time tables once.
-        const std::shared_ptr<const Soc> soc = share_soc(load_soc_spec(spec));
-        for (const std::string& channels : channel_list) {
-            for (const std::string& depth : depth_list) {
-                BatchScenario scenario;
-                scenario.label = soc->name() + " " + channels + "ch x " + depth;
-                scenario.soc = soc;
-                scenario.cell = base_cell;
-                scenario.cell.ate.channels = parse_int_flag("channels", channels);
-                scenario.cell.ate.vector_memory_depth = parse_depth(depth);
-                scenario.options = options;
-                scenarios.push_back(std::move(scenario));
-            }
+    ScenarioSpec spec;
+    spec.name = "batch";
+    for (const std::string& soc_spec : soc_specs) {
+        spec.socs.push_back(SocSource::by_spec(soc_spec));
+    }
+    for (const std::string& channels : channel_list) {
+        for (const std::string& depth : depth_list) {
+            CellPoint point;
+            point.cell = base_cell;
+            point.cell.ate.channels = parse_int_flag("channels", channels);
+            point.cell.ate.vector_memory_depth = parse_depth(depth);
+            spec.cells.push_back(point); // label derived: "<channels>x<depth>"
         }
     }
+    OptionVariant variant;
+    variant.label = variant_label_from_flags(flags);
+    variant.options = options_from_flags(flags);
+    // One meaning for --threads across the CLI: it caps this process's
+    // optimizer concurrency, so the per-scenario search inherits the
+    // same cap as the scenario fan-out (results are identical either
+    // way; the shared pool bounds the total in any case).
+    variant.options.threads = threads;
+    spec.variants.push_back(std::move(variant));
 
+    const std::vector<Scenario> scenarios = expand(spec);
     const BatchRunner runner(threads);
-    const std::vector<BatchResult> results = runner.run(scenarios);
+    const std::vector<BatchResult> results = runner.run(to_batch_scenarios(scenarios));
 
     if (flags.count("json") != 0) {
         std::cout << "[\n";
@@ -277,6 +300,72 @@ int cmd_batch(const Flags& flags)
         std::cout << ", " << failures << " not solvable";
     }
     std::cout << '\n';
+    return 0;
+}
+
+/// `sweep`: expand a spec file and run it through the sharded,
+/// resumable sweep engine (see docs/sweep.md). Rerunning with the same
+/// --out directory resumes: complete shard checkpoints are reused, and
+/// the final report.json is byte-identical to an uninterrupted run.
+int cmd_sweep(const Flags& flags)
+{
+    const std::string spec_path = flag_or(flags, "spec", "");
+    if (spec_path.empty()) {
+        throw ValidationError("sweep requires --spec <file>");
+    }
+    const ScenarioSpec spec = load_scenario_spec(spec_path);
+    const std::vector<Scenario> scenarios = expand(spec);
+
+    if (flags.count("list") != 0) {
+        for (const Scenario& scenario : scenarios) {
+            std::cout << scenario.name << '\n';
+        }
+        std::cout << scenarios.size() << " scenarios in sweep '" << spec.name << "'\n";
+        return 0;
+    }
+
+    SweepOptions options;
+    options.out_dir = flag_or(flags, "out", "");
+    if (options.out_dir.empty()) {
+        throw ValidationError("sweep requires --out <dir> (or --list to preview)");
+    }
+    options.shards = parse_int_flag("shards", flag_or(flags, "shards", "8"));
+    options.workers = parse_int_flag("workers", flag_or(flags, "workers", "1"));
+    options.threads = parse_int_flag("threads", flag_or(flags, "threads", "0"));
+
+    const SweepOutcome outcome = run_sweep(spec.name, scenarios, options);
+
+    if (flags.count("json") != 0) {
+        // The latency summary is intentionally separate from the
+        // deterministic report.json: wall times differ run to run.
+        std::cout << "{ \"schema\": \"mst.sweep.summary\", \"sweep\": \""
+                  << json_escape(spec.name) << "\", \"scenarios\": " << outcome.scenario_count
+                  << ", \"executed\": " << outcome.executed
+                  << ", \"resumed\": " << outcome.resumed
+                  << ", \"failed\": " << outcome.failed << ", \"report\": \""
+                  << json_escape(outcome.report_path) << "\", \"wall\": { \"p50_s\": "
+                  << outcome.total_wall.p50 << ", \"p95_s\": " << outcome.total_wall.p95
+                  << ", \"p99_s\": " << outcome.total_wall.p99 << " } }\n";
+        return 0;
+    }
+
+    Table table({"shard", "scenarios", "failed", "from", "t_p50", "t_p95", "t_p99", "t_max"});
+    for (const ShardTiming& shard : outcome.shards) {
+        table.add_row({std::to_string(shard.shard), std::to_string(shard.scenarios),
+                       std::to_string(shard.failed), shard.resumed ? "checkpoint" : "run",
+                       format_seconds(shard.wall.p50), format_seconds(shard.wall.p95),
+                       format_seconds(shard.wall.p99), format_seconds(shard.wall.max)});
+    }
+    std::cout << table;
+    std::cout << '\n' << outcome.scenario_count << " scenarios (" << outcome.executed
+              << " executed, " << outcome.resumed << " from checkpoints";
+    if (outcome.failed != 0) {
+        std::cout << ", " << outcome.failed << " not solvable";
+    }
+    std::cout << "), total p50/p95/p99 " << format_seconds(outcome.total_wall.p50) << "/"
+              << format_seconds(outcome.total_wall.p95) << "/"
+              << format_seconds(outcome.total_wall.p99) << "\nwrote " << outcome.report_path
+              << '\n';
     return 0;
 }
 
@@ -619,6 +708,14 @@ int cmd_help()
         "  batch    --socs <list> [--channels <list>] [--depths <list>]\n"
         "           [--threads N] [optimize flags] [--json]\n"
         "           (cross product of comma-separated lists, run in parallel)\n"
+        "  sweep    --spec <file> --out <dir> [--shards N] [--workers N]\n"
+        "           [--threads N] [--list] [--json]\n"
+        "           (sharded, resumable scenario sweep from a declarative spec\n"
+        "            file; completed shards checkpoint to <dir>/shard-*.msr and\n"
+        "            a rerun resumes instead of recomputing — the final\n"
+        "            report.json is byte-identical to an uninterrupted run at\n"
+        "            any shard/worker/thread count. --list previews the\n"
+        "            expansion; see docs/sweep.md for the spec format)\n"
         "  serve    [--threads N] [--tables-cache N] [--memo N]\n"
         "           [--listen host:port] [--port-file F] [--max-connections N]\n"
         "           [--queue N] [--conn-queue N] [--idle-timeout-ms N]\n"
@@ -678,6 +775,12 @@ int main(int argc, char** argv)
                                       {"depth", true}, {"threads", true}, {"clock", true},
                                       {"index", true}, {"contact", true}, {"json", false}} +
                     option_flags));
+        }
+        if (command == "sweep") {
+            return cmd_sweep(cli::parse_flags(
+                args, command,
+                {{"spec", true}, {"out", true}, {"shards", true}, {"workers", true},
+                 {"threads", true}, {"list", false}, {"json", false}}));
         }
         if (command == "serve") {
             return cmd_serve(cli::parse_flags(args, command, service_flags + server_flags));

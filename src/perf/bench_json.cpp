@@ -20,7 +20,8 @@ std::string number(double value)
 void write_timing(std::ostream& out, const TimingStats& stats)
 {
     out << "{ \"iterations\": " << stats.iterations << ", \"min_s\": " << number(stats.min)
-        << ", \"p50_s\": " << number(stats.p50) << ", \"mean_s\": " << number(stats.mean)
+        << ", \"p50_s\": " << number(stats.p50) << ", \"p95_s\": " << number(stats.p95)
+        << ", \"p99_s\": " << number(stats.p99) << ", \"mean_s\": " << number(stats.mean)
         << ", \"max_s\": " << number(stats.max) << " }";
 }
 

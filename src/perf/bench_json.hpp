@@ -21,8 +21,11 @@ namespace mst {
 /// v3: optional per-scenario "exact" block (the certify suite's
 /// optimality-gap record: exact/step1/binpack/lower-bound wires,
 /// "exact_gap", "bnb_nodes", "certified").
+/// v4: timing blocks gained tail-latency percentiles "p95_s" and
+/// "p99_s" (type-7 interpolated order statistics; equal to "p50_s" at
+/// iterations = 1), gated by tools/bench_diff.py alongside p50.
 inline constexpr const char* bench_schema_name = "mst.bench";
-inline constexpr int bench_schema_version = 3;
+inline constexpr int bench_schema_version = 4;
 
 /// Serialize a bench report as one self-contained JSON object with a
 /// deterministic key order.

@@ -7,30 +7,17 @@
 #include "baseline/lower_bound.hpp"
 #include "common/error.hpp"
 #include "core/optimizer.hpp"
-#include "soc/generator.hpp"
-#include "soc/profiles.hpp"
 
 namespace mst {
 
 namespace {
 
-struct BenchCell {
-    const char* name;
-    ChannelCount channels;
-    CycleCount depth;
-};
-
-struct BenchVariant {
-    const char* name;
-    OptimizeOptions options;
-};
-
 /// The four option variants of the suite. Abort-on-fail and re-test only
 /// change behavior under imperfect yield, so those variants carry the
 /// paper's typical contact/manufacturing yields.
-std::vector<BenchVariant> bench_variants()
+std::vector<OptionVariant> bench_variants()
 {
-    std::vector<BenchVariant> variants;
+    std::vector<OptionVariant> variants;
     variants.push_back({"plain", {}});
 
     OptimizeOptions broadcast;
@@ -51,21 +38,13 @@ std::vector<BenchVariant> bench_variants()
     return variants;
 }
 
-/// Generator-scaled SOC built from the shared preset (soc/generator):
-/// the golden-fingerprint tests rebuild the very same SOCs.
-Soc scaled_soc(const std::string& name, int modules, ScaledShape shape)
+CellPoint cell_point(ChannelCount channels, CycleCount depth, std::string label = "")
 {
-    return generate_soc(scaled_benchmark_config(name, modules, shape));
-}
-
-/// The first `module_count` modules of an ITC'02 SOC, renamed — the
-/// exact solver's module-count ceiling makes the full p-chips
-/// intractable, so the certify suite works their prefixes.
-Soc subset_soc(const std::string& name, const Soc& full, int module_count)
-{
-    std::vector<Module> modules(full.modules().begin(),
-                                full.modules().begin() + module_count);
-    return Soc(name, std::move(modules));
+    CellPoint point;
+    point.label = std::move(label);
+    point.cell.ate.channels = channels;
+    point.cell.ate.vector_memory_depth = depth;
+    return point;
 }
 
 SolutionFingerprint fingerprint_of(const Solution& solution)
@@ -182,31 +161,17 @@ bool BenchReport::all_ok() const noexcept
 
 std::vector<BenchCase> canonical_bench_cases(bool quick)
 {
-    std::vector<BenchCell> cells = {{"512x7M", 512, 7 * mebi}};
-    if (!quick) {
-        cells.push_back({"256x32M", 256, 32 * mebi});
-    }
-    const std::vector<BenchVariant> variants = bench_variants();
-
-    std::vector<BenchCase> cases;
+    // The ITC'02 product: four SOCs x cells x four variants.
+    ScenarioSpec itc;
+    itc.name = quick ? "quick" : "full";
     for (const char* soc_name : {"d695", "p22810", "p34392", "p93791"}) {
-        const std::shared_ptr<const Soc> soc =
-            std::make_shared<const Soc>(make_benchmark_soc(soc_name));
-        for (const BenchCell& cell : cells) {
-            for (const BenchVariant& variant : variants) {
-                BenchCase bench_case;
-                bench_case.name =
-                    std::string(soc_name) + "/" + cell.name + "/" + variant.name;
-                bench_case.soc_name = soc_name;
-                bench_case.variant = variant.name;
-                bench_case.soc = soc;
-                bench_case.cell.ate.channels = cell.channels;
-                bench_case.cell.ate.vector_memory_depth = cell.depth;
-                bench_case.options = variant.options;
-                cases.push_back(std::move(bench_case));
-            }
-        }
+        itc.socs.push_back(SocSource::by_spec(soc_name));
     }
+    itc.cells.push_back(cell_point(512, 7 * mebi));
+    if (!quick) {
+        itc.cells.push_back(cell_point(256, 32 * mebi));
+    }
+    itc.variants = bench_variants();
 
     // Generator-scaled SOCs: 10x up to 1000x the d695 module count,
     // probing how the pipeline scales with modules. The 300x/1000x
@@ -214,24 +179,23 @@ std::vector<BenchCase> canonical_bench_cases(bool quick)
     // narrow-deep, see ScaledShape) so both ends of the packing loop
     // are on the scaling record; the quick suite keeps one large-scale
     // scenario so CI smoke guards the asymptotics too.
-    const auto add_scaled = [&cases](const std::string& soc_name, int modules,
-                                     ScaledShape shape) {
-        BenchCase bench_case;
-        bench_case.name = soc_name + "/512x7M/plain";
-        bench_case.soc_name = soc_name;
-        bench_case.variant = "plain";
-        bench_case.soc = std::make_shared<const Soc>(scaled_soc(soc_name, modules, shape));
-        cases.push_back(std::move(bench_case));
-    };
-    add_scaled("gen10x", 100, ScaledShape::classic);
-    add_scaled("gen300x-deep", 3000, ScaledShape::narrow_deep);
+    ScenarioSpec scaled;
+    scaled.name = itc.name;
+    scaled.socs.push_back(SocSource::generated("gen10x", 100, ScaledShape::classic));
+    scaled.socs.push_back(SocSource::generated("gen300x-deep", 3000, ScaledShape::narrow_deep));
     if (!quick) {
-        add_scaled("gen100x", 1000, ScaledShape::classic);
-        add_scaled("gen300x-wide", 3000, ScaledShape::wide_shallow);
-        add_scaled("gen1000x-wide", 10000, ScaledShape::wide_shallow);
-        add_scaled("gen1000x-deep", 10000, ScaledShape::narrow_deep);
+        scaled.socs.push_back(SocSource::generated("gen100x", 1000, ScaledShape::classic));
+        scaled.socs.push_back(
+            SocSource::generated("gen300x-wide", 3000, ScaledShape::wide_shallow));
+        scaled.socs.push_back(
+            SocSource::generated("gen1000x-wide", 10000, ScaledShape::wide_shallow));
+        scaled.socs.push_back(
+            SocSource::generated("gen1000x-deep", 10000, ScaledShape::narrow_deep));
     }
-    return cases;
+    scaled.cells.push_back(cell_point(512, 7 * mebi));
+    scaled.variants.push_back({"plain", {}});
+
+    return expand_all({itc, scaled});
 }
 
 BenchReport run_bench(const std::vector<BenchCase>& cases, const BenchOptions& options)
@@ -269,47 +233,55 @@ BenchReport run_bench(const BenchOptions& options)
 
 std::vector<BenchCase> certify_bench_cases()
 {
-    std::vector<BenchCase> cases;
-    const auto add = [&cases](const std::string& soc_name, std::shared_ptr<const Soc> soc,
-                              const char* cell_name, CycleCount depth) {
-        BenchCase bench_case;
-        bench_case.name = soc_name + "/" + cell_name + "/exact";
-        bench_case.soc_name = soc_name;
-        bench_case.variant = "exact";
-        bench_case.soc = std::move(soc);
-        bench_case.cell.ate.channels = 512;
-        bench_case.cell.ate.vector_memory_depth = depth;
-        bench_case.options.exact = true;
-        cases.push_back(std::move(bench_case));
+    const OptionVariant exact = [] {
+        OptionVariant variant;
+        variant.label = "exact";
+        variant.options.exact = true;
+        return variant;
+    }();
+    // One spec per SOC because the suite is not a product: each SOC is
+    // paired with its own tight depths. At the stock 7M vectors one
+    // wire fits everything and every gap is trivially zero; near the
+    // packing floor the greedy has real decisions to get wrong, which
+    // is where a certifier earns its keep.
+    const auto single = [&exact](SocSource source, std::vector<CellPoint> cells) {
+        ScenarioSpec spec;
+        spec.name = "certify";
+        spec.socs.push_back(std::move(source));
+        spec.cells = std::move(cells);
+        spec.variants.push_back(exact);
+        return spec;
     };
 
-    // Depths are deliberately tight: at the stock 7M vectors one wire
-    // fits everything and every gap is trivially zero. Near the packing
-    // floor the greedy has real decisions to get wrong, which is where a
-    // certifier earns its keep.
-    const auto d695 = std::make_shared<const Soc>(make_benchmark_soc("d695"));
-    add("d695", d695, "512x30K", 30'000);
-    add("d695", d695, "512x12K", 12'000);
+    std::vector<ScenarioSpec> specs;
+    specs.push_back(single(SocSource::by_spec("d695"),
+                           {cell_point(512, 30'000, "512x30K"),
+                            cell_point(512, 12'000, "512x12K")}));
 
+    // 12-module prefixes of the big ITC'02 chips — the exact solver's
+    // module-count ceiling makes the full p-chips intractable.
     struct SubsetSpec {
         const char* soc;
         CycleCount depth;
         const char* cell_name;
     };
-    for (const SubsetSpec& spec : {SubsetSpec{"p22810", 180'000, "512x180K"},
-                                   SubsetSpec{"p34392", 550'000, "512x550K"},
-                                   SubsetSpec{"p93791", 400'000, "512x400K"}}) {
-        const std::string name = std::string(spec.soc) + "x12";
-        const auto soc =
-            std::make_shared<const Soc>(subset_soc(name, make_benchmark_soc(spec.soc), 12));
-        add(name, soc, spec.cell_name, spec.depth);
+    for (const SubsetSpec& subset : {SubsetSpec{"p22810", 180'000, "512x180K"},
+                                     SubsetSpec{"p34392", 550'000, "512x550K"},
+                                     SubsetSpec{"p93791", 400'000, "512x400K"}}) {
+        SocSource source = SocSource::by_spec(subset.soc, std::string(subset.soc) + "x12");
+        source.subset_modules = 12;
+        specs.push_back(single(std::move(source),
+                               {cell_point(512, subset.depth, subset.cell_name)}));
     }
 
     // Small generated SOCs: same generator the property tests draw from.
-    add("gen12a", std::make_shared<const Soc>(random_soc(17, 12)), "512x40K", 40'000);
-    add("gen12b", std::make_shared<const Soc>(random_soc(23, 12)), "512x58K", 58'000);
-    add("gen14", std::make_shared<const Soc>(random_soc(31, 14)), "512x35K", 35'000);
-    return cases;
+    specs.push_back(single(SocSource::random("gen12a", 17, 12),
+                           {cell_point(512, 40'000, "512x40K")}));
+    specs.push_back(single(SocSource::random("gen12b", 23, 12),
+                           {cell_point(512, 58'000, "512x58K")}));
+    specs.push_back(single(SocSource::random("gen14", 31, 14),
+                           {cell_point(512, 35'000, "512x35K")}));
+    return expand_all(specs);
 }
 
 BenchReport run_certify(const BenchOptions& options)

@@ -13,20 +13,16 @@
 #include "core/problem.hpp"
 #include "core/solution.hpp"
 #include "perf/stopwatch.hpp"
+#include "scenario/scenario_spec.hpp"
 #include "soc/soc.hpp"
 
 namespace mst {
 
 /// One named bench scenario: an SOC on a test cell under one option
-/// variant.
-struct BenchCase {
-    std::string name;     ///< e.g. "d695/512x7M/broadcast"
-    std::string soc_name; ///< "d695" ... or "gen10x"/"gen100x"/"gen1000x-deep"
-    std::string variant;  ///< "plain" | "broadcast" | "abort" | "retest"
-    std::shared_ptr<const Soc> soc;
-    TestCell cell;
-    OptimizeOptions options;
-};
+/// variant — the scenario layer's expansion unit, e.g.
+/// "d695/512x7M/broadcast". Both canonical suites below are built as
+/// ScenarioSpecs and expanded, like every other scenario surface.
+using BenchCase = Scenario;
 
 /// Compact solution identity: enough to detect any change in the chosen
 /// operating point across code versions and pipeline modes.

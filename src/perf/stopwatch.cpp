@@ -4,6 +4,26 @@
 
 namespace mst {
 
+Seconds TimingStats::percentile(const std::vector<Seconds>& sorted, double q)
+{
+    if (sorted.empty()) {
+        return 0;
+    }
+    if (q <= 0) {
+        return sorted.front();
+    }
+    if (q >= 1) {
+        return sorted.back();
+    }
+    const double rank = static_cast<double>(sorted.size() - 1) * q;
+    const auto below = static_cast<std::size_t>(rank);
+    const double fraction = rank - static_cast<double>(below);
+    if (below + 1 >= sorted.size() || fraction == 0) {
+        return sorted[below];
+    }
+    return sorted[below] + fraction * (sorted[below + 1] - sorted[below]);
+}
+
 TimingStats TimingStats::from_samples(std::vector<Seconds> samples)
 {
     TimingStats stats;
@@ -14,11 +34,9 @@ TimingStats TimingStats::from_samples(std::vector<Seconds> samples)
     stats.iterations = static_cast<int>(samples.size());
     stats.min = samples.front();
     stats.max = samples.back();
-
-    const std::size_t half = samples.size() / 2;
-    stats.p50 = (samples.size() % 2 == 1)
-                    ? samples[half]
-                    : 0.5 * (samples[half - 1] + samples[half]);
+    stats.p50 = percentile(samples, 0.50);
+    stats.p95 = percentile(samples, 0.95);
+    stats.p99 = percentile(samples, 0.99);
 
     Seconds total = 0;
     for (const Seconds sample : samples) {

@@ -28,17 +28,27 @@ private:
 
 /// Order statistics of repeated wall-time samples. The median (p50) is
 /// the headline number — robust against a cold first iteration — with
-/// min as the "best achievable" floor CI trend lines use.
+/// min as the "best achievable" floor CI trend lines use and p95/p99
+/// as the tail-latency numbers the sweep engine and CI gate watch.
 struct TimingStats {
     int iterations = 0;
     Seconds min = 0;
     Seconds p50 = 0;
+    Seconds p95 = 0;
+    Seconds p99 = 0;
     Seconds mean = 0;
     Seconds max = 0;
 
     /// Compute the stats from raw samples (order irrelevant; the vector
     /// is copied and sorted). Returns all-zero stats for no samples.
     [[nodiscard]] static TimingStats from_samples(std::vector<Seconds> samples);
+
+    /// Quantile q in [0, 1] of an ascending-sorted sample vector, with
+    /// linear interpolation between the two nearest order statistics
+    /// (rank h = (n-1)*q — the numpy/R type-7 default). Well defined
+    /// for any n >= 1: with one sample every quantile is that sample,
+    /// and p50 of an even count is the usual mid-pair average.
+    [[nodiscard]] static Seconds percentile(const std::vector<Seconds>& sorted, double q);
 };
 
 } // namespace mst

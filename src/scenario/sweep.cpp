@@ -1,0 +1,343 @@
+#include "scenario/sweep.hpp"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/optimizer.hpp"
+#include "report/solution_json.hpp"
+#include "scenario/sweep_records.hpp"
+
+namespace mst {
+
+namespace {
+
+std::string shard_path(const std::string& out_dir, int shard)
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "shard-%04d.msr", shard);
+    return out_dir + "/" + name;
+}
+
+/// The scenario indices of one round-robin shard, ascending.
+std::vector<std::uint32_t> shard_indices(std::size_t scenario_count, int shard, int shards)
+{
+    std::vector<std::uint32_t> indices;
+    for (std::size_t i = static_cast<std::size_t>(shard); i < scenario_count;
+         i += static_cast<std::size_t>(shards)) {
+        indices.push_back(static_cast<std::uint32_t>(i));
+    }
+    return indices;
+}
+
+/// A complete checkpoint is reusable only if every identity field
+/// matches the current run: same spec, same partition, same indices.
+bool checkpoint_matches(const ShardFile& file, int shard, int shards,
+                        std::uint64_t spec_fingerprint,
+                        const std::vector<std::uint32_t>& indices)
+{
+    if (!file.complete || file.shard != static_cast<std::uint32_t>(shard) ||
+        file.shard_count != static_cast<std::uint32_t>(shards) ||
+        file.spec_fingerprint != spec_fingerprint ||
+        file.records.size() != indices.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (file.records[i].index != indices[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+SweepRecord run_one(const Scenario& scenario, std::uint32_t index, int threads)
+{
+    SweepRecord record;
+    record.index = index;
+    OptimizeOptions options = scenario.options;
+    options.threads = threads;
+
+    Stopwatch stopwatch;
+    try {
+        const Solution solution = optimize_multi_site(*scenario.soc, scenario.cell, options);
+        record.ok = true;
+        record.sites = static_cast<std::uint32_t>(solution.sites);
+        record.channels_per_site = static_cast<std::uint32_t>(solution.channels_per_site);
+        record.test_cycles = static_cast<std::uint64_t>(solution.test_cycles);
+        record.devices_per_hour = solution.throughput.devices_per_hour;
+        record.pack_calls = static_cast<std::uint64_t>(solution.stats.packing.pack_calls);
+        record.pack_cache_hits =
+            static_cast<std::uint64_t>(solution.stats.packing.pack_cache_hits);
+        record.greedy_passes = static_cast<std::uint64_t>(solution.stats.packing.greedy_passes);
+        record.depth_profiles =
+            static_cast<std::uint64_t>(solution.stats.packing.depth_profiles);
+        record.pruned_packs = static_cast<std::uint64_t>(solution.stats.packing.pruned_packs);
+        record.site_points = static_cast<std::uint64_t>(solution.stats.site_points);
+    } catch (const InfeasibleError& error) {
+        record.error_kind = SweepErrorKind::infeasible;
+        record.error = error.what();
+    } catch (const ValidationError& error) {
+        record.error_kind = SweepErrorKind::validation;
+        record.error = error.what();
+    } catch (const std::exception& error) {
+        record.error_kind = SweepErrorKind::other;
+        record.error = error.what();
+    }
+    record.wall_ns = static_cast<std::uint64_t>(stopwatch.elapsed() * 1e9);
+    return record;
+}
+
+/// Execute one shard into its checkpoint file. Returns false when the
+/// abort_after_records test hook tripped mid-shard (the file is left
+/// without a trailer, exactly like a killed process would).
+bool run_shard(const std::vector<Scenario>& scenarios, const std::string& out_dir, int shard,
+               int shards, std::uint64_t spec_fingerprint, int threads,
+               std::size_t abort_after_records, std::size_t& written_total)
+{
+    const std::vector<std::uint32_t> indices = shard_indices(scenarios.size(), shard, shards);
+    ShardWriter writer(shard_path(out_dir, shard), static_cast<std::uint32_t>(shard),
+                       static_cast<std::uint32_t>(shards), spec_fingerprint,
+                       static_cast<std::uint32_t>(indices.size()));
+    for (const std::uint32_t index : indices) {
+        if (abort_after_records != 0 && written_total >= abort_after_records) {
+            return false;
+        }
+        writer.write(run_one(scenarios[index], index, threads));
+        ++written_total;
+    }
+    writer.finish();
+    return true;
+}
+
+std::string fixed_number(double value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.6g", value);
+    return buffer;
+}
+
+/// The deterministic merged report: scenario identities and results
+/// only. No wall times, shard geometry, or thread counts — see the
+/// determinism contract in sweep.hpp.
+void write_report(const std::string& path, const std::string& sweep_name,
+                  const std::vector<Scenario>& scenarios,
+                  const std::vector<SweepRecord>& by_index)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"mst.sweep\",\n";
+    out << "  \"schema_version\": 1,\n";
+    out << "  \"sweep\": \"" << json_escape(sweep_name) << "\",\n";
+    out << "  \"scenario_count\": " << scenarios.size() << ",\n";
+    out << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < by_index.size(); ++i) {
+        const SweepRecord& record = by_index[i];
+        out << "    { \"index\": " << record.index << ", \"name\": \""
+            << json_escape(scenarios[record.index].name) << "\", \"ok\": "
+            << (record.ok ? "true" : "false");
+        if (record.ok) {
+            out << ",\n      \"fingerprint\": { \"sites\": " << record.sites
+                << ", \"channels_per_site\": " << record.channels_per_site
+                << ", \"test_cycles\": " << record.test_cycles
+                << ", \"devices_per_hour\": " << fixed_number(record.devices_per_hour)
+                << " },\n";
+            out << "      \"optimizer_stats\": { \"pack_calls\": " << record.pack_calls
+                << ", \"pack_cache_hits\": " << record.pack_cache_hits
+                << ", \"greedy_passes\": " << record.greedy_passes
+                << ", \"depth_profiles\": " << record.depth_profiles
+                << ", \"pruned_packs\": " << record.pruned_packs
+                << ", \"site_points\": " << record.site_points << " } }";
+        } else {
+            out << ", \"error_kind\": \"" << sweep_error_kind_name(record.error_kind)
+                << "\", \"error\": \"" << json_escape(record.error) << "\" }";
+        }
+        out << (i + 1 < by_index.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n";
+    out << "}\n";
+
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file) {
+        throw ValidationError("cannot write sweep report: " + path);
+    }
+    file << out.str();
+    if (!file.flush()) {
+        throw ValidationError("sweep report write failed: " + path);
+    }
+}
+
+void ensure_directory(const std::string& path)
+{
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+        return;
+    }
+    throw ValidationError("cannot create sweep output directory " + path + ": " +
+                          std::strerror(errno));
+}
+
+TimingStats stats_over(const std::vector<SweepRecord>& records)
+{
+    std::vector<Seconds> samples;
+    samples.reserve(records.size());
+    for (const SweepRecord& record : records) {
+        samples.push_back(static_cast<Seconds>(record.wall_ns) * 1e-9);
+    }
+    return TimingStats::from_samples(std::move(samples));
+}
+
+} // namespace
+
+SweepOutcome run_sweep(const std::string& sweep_name, const std::vector<Scenario>& scenarios,
+                       const SweepOptions& options)
+{
+    if (scenarios.empty()) {
+        throw ValidationError("sweep has no scenarios");
+    }
+    if (options.out_dir.empty()) {
+        throw ValidationError("sweep output directory not set");
+    }
+    if (options.shards < 1) {
+        throw ValidationError("sweep shard count must be at least 1");
+    }
+    if (options.workers < 1) {
+        throw ValidationError("sweep worker count must be at least 1");
+    }
+    ensure_directory(options.out_dir);
+
+    // Never more shards than scenarios: empty shards would be pure
+    // bookkeeping noise and break the "one worker per pending shard"
+    // intuition.
+    const int shards =
+        std::min<int>(options.shards, static_cast<int>(scenarios.size()));
+    const std::uint64_t spec_fingerprint = scenario_list_fingerprint(scenarios);
+
+    SweepOutcome outcome;
+    outcome.scenario_count = scenarios.size();
+    outcome.report_path = options.out_dir + "/report.json";
+
+    // Phase 1: classify shards as complete checkpoints or pending work.
+    std::vector<int> pending;
+    std::vector<bool> resumed(static_cast<std::size_t>(shards), false);
+    for (int shard = 0; shard < shards; ++shard) {
+        const std::vector<std::uint32_t> indices =
+            shard_indices(scenarios.size(), shard, shards);
+        const std::string path = shard_path(options.out_dir, shard);
+        const std::optional<ShardFile> existing = read_shard_file(path);
+        if (existing && checkpoint_matches(*existing, shard, shards, spec_fingerprint, indices)) {
+            resumed[static_cast<std::size_t>(shard)] = true;
+            outcome.resumed += indices.size();
+            continue;
+        }
+        if (existing) {
+            // Partial or foreign checkpoint: recompute from scratch.
+            std::remove(path.c_str());
+        }
+        pending.push_back(shard);
+    }
+
+    // Phase 2: execute pending shards — inline, or fanned out across
+    // forked worker processes. Forking happens before this process has
+    // done any optimizer work, so no half-initialized executor pool is
+    // ever duplicated into a child.
+    const int workers = std::min<int>(options.workers, static_cast<int>(pending.size()));
+    if (workers > 1) {
+        std::vector<pid_t> children;
+        children.reserve(static_cast<std::size_t>(workers));
+        for (int worker = 0; worker < workers; ++worker) {
+            const pid_t pid = ::fork();
+            if (pid < 0) {
+                throw ValidationError("sweep worker fork failed");
+            }
+            if (pid == 0) {
+                int status = 0;
+                try {
+                    std::size_t written = 0;
+                    for (std::size_t i = static_cast<std::size_t>(worker); i < pending.size();
+                         i += static_cast<std::size_t>(workers)) {
+                        run_shard(scenarios, options.out_dir, pending[i], shards,
+                                  spec_fingerprint, options.threads, 0, written);
+                    }
+                } catch (const std::exception& error) {
+                    std::fprintf(stderr, "sweep worker %d: %s\n", worker, error.what());
+                    status = 1;
+                } catch (...) {
+                    status = 1;
+                }
+                // _exit, not exit: never flush the parent's inherited
+                // stdio buffers from a forked child.
+                ::_exit(status);
+            }
+            children.push_back(pid);
+        }
+        bool worker_failed = false;
+        for (const pid_t pid : children) {
+            int status = 0;
+            if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+                WEXITSTATUS(status) != 0) {
+                worker_failed = true;
+            }
+        }
+        if (worker_failed) {
+            throw ValidationError("a sweep worker process failed; rerun to resume");
+        }
+    } else {
+        std::size_t written = 0;
+        for (const int shard : pending) {
+            if (!run_shard(scenarios, options.out_dir, shard, shards, spec_fingerprint,
+                           options.threads, options.abort_after_records, written)) {
+                outcome.aborted = true;
+                outcome.executed = written;
+                return outcome;
+            }
+        }
+    }
+
+    // Phase 3: merge every shard checkpoint into the deterministic
+    // report, and fold wall times into the (non-deterministic) latency
+    // summaries.
+    std::vector<SweepRecord> by_index(scenarios.size());
+    std::vector<bool> seen(scenarios.size(), false);
+    for (int shard = 0; shard < shards; ++shard) {
+        const std::string path = shard_path(options.out_dir, shard);
+        const std::optional<ShardFile> file = read_shard_file(path);
+        const std::vector<std::uint32_t> indices =
+            shard_indices(scenarios.size(), shard, shards);
+        if (!file || !checkpoint_matches(*file, shard, shards, spec_fingerprint, indices)) {
+            throw ValidationError("sweep shard file missing or invalid after execution: " +
+                                  path);
+        }
+        ShardTiming timing;
+        timing.shard = shard;
+        timing.scenarios = static_cast<int>(file->records.size());
+        timing.resumed = resumed[static_cast<std::size_t>(shard)];
+        timing.wall = stats_over(file->records);
+        for (const SweepRecord& record : file->records) {
+            if (!record.ok) {
+                ++timing.failed;
+                ++outcome.failed;
+            }
+            seen[record.index] = true;
+            by_index[record.index] = record;
+        }
+        outcome.shards.push_back(std::move(timing));
+    }
+    if (std::find(seen.begin(), seen.end(), false) != seen.end()) {
+        throw ValidationError("sweep merge did not cover every scenario");
+    }
+    outcome.executed = scenarios.size() - outcome.resumed;
+    outcome.total_wall = stats_over(by_index);
+
+    write_report(outcome.report_path, sweep_name, scenarios, by_index);
+    return outcome;
+}
+
+} // namespace mst

@@ -1,0 +1,86 @@
+// Sharded, resumable sweep engine over an expanded ScenarioSpec — the
+// ROADMAP item-5 workhorse behind `mst sweep`.
+//
+// An expanded scenario list is partitioned round-robin into S shards
+// (scenario i lands in shard i % S). Each shard streams its results
+// into a compact binary checkpoint file (shard-NNNN.msr, format in
+// sweep_records.hpp); a shard whose file carries a valid trailer is
+// complete and a resumed run reuses it without recomputation. With
+// W > 1 workers the pending shards are split across W forked worker
+// processes (worker w runs shards with shard % W == w).
+//
+// Determinism contract: the merged report.json contains scenario
+// results only — name, solution fingerprint, optimizer work counters,
+// or the error — never wall times, shard indices, shard counts, or
+// thread counts. The report is therefore byte-identical across any
+// combination of shard count, worker count, thread count, and
+// kill/resume cycles of the same spec. Latency (per-shard and total
+// p50/p95/p99 over per-scenario wall times) is returned in the
+// SweepOutcome for the CLI to print, and is explicitly outside the
+// determinism contract.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "perf/stopwatch.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace mst {
+
+struct SweepOptions {
+    /// Directory for shard checkpoints and the final report.json;
+    /// created if missing. Required.
+    std::string out_dir;
+    int shards = 8;
+    /// Worker processes. 1 runs everything inline in the calling
+    /// process; W > 1 forks W children. Fork happens before the parent
+    /// does any optimizer work, so the lazily-started executor pool is
+    /// never cloned into a child.
+    int workers = 1;
+    /// Intra-scenario optimizer threads (OptimizeOptions::threads);
+    /// 0 = hardware concurrency.
+    int threads = 0;
+    /// Test hook: stop the run abruptly (no trailer, no report) after
+    /// this many records have been written by this invocation — a
+    /// deterministic stand-in for SIGKILL mid-shard. 0 = disabled.
+    /// Honored only by inline (workers <= 1) runs.
+    std::size_t abort_after_records = 0;
+};
+
+/// Latency summary of one shard (outside the determinism contract).
+struct ShardTiming {
+    int shard = 0;
+    int scenarios = 0;
+    int failed = 0;
+    /// True when the shard was reloaded from a complete checkpoint
+    /// instead of executed by this invocation.
+    bool resumed = false;
+    /// Percentiles over the shard's per-scenario optimize wall times.
+    TimingStats wall;
+};
+
+struct SweepOutcome {
+    std::size_t scenario_count = 0;
+    std::size_t executed = 0; ///< scenarios computed by this invocation
+    std::size_t resumed = 0;  ///< scenarios reloaded from checkpoints
+    std::size_t failed = 0;   ///< scenarios that ended in an error record
+    /// True when abort_after_records tripped: shard files up to the
+    /// abort point are on disk, no report was written.
+    bool aborted = false;
+    std::string report_path;
+    std::vector<ShardTiming> shards;
+    /// Percentiles over every scenario's wall time (resumed ones report
+    /// the wall time recorded when they originally ran).
+    TimingStats total_wall;
+};
+
+/// Run (or resume) a sweep. `sweep_name` is echoed into report.json.
+/// Throws ValidationError on unusable options, an unwritable out_dir,
+/// or a worker process that died abnormally.
+[[nodiscard]] SweepOutcome run_sweep(const std::string& sweep_name,
+                                     const std::vector<Scenario>& scenarios,
+                                     const SweepOptions& options);
+
+} // namespace mst

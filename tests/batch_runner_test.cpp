@@ -163,7 +163,7 @@ TEST(BatchRunner, ScenarioWithoutSocReportsValidationError)
 
 TEST(BatchRunner, EmptyBatchAndThreadClamping)
 {
-    EXPECT_TRUE(run_batch({}, 8).empty());
+    EXPECT_TRUE(run_batch(std::vector<BatchScenario>{}, 8).empty());
 
     const BatchRunner runner(16);
     EXPECT_EQ(runner.thread_count(3), 3);   // never more threads than jobs

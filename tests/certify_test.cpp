@@ -86,7 +86,7 @@ TEST(CertifyJson, ExactBlockIsSerialized)
     const BenchReport report = run_certify(options);
     ASSERT_TRUE(report.all_ok());
     const std::string json = bench_report_to_json(report);
-    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
     EXPECT_NE(json.find("\"exact\""), std::string::npos);
     EXPECT_NE(json.find("\"exact_gap\""), std::string::npos);
     EXPECT_NE(json.find("\"bnb_nodes\""), std::string::npos);

@@ -34,6 +34,52 @@ TEST(TimingStats, OrderStatisticsFromSamples)
     const TimingStats empty = TimingStats::from_samples({});
     EXPECT_EQ(empty.iterations, 0);
     EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+    EXPECT_DOUBLE_EQ(empty.p95, 0.0);
+    EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+}
+
+TEST(TimingStats, SingleSampleHasEqualPercentiles)
+{
+    const TimingStats one = TimingStats::from_samples({0.7});
+    EXPECT_EQ(one.iterations, 1);
+    EXPECT_DOUBLE_EQ(one.min, 0.7);
+    EXPECT_DOUBLE_EQ(one.p50, 0.7);
+    EXPECT_DOUBLE_EQ(one.p95, 0.7);
+    EXPECT_DOUBLE_EQ(one.p99, 0.7);
+    EXPECT_DOUBLE_EQ(one.max, 0.7);
+}
+
+TEST(TimingStats, AllEqualSamplesHaveFlatPercentiles)
+{
+    const TimingStats flat = TimingStats::from_samples({0.2, 0.2, 0.2, 0.2, 0.2});
+    EXPECT_DOUBLE_EQ(flat.p50, 0.2);
+    EXPECT_DOUBLE_EQ(flat.p95, 0.2);
+    EXPECT_DOUBLE_EQ(flat.p99, 0.2);
+}
+
+TEST(TimingStats, PercentileInterpolatesBetweenOrderStatistics)
+{
+    // Samples 1..100: rank h = (n-1)*q, linearly interpolated (the
+    // numpy/R type-7 convention). h(0.95) = 94.05, h(0.99) = 98.01.
+    std::vector<Seconds> samples;
+    for (int i = 1; i <= 100; ++i) {
+        samples.push_back(static_cast<Seconds>(i));
+    }
+    const TimingStats stats = TimingStats::from_samples(samples);
+    EXPECT_DOUBLE_EQ(stats.p50, 50.5);
+    EXPECT_DOUBLE_EQ(stats.p95, 95.05);
+    EXPECT_DOUBLE_EQ(stats.p99, 99.01);
+
+    std::sort(samples.begin(), samples.end());
+    EXPECT_DOUBLE_EQ(TimingStats::percentile(samples, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(TimingStats::percentile(samples, 1.0), 100.0);
+
+    // Small-N tails clamp to the extremes instead of extrapolating:
+    // with two samples p95 sits 90% of the way between them.
+    const TimingStats two = TimingStats::from_samples({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(two.p50, 1.5);
+    EXPECT_DOUBLE_EQ(two.p95, 1.95);
+    EXPECT_DOUBLE_EQ(two.p99, 1.99);
 }
 
 TEST(Stopwatch, MeasuresForwardTime)
@@ -162,11 +208,12 @@ TEST(BenchJson, SchemaSurfaceIsStable)
     const std::string json = bench_report_to_json(report);
 
     for (const char* key :
-         {"\"schema\": \"mst.bench\"", "\"schema_version\": 3", "\"suite\": \"custom\"",
+         {"\"schema\": \"mst.bench\"", "\"schema_version\": 4", "\"suite\": \"custom\"",
           "\"repetitions\": 1", "\"compared_baseline\": false", "\"threads\": 0",
           "\"total_seconds\":",
           "\"scenario_count\": 1", "\"scenarios\": [", "\"name\": \"d695/512x7M/plain\"",
           "\"ok\": true", "\"wall_seconds\":", "\"iterations\": 1", "\"min_s\":", "\"p50_s\":",
+          "\"p95_s\":", "\"p99_s\":",
           "\"mean_s\":", "\"max_s\":", "\"fingerprint\":", "\"sites\":",
           "\"channels_per_site\":", "\"test_cycles\":", "\"devices_per_hour\":",
           "\"optimizer_stats\":", "\"pack_calls\":", "\"pack_cache_hits\":",

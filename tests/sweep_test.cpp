@@ -1,0 +1,267 @@
+// Tests of the sharded, resumable sweep engine: checkpoint reuse, the
+// determinism contract (report bytes invariant across shard / worker /
+// thread counts and kill/resume cycles), and error capture.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "scenario/sweep.hpp"
+
+namespace mst {
+namespace {
+
+/// A self-cleaning sweep output directory under the system temp dir.
+class TempDir {
+public:
+    TempDir()
+    {
+        char path[] = "/tmp/mst_sweep_test_XXXXXX";
+        if (::mkdtemp(path) == nullptr) {
+            throw ValidationError("mkdtemp failed");
+        }
+        path_ = path;
+    }
+
+    ~TempDir()
+    {
+        // Best-effort cleanup of the files the sweep engine creates.
+        for (int shard = 0; shard < 64; ++shard) {
+            char name[32];
+            std::snprintf(name, sizeof name, "shard-%04d.msr", shard);
+            std::remove((path_ + "/" + name).c_str());
+        }
+        std::remove((path_ + "/report.json").c_str());
+        ::rmdir(path_.c_str());
+    }
+
+    TempDir(const TempDir&) = delete;
+    TempDir& operator=(const TempDir&) = delete;
+
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+std::string read_file(const std::string& path)
+{
+    std::ifstream file(path, std::ios::binary);
+    EXPECT_TRUE(file.is_open()) << path;
+    std::ostringstream out;
+    out << file.rdbuf();
+    return out.str();
+}
+
+bool file_exists(const std::string& path)
+{
+    return std::ifstream(path).is_open();
+}
+
+/// A small, fast workload: two random SOCs x two testers x two
+/// variants = 8 scenarios, including one infeasible grid point (2
+/// channels cannot carry any of these SOCs).
+std::vector<Scenario> small_scenarios()
+{
+    ScenarioSpec spec;
+    spec.name = "sweep-test";
+    spec.socs.push_back(SocSource::random("r17", 17, 10));
+    spec.socs.push_back(SocSource::random("r23", 23, 10));
+    CellPoint budget;
+    budget.label = "budget";
+    budget.cell.ate.channels = 128;
+    budget.cell.ate.vector_memory_depth = 100'000;
+    CellPoint tiny;
+    tiny.label = "tiny";
+    tiny.cell.ate.channels = 2;
+    tiny.cell.ate.vector_memory_depth = 10'000;
+    spec.cells = {budget, tiny};
+    spec.variants.push_back({"plain", {}});
+    OptionVariant broadcast;
+    broadcast.label = "broadcast";
+    broadcast.options.broadcast = BroadcastMode::stimuli;
+    spec.variants.push_back(broadcast);
+    return expand(spec);
+}
+
+SweepOptions options_for(const std::string& out_dir, int shards, int threads)
+{
+    SweepOptions options;
+    options.out_dir = out_dir;
+    options.shards = shards;
+    options.workers = 1;
+    options.threads = threads;
+    return options;
+}
+
+TEST(Sweep, WritesReportAndShardCheckpoints)
+{
+    const TempDir dir;
+    const std::vector<Scenario> scenarios = small_scenarios();
+    const SweepOutcome outcome =
+        run_sweep("sweep-test", scenarios, options_for(dir.path(), 4, 1));
+
+    EXPECT_EQ(outcome.scenario_count, 8u);
+    EXPECT_EQ(outcome.executed, 8u);
+    EXPECT_EQ(outcome.resumed, 0u);
+    EXPECT_FALSE(outcome.aborted);
+    ASSERT_EQ(outcome.shards.size(), 4u);
+    for (const ShardTiming& shard : outcome.shards) {
+        EXPECT_EQ(shard.scenarios, 2);
+        EXPECT_FALSE(shard.resumed);
+        EXPECT_LE(shard.wall.p50, shard.wall.p95);
+        EXPECT_LE(shard.wall.p95, shard.wall.p99);
+        EXPECT_LE(shard.wall.p99, shard.wall.max);
+    }
+    EXPECT_EQ(outcome.total_wall.iterations, 8);
+
+    EXPECT_TRUE(file_exists(outcome.report_path));
+    for (int shard = 0; shard < 4; ++shard) {
+        char name[32];
+        std::snprintf(name, sizeof name, "shard-%04d.msr", shard);
+        EXPECT_TRUE(file_exists(dir.path() + "/" + name));
+    }
+
+    // The infeasible grid points are captured as typed error records.
+    const std::string report = read_file(outcome.report_path);
+    EXPECT_EQ(outcome.failed, 4u); // 2 SOCs x "tiny" cell x 2 variants
+    EXPECT_NE(report.find("\"error_kind\": \"infeasible\""), std::string::npos);
+    EXPECT_NE(report.find("\"sweep\": \"sweep-test\""), std::string::npos);
+    // Nothing non-deterministic leaks into the report.
+    EXPECT_EQ(report.find("wall"), std::string::npos);
+    EXPECT_EQ(report.find("shard"), std::string::npos);
+}
+
+TEST(Sweep, ReportBytesInvariantAcrossShardAndThreadCounts)
+{
+    const std::vector<Scenario> scenarios = small_scenarios();
+
+    const TempDir reference_dir;
+    (void)run_sweep("sweep-test", scenarios, options_for(reference_dir.path(), 1, 1));
+    const std::string reference = read_file(reference_dir.path() + "/report.json");
+    ASSERT_FALSE(reference.empty());
+
+    struct Geometry {
+        int shards;
+        int threads;
+    };
+    for (const Geometry geometry : {Geometry{4, 1}, Geometry{3, 8}, Geometry{8, 0}}) {
+        const TempDir dir;
+        (void)run_sweep("sweep-test", scenarios,
+                        options_for(dir.path(), geometry.shards, geometry.threads));
+        EXPECT_EQ(reference, read_file(dir.path() + "/report.json"))
+            << "shards=" << geometry.shards << " threads=" << geometry.threads;
+    }
+}
+
+TEST(Sweep, CompletedShardsAreReusedWithoutRecomputation)
+{
+    const TempDir dir;
+    const std::vector<Scenario> scenarios = small_scenarios();
+    (void)run_sweep("sweep-test", scenarios, options_for(dir.path(), 4, 1));
+    const std::string first = read_file(dir.path() + "/report.json");
+
+    const SweepOutcome again =
+        run_sweep("sweep-test", scenarios, options_for(dir.path(), 4, 1));
+    EXPECT_EQ(again.executed, 0u);
+    EXPECT_EQ(again.resumed, 8u);
+    for (const ShardTiming& shard : again.shards) {
+        EXPECT_TRUE(shard.resumed);
+    }
+    EXPECT_EQ(first, read_file(dir.path() + "/report.json"));
+}
+
+TEST(Sweep, KilledRunResumesToByteIdenticalReport)
+{
+    const std::vector<Scenario> scenarios = small_scenarios();
+
+    const TempDir reference_dir;
+    (void)run_sweep("sweep-test", scenarios, options_for(reference_dir.path(), 4, 1));
+    const std::string reference = read_file(reference_dir.path() + "/report.json");
+
+    for (const int resume_threads : {1, 8}) {
+        const TempDir dir;
+        // Die after three records: shard 0 is complete (2 scenarios),
+        // shard 1 is mid-flight with one record and no trailer —
+        // exactly the on-disk state a SIGKILL leaves behind.
+        SweepOptions abort_options = options_for(dir.path(), 4, 1);
+        abort_options.abort_after_records = 3;
+        const SweepOutcome aborted =
+            run_sweep("sweep-test", scenarios, abort_options);
+        EXPECT_TRUE(aborted.aborted);
+        EXPECT_EQ(aborted.executed, 3u);
+        EXPECT_FALSE(file_exists(dir.path() + "/report.json"));
+        EXPECT_TRUE(file_exists(dir.path() + "/shard-0001.msr")); // partial
+
+        const SweepOutcome resumed =
+            run_sweep("sweep-test", scenarios, options_for(dir.path(), 4, resume_threads));
+        EXPECT_FALSE(resumed.aborted);
+        EXPECT_EQ(resumed.resumed, 2u); // shard 0 reused
+        EXPECT_EQ(resumed.executed, 6u); // partial shard 1 recomputed
+        EXPECT_EQ(reference, read_file(dir.path() + "/report.json"))
+            << "resume_threads=" << resume_threads;
+    }
+}
+
+TEST(Sweep, ForeignAndPartialCheckpointsAreRecomputed)
+{
+    const TempDir dir;
+    const std::vector<Scenario> scenarios = small_scenarios();
+    (void)run_sweep("sweep-test", scenarios, options_for(dir.path(), 4, 1));
+
+    // A different scenario list (different fingerprint) must not reuse
+    // any of the checkpoints left by the previous spec.
+    ScenarioSpec other;
+    other.name = "other";
+    other.socs.push_back(SocSource::random("r31", 31, 10));
+    CellPoint cell;
+    cell.cell.ate.channels = 128;
+    cell.cell.ate.vector_memory_depth = 100'000;
+    other.cells = {cell};
+    other.variants.push_back({"plain", {}});
+    const std::vector<Scenario> other_scenarios = expand(other);
+
+    const SweepOutcome outcome =
+        run_sweep("other", other_scenarios, options_for(dir.path(), 4, 1));
+    EXPECT_EQ(outcome.resumed, 0u);
+    EXPECT_EQ(outcome.executed, other_scenarios.size());
+
+    // Truncating a completed checkpoint (stripping its trailer) turns
+    // it back into pending work instead of poisoning the merge.
+    {
+        std::ifstream in(dir.path() + "/shard-0000.msr", std::ios::binary);
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        const std::string content = bytes.str();
+        std::ofstream out(dir.path() + "/shard-0000.msr",
+                          std::ios::binary | std::ios::trunc);
+        out << content.substr(0, content.size() / 2);
+    }
+    const std::string before = read_file(dir.path() + "/report.json");
+    const SweepOutcome repaired =
+        run_sweep("other", other_scenarios, options_for(dir.path(), 4, 1));
+    EXPECT_GT(repaired.executed, 0u);
+    EXPECT_EQ(before, read_file(dir.path() + "/report.json"));
+}
+
+TEST(Sweep, RejectsUnusableOptions)
+{
+    const std::vector<Scenario> scenarios = small_scenarios();
+    EXPECT_THROW((void)run_sweep("s", {}, options_for("/tmp", 1, 1)), ValidationError);
+
+    SweepOptions no_dir;
+    EXPECT_THROW((void)run_sweep("s", scenarios, no_dir), ValidationError);
+
+    SweepOptions bad_shards = options_for("/tmp", 0, 1);
+    EXPECT_THROW((void)run_sweep("s", scenarios, bad_shards), ValidationError);
+}
+
+} // namespace
+} // namespace mst

@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
-"""Compare two mst.bench JSON reports: fingerprints and p50 timings.
+"""Compare two mst.bench JSON reports: fingerprints, p50 and p99 timings.
 
 Usage: tools/bench_diff.py BASELINE.json NEW.json [options]
 
-  --threshold X        p50 regression ratio that fails the diff
-                       (default 1.25; new_p50 > X * baseline_p50)
+  --threshold X        regression ratio that fails the diff, applied to
+                       p50 AND p99 alike (default 1.25; the tail gets
+                       gated with the same teeth as the median). p95/p99
+                       columns appear when both reports carry them
+                       (schema v4+); diffing against an older v3
+                       baseline gates p50 only.
   --advisory-timings   print timing deltas but never fail on them
                        (for shared CI runners whose clocks are noisy;
                        fingerprints stay strict — integer keys exact,
@@ -93,6 +97,13 @@ def load_report(path):
     return scenarios
 
 
+def tail_value(case, key):
+    """Optional timing key: None when the report predates schema v4."""
+    timing = case.get("wall_seconds")
+    value = timing.get(key) if isinstance(timing, dict) else None
+    return value if isinstance(value, (int, float)) else None
+
+
 def scenario_field(path, name, case, *keys):
     """Walk nested keys with a clean diagnostic instead of a KeyError."""
     value = case
@@ -127,11 +138,12 @@ def main():
     compared = 0
     width = max(len(name) for name in shared)
     if args.markdown:
-        print("| scenario | base p50 | new p50 | speedup | fingerprint |")
-        print("|---|---:|---:|---:|---|")
+        print("| scenario | base p50 | new p50 | speedup | base p99 | new p99 | "
+              "p99 ratio | fingerprint |")
+        print("|---|---:|---:|---:|---:|---:|---:|---|")
     else:
         print(f"{'scenario':{width}}  {'base p50':>10}  {'new p50':>10}  {'ratio':>7}  "
-              "fingerprint")
+              f"{'base p99':>10}  {'new p99':>10}  {'p99 rat':>7}  fingerprint")
     for name in shared:
         old_case, new_case = baseline[name], new[name]
         if not old_case.get("ok"):
@@ -161,14 +173,32 @@ def main():
         new_p50 = scenario_field(args.new, name, new_case, "wall_seconds", "p50_s")
         ratio = new_p50 / old_p50 if old_p50 > 0 else float("inf")
         if ratio > args.threshold:
-            regressions.append((name, ratio))
+            regressions.append((name, "p50", ratio))
+        # Tail gate: same threshold and exit code as p50. Only when both
+        # reports carry percentiles (a v3 baseline has none).
+        old_p99, new_p99 = tail_value(old_case, "p99_s"), tail_value(new_case, "p99_s")
+        p99_ratio = None
+        if old_p99 is not None and new_p99 is not None:
+            p99_ratio = new_p99 / old_p99 if old_p99 > 0 else float("inf")
+            if p99_ratio > args.threshold:
+                regressions.append((name, "p99", p99_ratio))
         if args.markdown:
             speedup = old_p50 / new_p50 if new_p50 > 0 else float("inf")
+            if p99_ratio is None:
+                p99_cells = "— | — | —"
+            else:
+                p99_cells = (f"{old_p99 * 1e3:.3f} ms | {new_p99 * 1e3:.3f} ms | "
+                             f"{p99_ratio:.2f}x")
             print(f"| {name} | {old_p50 * 1e3:.3f} ms | {new_p50 * 1e3:.3f} ms | "
-                  f"{speedup:.2f}x | {'ok' if fp_ok else '**MISMATCH**'} |")
+                  f"{speedup:.2f}x | {p99_cells} | {'ok' if fp_ok else '**MISMATCH**'} |")
         else:
+            if p99_ratio is None:
+                p99_cells = f"{'—':>10}  {'—':>10}  {'—':>7}"
+            else:
+                p99_cells = (f"{old_p99 * 1e3:9.3f}ms  {new_p99 * 1e3:9.3f}ms  "
+                             f"{p99_ratio:6.2f}x")
             print(f"{name:{width}}  {old_p50 * 1e3:9.3f}ms  {new_p50 * 1e3:9.3f}ms  "
-                  f"{ratio:6.2f}x  {'ok' if fp_ok else 'MISMATCH'}")
+                  f"{ratio:6.2f}x  {p99_cells}  {'ok' if fp_ok else 'MISMATCH'}")
 
     only_old = sorted(set(baseline) - set(new))
     only_new = sorted(set(new) - set(baseline))
@@ -186,9 +216,9 @@ def main():
               f"{', '.join(mismatches[:5])}", file=sys.stderr)
         sys.exit(2)
     if regressions:
-        worst = max(regressions, key=lambda r: r[1])
-        message = (f"{len(regressions)} scenario(s) beyond {args.threshold}x "
-                   f"(worst: {worst[0]} at {worst[1]:.2f}x)")
+        worst = max(regressions, key=lambda r: r[2])
+        message = (f"{len(regressions)} timing regression(s) beyond {args.threshold}x "
+                   f"(worst: {worst[0]} {worst[1]} at {worst[2]:.2f}x)")
         if args.advisory_timings:
             print(f"ADVISORY: {message}")
         else:

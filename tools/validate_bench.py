@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a BENCH JSON file against the mst.bench v3 schema.
+"""Validate a BENCH JSON file against the mst.bench v4 schema.
 
 Usage: tools/validate_bench.py BENCH_optimizer.json
 
@@ -13,9 +13,11 @@ import json
 import sys
 
 SCHEMA_NAME = "mst.bench"
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
+# v4: timing blocks carry tail percentiles p95_s/p99_s next to p50_s.
 TIMING_KEYS = {"iterations": int, "min_s": (int, float), "p50_s": (int, float),
+               "p95_s": (int, float), "p99_s": (int, float),
                "mean_s": (int, float), "max_s": (int, float)}
 FINGERPRINT_KEYS = {"sites": int, "channels_per_site": int, "test_cycles": int,
                     "devices_per_hour": (int, float)}
@@ -54,8 +56,9 @@ def check_timing(obj, key, where):
     block = check_block(obj, key, TIMING_KEYS, where)
     if block["iterations"] < 1:
         fail(f"{where}.{key}: iterations must be >= 1")
-    if not (0 <= block["min_s"] <= block["p50_s"] <= block["max_s"]):
-        fail(f"{where}.{key}: expected min_s <= p50_s <= max_s")
+    if not (0 <= block["min_s"] <= block["p50_s"] <= block["p95_s"]
+            <= block["p99_s"] <= block["max_s"]):
+        fail(f"{where}.{key}: expected min_s <= p50_s <= p95_s <= p99_s <= max_s")
 
 
 def check_scenario(scenario, index):
