@@ -15,6 +15,7 @@
 // duplicate flags and malformed numeric values are hard errors, never
 // silently ignored or truncated.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -27,6 +28,7 @@
 #include "batch/batch_runner.hpp"
 #include "cli/flags.hpp"
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 #include "common/format.hpp"
 #include "core/optimizer.hpp"
 #include "core/step1.hpp"
@@ -82,6 +84,18 @@ const std::vector<FlagSpec> server_flags = {
     {"queue", true},           {"conn-queue", true},      {"idle-timeout-ms", true},
     {"read-timeout-ms", true}, {"write-timeout-ms", true}, {"max-frame-bytes", true},
 };
+
+/// --fault-plan wins over the MST_FAULT_PLAN environment variable (the
+/// env plan, if any, was installed before dispatch; re-installing here
+/// replaces it wholesale). Same strict parser either way: a typo is a
+/// hard error with a nearest-match suggestion, never an inert plan.
+void install_fault_plan_flag(const Flags& flags)
+{
+    const std::string plan = flag_or(flags, "fault-plan", "");
+    if (!plan.empty()) {
+        fault::install_plan(fault::parse_plan(plan));
+    }
+}
 
 Soc load_soc_argument(const Flags& flags)
 {
@@ -332,6 +346,12 @@ int cmd_sweep(const Flags& flags)
     options.shards = parse_int_flag("shards", flag_or(flags, "shards", "8"));
     options.workers = parse_int_flag("workers", flag_or(flags, "workers", "1"));
     options.threads = parse_int_flag("threads", flag_or(flags, "threads", "0"));
+    options.max_restarts =
+        parse_int_flag("max-restarts", flag_or(flags, "max-restarts", "3"));
+    options.backoff_base_ms = parse_int_flag("backoff-ms", flag_or(flags, "backoff-ms", "100"));
+    options.hang_timeout_ms =
+        parse_int_flag("hang-timeout-ms", flag_or(flags, "hang-timeout-ms", "30000"));
+    install_fault_plan_flag(flags);
 
     const SweepOutcome outcome = run_sweep(spec.name, scenarios, options);
 
@@ -342,7 +362,13 @@ int cmd_sweep(const Flags& flags)
                   << json_escape(spec.name) << "\", \"scenarios\": " << outcome.scenario_count
                   << ", \"executed\": " << outcome.executed
                   << ", \"resumed\": " << outcome.resumed
-                  << ", \"failed\": " << outcome.failed << ", \"report\": \""
+                  << ", \"failed\": " << outcome.failed
+                  << ", \"worker_failures\": " << outcome.worker_failures
+                  << ", \"restarts\": " << outcome.restarts << ", \"quarantined\": [";
+        for (std::size_t i = 0; i < outcome.quarantined.size(); ++i) {
+            std::cout << (i == 0 ? "" : ", ") << outcome.quarantined[i];
+        }
+        std::cout << "], \"report\": \""
                   << json_escape(outcome.report_path) << "\", \"wall\": { \"p50_s\": "
                   << outcome.total_wall.p50 << ", \"p95_s\": " << outcome.total_wall.p95
                   << ", \"p99_s\": " << outcome.total_wall.p99 << " } }\n";
@@ -364,8 +390,20 @@ int cmd_sweep(const Flags& flags)
     }
     std::cout << "), total p50/p95/p99 " << format_seconds(outcome.total_wall.p50) << "/"
               << format_seconds(outcome.total_wall.p95) << "/"
-              << format_seconds(outcome.total_wall.p99) << "\nwrote " << outcome.report_path
-              << '\n';
+              << format_seconds(outcome.total_wall.p99) << '\n';
+    if (outcome.worker_failures != 0 || outcome.restarts != 0 ||
+        !outcome.quarantined.empty()) {
+        std::cout << "supervision: " << outcome.worker_failures << " worker failures, "
+                  << outcome.restarts << " restarts";
+        if (!outcome.quarantined.empty()) {
+            std::cout << ", quarantined scenarios:";
+            for (const std::uint32_t index : outcome.quarantined) {
+                std::cout << ' ' << index;
+            }
+        }
+        std::cout << '\n';
+    }
+    std::cout << "wrote " << outcome.report_path << '\n';
     return 0;
 }
 
@@ -389,6 +427,7 @@ ServiceConfig service_config_from_flags(const Flags& flags)
 /// control, and graceful shutdown). Caches live for the whole session.
 int cmd_serve(const Flags& flags)
 {
+    install_fault_plan_flag(flags);
     const std::string listen = flag_or(flags, "listen", "");
     if (listen.empty()) {
         for (const FlagSpec& spec : server_flags) {
@@ -432,13 +471,20 @@ int cmd_serve(const Flags& flags)
     const std::string port_file = flag_or(flags, "port-file", "");
     if (!port_file.empty()) {
         // Written after bind so a port-0 request records the kernel pick;
-        // scripts can poll for this file instead of parsing stderr.
-        std::ofstream out(port_file);
-        if (!out) {
-            server.stop();
-            throw ValidationError("cannot open '" + port_file + "' for writing");
-        }
+        // scripts can poll for this file instead of parsing stderr. The
+        // temp-then-rename dance makes the appearance atomic: a polling
+        // reader sees either no file or the complete endpoint, never a
+        // partial write.
+        const std::string tmp = port_file + ".tmp";
+        std::ofstream out(tmp);
         out << bound.to_string() << '\n';
+        out.flush();
+        out.close();
+        if (!out || std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+            std::remove(tmp.c_str());
+            server.stop();
+            throw ValidationError("cannot write '" + port_file + "'");
+        }
     }
     std::cerr << "mst serve: listening on " << bound.to_string() << " (protocol v"
               << protocol::version << "); SIGTERM drains and exits\n";
@@ -709,23 +755,30 @@ int cmd_help()
         "           [--threads N] [optimize flags] [--json]\n"
         "           (cross product of comma-separated lists, run in parallel)\n"
         "  sweep    --spec <file> --out <dir> [--shards N] [--workers N]\n"
-        "           [--threads N] [--list] [--json]\n"
+        "           [--threads N] [--list] [--json] [--max-restarts N]\n"
+        "           [--backoff-ms N] [--hang-timeout-ms N] [--fault-plan P]\n"
         "           (sharded, resumable scenario sweep from a declarative spec\n"
         "            file; completed shards checkpoint to <dir>/shard-*.msr and\n"
         "            a rerun resumes instead of recomputing — the final\n"
         "            report.json is byte-identical to an uninterrupted run at\n"
-        "            any shard/worker/thread count. --list previews the\n"
-        "            expansion; see docs/sweep.md for the spec format)\n"
+        "            any shard/worker/thread count. Crashed or hung workers\n"
+        "            are restarted with capped backoff; a scenario that keeps\n"
+        "            killing its worker is quarantined after --max-restarts\n"
+        "            consecutive failures. --list previews the expansion; see\n"
+        "            docs/sweep.md and docs/robustness.md)\n"
         "  serve    [--threads N] [--tables-cache N] [--memo N]\n"
         "           [--listen host:port] [--port-file F] [--max-connections N]\n"
         "           [--queue N] [--conn-queue N] [--idle-timeout-ms N]\n"
         "           [--read-timeout-ms N] [--write-timeout-ms N]\n"
-        "           [--max-frame-bytes N]\n"
+        "           [--max-frame-bytes N] [--fault-plan P]\n"
         "           (persistent request loop: one JSON request per line, one\n"
         "            JSON response per line; SOC time tables and solutions are\n"
         "            cached across requests. --listen serves the same protocol\n"
         "            over TCP: streaming or ordered responses, bounded request\n"
-        "            queues, graceful SIGTERM drain; see docs/protocol.md)\n"
+        "            queues, graceful SIGTERM drain; see docs/protocol.md.\n"
+        "            exhausted accepts shed an idle connection and back off;\n"
+        "            memoized answers are still served while the admission\n"
+        "            queue refuses new optimize work)\n"
         "  replay   <file> [--threads N] [--tables-cache N] [--memo N]\n"
         "           (run a JSON-lines request file concurrently; responses\n"
         "            print in request order at any thread count)\n"
@@ -746,7 +799,9 @@ int cmd_help()
         "  help\n"
         "\n"
         "benchmark SOCs: d695 p22810 p34392 p93791 pnx8550\n"
-        "request schema: protocol v1, see docs/protocol.md and README.md\n";
+        "request schema: protocol v1, see docs/protocol.md and README.md\n"
+        "fault injection: --fault-plan / MST_FAULT_PLAN \"point:action@N[*R][=ERR]\"\n"
+        "                 (deterministic test-only failures; docs/robustness.md)\n";
     return 0;
 }
 
@@ -755,6 +810,18 @@ int cmd_help()
 int main(int argc, char** argv)
 {
     try {
+        // Process-wide fault plan from the environment (--fault-plan on
+        // sweep/serve replaces it). Installed before dispatch so every
+        // instrumented code path, whichever subcommand reaches it, sees
+        // the same armed plan (docs/robustness.md).
+        if (const char* env = std::getenv("MST_FAULT_PLAN");
+            env != nullptr && *env != '\0') {
+            mst::fault::install_plan(mst::fault::parse_plan(env));
+        }
+        if (const char* env = std::getenv("MST_FAULT_ATTEMPT");
+            env != nullptr && *env != '\0') {
+            mst::fault::set_attempt(std::atoi(env));
+        }
         if (argc < 2) {
             return cmd_help();
         }
@@ -780,10 +847,14 @@ int main(int argc, char** argv)
             return cmd_sweep(cli::parse_flags(
                 args, command,
                 {{"spec", true}, {"out", true}, {"shards", true}, {"workers", true},
-                 {"threads", true}, {"list", false}, {"json", false}}));
+                 {"threads", true}, {"list", false}, {"json", false},
+                 {"max-restarts", true}, {"backoff-ms", true}, {"hang-timeout-ms", true},
+                 {"fault-plan", true}}));
         }
         if (command == "serve") {
-            return cmd_serve(cli::parse_flags(args, command, service_flags + server_flags));
+            return cmd_serve(cli::parse_flags(
+                args, command,
+                std::vector<FlagSpec>{{"fault-plan", true}} + service_flags + server_flags));
         }
         if (command == "replay") {
             if (args.empty() || args.front().rfind("--", 0) == 0) {

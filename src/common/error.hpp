@@ -9,6 +9,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
 namespace mst {
 
@@ -36,6 +37,22 @@ private:
 class ValidationError : public Error {
 public:
     explicit ValidationError(const std::string& message) : Error(message) {}
+};
+
+/// A sweep shard checkpoint could not be persisted (disk full, torn
+/// write, injected fault). Carries the failing std::errc so supervisors
+/// can distinguish retriable I/O exhaustion from programming errors.
+class CheckpointWriteError : public Error {
+public:
+    CheckpointWriteError(const std::string& message, std::errc code)
+        : Error(message), code_(code)
+    {
+    }
+
+    [[nodiscard]] std::errc code() const noexcept { return code_; }
+
+private:
+    std::errc code_;
 };
 
 /// The optimization problem has no solution on the given ATE: some module

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -13,6 +14,8 @@
 #include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
+
+#include "common/faultpoint.hpp"
 
 namespace mst::net {
 
@@ -191,6 +194,11 @@ void Socket::shutdown_write() const
     (void)::shutdown(fd_, SHUT_WR);
 }
 
+void Socket::shutdown_both() const
+{
+    (void)::shutdown(fd_, SHUT_RDWR);
+}
+
 void Socket::close() noexcept
 {
     if (fd_ >= 0) {
@@ -257,18 +265,57 @@ Endpoint Listener::local_endpoint() const
     return endpoint_of(storage);
 }
 
-std::optional<Socket> Listener::accept(int timeout_ms) const
+AcceptResult Listener::accept(int timeout_ms) const
 {
-    if (fd_ < 0 || !poll_one(fd_, POLLIN, timeout_ms)) {
-        return std::nullopt;
+    AcceptResult result;
+    if (fd_ < 0) {
+        result.status = AcceptResult::Status::closed;
+        return result;
+    }
+    if (!poll_one(fd_, POLLIN, timeout_ms)) {
+        return result; // timeout
+    }
+    // Probe only once a connection is actually ready: the fault fires on
+    // the Nth arriving connection, not the Nth poll timeout, so injected
+    // plans are independent of accept-loop timing.
+    if (const std::errc fault = MST_FAULTPOINT("net.accept"); fault != std::errc{}) {
+        result.status = AcceptResult::Status::exhausted;
+        result.error = static_cast<int>(fault);
+        return result;
     }
     const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
-        return std::nullopt; // closed concurrently, or transient (ECONNABORTED)
+        switch (errno) {
+        case EINTR:
+        case ECONNABORTED:
+#ifdef EPROTO
+        case EPROTO:
+#endif
+        case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+        case EWOULDBLOCK:
+#endif
+            result.status = AcceptResult::Status::transient;
+            break;
+        case EBADF:
+        case EINVAL:
+            result.status = AcceptResult::Status::closed;
+            break;
+        default:
+            // EMFILE/ENFILE/ENOBUFS/ENOMEM and anything unexpected:
+            // resource exhaustion semantics (shed + back off) never
+            // spin hot and never kill the server.
+            result.status = AcceptResult::Status::exhausted;
+            break;
+        }
+        result.error = errno;
+        return result;
     }
     int enable = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
-    return Socket(fd);
+    result.status = AcceptResult::Status::accepted;
+    result.socket = Socket(fd);
+    return result;
 }
 
 void Listener::close() noexcept
@@ -292,7 +339,24 @@ Socket connect(const Endpoint& endpoint, int timeout_ms)
         if (fd < 0) {
             continue;
         }
-        if (::connect(fd, address->ai_addr, address->ai_addrlen) == 0) {
+        int rc = ::connect(fd, address->ai_addr, address->ai_addrlen);
+        if (rc != 0 && errno == EINTR) {
+            // EINTR on a blocking connect does NOT abort the attempt —
+            // the handshake continues in the background. Retrying
+            // connect() here would be wrong (EALREADY/EISCONN races);
+            // the portable recovery is to wait for writability and read
+            // the final status from SO_ERROR.
+            (void)poll_one(fd, POLLOUT, timeout_ms);
+            int so_error = 0;
+            socklen_t length = sizeof so_error;
+            if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &length) == 0 &&
+                so_error == 0) {
+                rc = 0;
+            } else {
+                errno = so_error != 0 ? so_error : ETIMEDOUT;
+            }
+        }
+        if (rc == 0) {
             break;
         }
         error += std::string(": ") + std::strerror(errno);

@@ -72,10 +72,36 @@ public:
     /// Half-close: no more writes, reads still drain (client side).
     void shutdown_write() const;
 
+    /// Full shutdown: wakes a thread blocked in poll/read on this
+    /// socket (it sees EOF) without closing the descriptor, so the
+    /// owning thread can still run its normal teardown. Used to shed
+    /// idle connections under fd exhaustion.
+    void shutdown_both() const;
+
     void close() noexcept;
 
 private:
     int fd_ = -1;
+};
+
+/// Outcome of one Listener::accept call. Transient failures are split
+/// from resource exhaustion so the server can react differently:
+/// transient errors (ECONNABORTED, EINTR, EPROTO) just mean "try
+/// again"; exhaustion (EMFILE, ENFILE, ENOBUFS, ENOMEM — and anything
+/// unclassified, so an unexpected errno backs off instead of spinning
+/// or dying) calls for shedding + backoff.
+struct AcceptResult {
+    enum class Status {
+        accepted,  ///< `socket` holds the new connection
+        timeout,   ///< nothing arrived within timeout_ms
+        transient, ///< harmless race (peer vanished mid-handshake); retry now
+        exhausted, ///< out of fds/buffers; shed + back off, `error` has errno
+        closed,    ///< the listener was closed concurrently
+    };
+
+    Status status = Status::timeout;
+    Socket socket;
+    int error = 0;
 };
 
 /// A listening TCP socket. Move-only; closes on destruction.
@@ -97,8 +123,11 @@ public:
     [[nodiscard]] Endpoint local_endpoint() const;
 
     /// Accept one connection, waiting at most timeout_ms (< 0: forever).
-    /// nullopt on timeout or when the listener was closed concurrently.
-    [[nodiscard]] std::optional<Socket> accept(int timeout_ms) const;
+    /// Never throws: every errno is classified into AcceptResult::Status
+    /// (probed by the `net.accept` fault point once a connection is
+    /// actually ready, so injected EMFILE exercises the shed path
+    /// deterministically).
+    [[nodiscard]] AcceptResult accept(int timeout_ms) const;
 
     [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
 

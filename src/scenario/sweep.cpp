@@ -1,5 +1,6 @@
 #include "scenario/sweep.hpp"
 
+#include <signal.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -7,12 +8,19 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <optional>
+#include <set>
 #include <sstream>
+#include <system_error>
+#include <thread>
 
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 #include "core/optimizer.hpp"
 #include "report/solution_json.hpp"
 #include "scenario/sweep_records.hpp"
@@ -96,12 +104,31 @@ SweepRecord run_one(const Scenario& scenario, std::uint32_t index, int threads)
     return record;
 }
 
-/// Execute one shard into its checkpoint file. Returns false when the
-/// abort_after_records test hook tripped mid-shard (the file is left
-/// without a trailer, exactly like a killed process would).
+/// The canonical record for a quarantined scenario. Fixed text, no
+/// counts or wall-clock detail: quarantined entries must be
+/// byte-identical across runs that quarantine the same scenario.
+SweepRecord quarantine_record(std::uint32_t index)
+{
+    SweepRecord record;
+    record.index = index;
+    record.ok = false;
+    record.error_kind = SweepErrorKind::worker_crash;
+    record.error = "scenario quarantined after repeated worker crashes";
+    return record;
+}
+
+/// Execute one shard into its checkpoint file. Scenarios in
+/// `quarantined` are recorded as worker_crash errors instead of
+/// running; every executed scenario is preceded by a heartbeat carrying
+/// `attempt`. Returns false when the abort_after_records test hook
+/// tripped mid-shard (the file is left without a trailer, exactly like
+/// a killed process would). `current` tracks the scenario in flight so
+/// an inline caller can identify the poison after a thrown
+/// checkpoint-write failure.
 bool run_shard(const std::vector<Scenario>& scenarios, const std::string& out_dir, int shard,
-               int shards, std::uint64_t spec_fingerprint, int threads,
-               std::size_t abort_after_records, std::size_t& written_total)
+               int shards, std::uint64_t spec_fingerprint, int threads, std::uint32_t attempt,
+               const std::set<std::uint32_t>& quarantined, std::size_t abort_after_records,
+               std::size_t& written_total, std::optional<std::uint32_t>* current = nullptr)
 {
     const std::vector<std::uint32_t> indices = shard_indices(scenarios.size(), shard, shards);
     ShardWriter writer(shard_path(out_dir, shard), static_cast<std::uint32_t>(shard),
@@ -111,11 +138,65 @@ bool run_shard(const std::vector<Scenario>& scenarios, const std::string& out_di
         if (abort_after_records != 0 && written_total >= abort_after_records) {
             return false;
         }
+        if (current != nullptr) {
+            *current = index;
+        }
+        if (quarantined.count(index) != 0) {
+            writer.write(quarantine_record(index));
+            ++written_total;
+            continue;
+        }
+        writer.heartbeat(index, attempt);
+        if (const std::errc fault = MST_FAULTPOINT("sweep.scenario"); fault != std::errc{}) {
+            SweepRecord record;
+            record.index = index;
+            record.ok = false;
+            record.error_kind = SweepErrorKind::other;
+            record.error = "injected scenario fault: " + std::make_error_code(fault).message();
+            writer.write(record);
+            ++written_total;
+            continue;
+        }
         writer.write(run_one(scenarios[index], index, threads));
         ++written_total;
     }
     writer.finish();
     return true;
+}
+
+/// EINTR-correct waitpid: a stray signal must not make the supervisor
+/// misread a healthy worker as dead.
+pid_t waitpid_retry(pid_t pid, int* status, int flags)
+{
+    for (;;) {
+        const pid_t result = ::waitpid(pid, status, flags);
+        if (result >= 0 || errno != EINTR) {
+            return result;
+        }
+    }
+}
+
+std::uint64_t file_size_of(const std::string& path)
+{
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) {
+        return 0;
+    }
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+/// Restart backoff for retry `retries`: capped exponential, derived
+/// from the retry count only (deterministic schedule; only the real
+/// elapsed time varies).
+std::chrono::milliseconds backoff_delay(const SweepOptions& options, int retries)
+{
+    if (options.backoff_base_ms <= 0) {
+        return std::chrono::milliseconds(0);
+    }
+    const int shift = std::min(retries, 20);
+    const long long raw = static_cast<long long>(options.backoff_base_ms) << shift;
+    const long long cap = std::max<long long>(options.backoff_cap_ms, options.backoff_base_ms);
+    return std::chrono::milliseconds(std::min(raw, cap));
 }
 
 std::string fixed_number(double value)
@@ -165,6 +246,9 @@ void write_report(const std::string& path, const std::string& sweep_name,
     out << "  ]\n";
     out << "}\n";
 
+    if (const std::errc fault = MST_FAULTPOINT("sweep.report_write"); fault != std::errc{}) {
+        throw ValidationError("sweep report write failed (injected fault): " + path);
+    }
     std::ofstream file(path, std::ios::binary | std::ios::trunc);
     if (!file) {
         throw ValidationError("cannot write sweep report: " + path);
@@ -211,6 +295,9 @@ SweepOutcome run_sweep(const std::string& sweep_name, const std::vector<Scenario
     if (options.workers < 1) {
         throw ValidationError("sweep worker count must be at least 1");
     }
+    if (options.max_restarts < 1) {
+        throw ValidationError("sweep max_restarts must be at least 1");
+    }
     ensure_directory(options.out_dir);
 
     // Never more shards than scenarios: empty shards would be pure
@@ -244,62 +331,227 @@ SweepOutcome run_sweep(const std::string& sweep_name, const std::vector<Scenario
         pending.push_back(shard);
     }
 
-    // Phase 2: execute pending shards — inline, or fanned out across
-    // forked worker processes. Forking happens before this process has
-    // done any optimizer work, so no half-initialized executor pool is
-    // ever duplicated into a child.
+    // Phase 2: execute pending shards — inline with retry/quarantine,
+    // or fanned out across supervised forked worker processes (one fork
+    // per shard, at most W in flight). Forking happens before this
+    // process has done any optimizer work, so no half-initialized
+    // executor pool is ever duplicated into a child.
     const int workers = std::min<int>(options.workers, static_cast<int>(pending.size()));
     if (workers > 1) {
-        std::vector<pid_t> children;
-        children.reserve(static_cast<std::size_t>(workers));
-        for (int worker = 0; worker < workers; ++worker) {
-            const pid_t pid = ::fork();
-            if (pid < 0) {
-                throw ValidationError("sweep worker fork failed");
+        struct ShardState {
+            int consecutive_failures = 0;
+            int total_failures = 0;
+            int attempts = 0; ///< worker executions started for this shard
+            std::set<std::uint32_t> quarantined;
+            std::chrono::steady_clock::time_point not_before{};
+        };
+        struct Running {
+            int shard = 0;
+            pid_t pid = -1;
+            std::uint64_t last_size = 0;
+            std::chrono::steady_clock::time_point last_progress{};
+        };
+        std::vector<ShardState> state(static_cast<std::size_t>(shards));
+        std::deque<int> queue(pending.begin(), pending.end());
+        std::vector<Running> running;
+
+        // A worker for `shard` failed (death, hang, spawn failure):
+        // count it, quarantine the scenario in flight after max_restarts
+        // consecutive failures, and requeue the shard behind a capped
+        // exponential backoff derived from the retry count.
+        auto handle_failure = [&](int shard, const char* what) {
+            ShardState& st = state[static_cast<std::size_t>(shard)];
+            ++st.consecutive_failures;
+            ++st.total_failures;
+            ++outcome.worker_failures;
+            const std::size_t shard_size =
+                shard_indices(scenarios.size(), shard, shards).size();
+            if (st.total_failures >
+                (options.max_restarts + 1) * static_cast<int>(shard_size + 1)) {
+                throw ValidationError("sweep shard " + std::to_string(shard) +
+                                      " keeps failing (" + what + "); giving up");
             }
-            if (pid == 0) {
-                int status = 0;
-                try {
-                    std::size_t written = 0;
-                    for (std::size_t i = static_cast<std::size_t>(worker); i < pending.size();
-                         i += static_cast<std::size_t>(workers)) {
-                        run_shard(scenarios, options.out_dir, pending[i], shards,
-                                  spec_fingerprint, options.threads, 0, written);
-                    }
-                } catch (const std::exception& error) {
-                    std::fprintf(stderr, "sweep worker %d: %s\n", worker, error.what());
-                    status = 1;
-                } catch (...) {
-                    status = 1;
+            if (st.consecutive_failures >= options.max_restarts) {
+                const std::optional<ShardFile> partial =
+                    read_shard_file(shard_path(options.out_dir, shard));
+                const std::optional<std::uint32_t> poison =
+                    partial ? partial->poison_index() : std::nullopt;
+                if (!poison) {
+                    throw ValidationError("sweep shard " + std::to_string(shard) +
+                                          " failed " + std::to_string(options.max_restarts) +
+                                          " times with no scenario in flight (" + what + ")");
                 }
-                // _exit, not exit: never flush the parent's inherited
-                // stdio buffers from a forked child.
-                ::_exit(status);
+                st.quarantined.insert(*poison);
+                outcome.quarantined.push_back(*poison);
+                st.consecutive_failures = 0;
             }
-            children.push_back(pid);
-        }
-        bool worker_failed = false;
-        for (const pid_t pid : children) {
-            int status = 0;
-            if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
-                WEXITSTATUS(status) != 0) {
-                worker_failed = true;
+            st.not_before = std::chrono::steady_clock::now() +
+                            backoff_delay(options, st.total_failures - 1);
+            ++outcome.restarts;
+            queue.push_back(shard);
+        };
+
+        while (!queue.empty() || !running.empty()) {
+            // Spawn ready shards into free worker slots. Shards still in
+            // backoff rotate to the back of the queue.
+            bool progressed = false;
+            std::size_t examine = queue.size();
+            while (examine-- > 0 && static_cast<int>(running.size()) < workers &&
+                   !queue.empty()) {
+                const int shard = queue.front();
+                queue.pop_front();
+                ShardState& st = state[static_cast<std::size_t>(shard)];
+                if (st.not_before > std::chrono::steady_clock::now()) {
+                    queue.push_back(shard);
+                    continue;
+                }
+                if (MST_FAULTPOINT("sweep.worker_spawn") != std::errc{}) {
+                    handle_failure(shard, "injected spawn fault");
+                    continue;
+                }
+                const pid_t pid = ::fork();
+                if (pid < 0) {
+                    handle_failure(shard, "fork failed");
+                    continue;
+                }
+                if (pid == 0) {
+                    // Child: run exactly one shard and _exit (never
+                    // flush the parent's inherited stdio buffers). The
+                    // attempt number feeds heartbeats and the fault
+                    // layer's *R gating, so injected crash rules stop
+                    // firing on the restarted attempt.
+                    fault::set_attempt(st.attempts);
+                    int status_code = 0;
+                    try {
+                        std::size_t written = 0;
+                        run_shard(scenarios, options.out_dir, shard, shards, spec_fingerprint,
+                                  options.threads, static_cast<std::uint32_t>(st.attempts),
+                                  st.quarantined, 0, written);
+                    } catch (const std::exception& error) {
+                        std::fprintf(stderr, "sweep worker (shard %d): %s\n", shard,
+                                     error.what());
+                        status_code = 1;
+                    } catch (...) {
+                        status_code = 1;
+                    }
+                    ::_exit(status_code);
+                }
+                ++st.attempts;
+                Running slot;
+                slot.shard = shard;
+                slot.pid = pid;
+                slot.last_size = file_size_of(shard_path(options.out_dir, shard));
+                slot.last_progress = std::chrono::steady_clock::now();
+                running.push_back(slot);
+                progressed = true;
             }
-        }
-        if (worker_failed) {
-            throw ValidationError("a sweep worker process failed; rerun to resume");
+
+            // Reap finished workers; watchdog the rest. Progress is
+            // "the shard file grew" — every scenario writes at least a
+            // heartbeat first, so a wedged optimize call stops the
+            // growth and gets its worker SIGKILLed.
+            for (std::size_t i = 0; i < running.size();) {
+                Running& slot = running[i];
+                int status = 0;
+                const pid_t reaped = waitpid_retry(slot.pid, &status, WNOHANG);
+                if (reaped == 0) {
+                    const std::uint64_t size =
+                        file_size_of(shard_path(options.out_dir, slot.shard));
+                    if (size > slot.last_size) {
+                        slot.last_size = size;
+                        slot.last_progress = std::chrono::steady_clock::now();
+                    } else if (options.hang_timeout_ms > 0 &&
+                               std::chrono::steady_clock::now() - slot.last_progress >
+                                   std::chrono::milliseconds(options.hang_timeout_ms)) {
+                        ::kill(slot.pid, SIGKILL);
+                        waitpid_retry(slot.pid, &status, 0);
+                        const int shard = slot.shard;
+                        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+                        handle_failure(shard, "hung worker killed by watchdog");
+                        progressed = true;
+                        continue;
+                    }
+                    ++i;
+                    continue;
+                }
+                const int shard = slot.shard;
+                const pid_t pid = slot.pid;
+                running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+                progressed = true;
+                if (reaped == pid && WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+                    // Exit 0 still only counts if the checkpoint it left
+                    // behind validates end to end.
+                    const std::optional<ShardFile> file =
+                        read_shard_file(shard_path(options.out_dir, shard));
+                    if (file &&
+                        checkpoint_matches(*file, shard, shards, spec_fingerprint,
+                                           shard_indices(scenarios.size(), shard, shards))) {
+                        state[static_cast<std::size_t>(shard)].consecutive_failures = 0;
+                        continue;
+                    }
+                    handle_failure(shard, "worker left an invalid checkpoint");
+                    continue;
+                }
+                handle_failure(shard, "worker died");
+            }
+            if (!progressed) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            }
         }
     } else {
+        // Inline execution gets the same retry/quarantine treatment for
+        // checkpoint-layer failures (the scenario layer already maps its
+        // own exceptions into typed error records).
         std::size_t written = 0;
         for (const int shard : pending) {
-            if (!run_shard(scenarios, options.out_dir, shard, shards, spec_fingerprint,
-                           options.threads, options.abort_after_records, written)) {
-                outcome.aborted = true;
-                outcome.executed = written;
-                return outcome;
+            int consecutive = 0;
+            int total = 0;
+            int attempts = 0;
+            std::set<std::uint32_t> quarantined;
+            const std::size_t shard_size =
+                shard_indices(scenarios.size(), shard, shards).size();
+            for (;;) {
+                std::optional<std::uint32_t> current;
+                try {
+                    fault::set_attempt(attempts);
+                    const bool finished = run_shard(
+                        scenarios, options.out_dir, shard, shards, spec_fingerprint,
+                        options.threads, static_cast<std::uint32_t>(attempts), quarantined,
+                        options.abort_after_records, written, &current);
+                    ++attempts;
+                    if (!finished) {
+                        fault::set_attempt(0);
+                        outcome.aborted = true;
+                        outcome.executed = written;
+                        return outcome;
+                    }
+                    break;
+                } catch (const Error&) {
+                    ++attempts;
+                    ++consecutive;
+                    ++total;
+                    ++outcome.worker_failures;
+                    if (total > (options.max_restarts + 1) * static_cast<int>(shard_size + 1)) {
+                        fault::set_attempt(0);
+                        throw;
+                    }
+                    if (consecutive >= options.max_restarts) {
+                        if (!current) {
+                            fault::set_attempt(0);
+                            throw;
+                        }
+                        quarantined.insert(*current);
+                        outcome.quarantined.push_back(*current);
+                        consecutive = 0;
+                    }
+                    ++outcome.restarts;
+                    std::this_thread::sleep_for(backoff_delay(options, total - 1));
+                }
             }
         }
+        fault::set_attempt(0);
     }
+    std::sort(outcome.quarantined.begin(), outcome.quarantined.end());
 
     // Phase 3: merge every shard checkpoint into the deterministic
     // report, and fold wall times into the (non-deterministic) latency

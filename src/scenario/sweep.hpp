@@ -6,8 +6,21 @@
 // into a compact binary checkpoint file (shard-NNNN.msr, format in
 // sweep_records.hpp); a shard whose file carries a valid trailer is
 // complete and a resumed run reuses it without recomputation. With
-// W > 1 workers the pending shards are split across W forked worker
-// processes (worker w runs shards with shard % W == w).
+// W > 1 workers a supervisor forks one worker process per pending
+// shard (at most W in flight) and watches each of them.
+//
+// Supervision (docs/robustness.md): every scenario execution is
+// preceded by a heartbeat record in the shard file, so the supervisor
+// always knows which scenario a dead worker was running. A worker that
+// exits abnormally, or whose shard file stops growing for longer than
+// the hang timeout (it is then SIGKILLed), is restarted with capped
+// exponential backoff derived from the retry count — never from wall
+// clock, so a fault-riddled run stays deterministic. After
+// `max_restarts` consecutive failures of one shard the scenario in
+// flight is quarantined: subsequent attempts record it as a typed
+// `worker_crash` error instead of executing it, so one poison scenario
+// cannot sink the run. Inline (workers == 1) execution gets the same
+// retry/quarantine treatment for checkpoint-write failures.
 //
 // Determinism contract: the merged report.json contains scenario
 // results only — name, solution fingerprint, optimizer work counters,
@@ -21,6 +34,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,6 +61,20 @@ struct SweepOptions {
     /// deterministic stand-in for SIGKILL mid-shard. 0 = disabled.
     /// Honored only by inline (workers <= 1) runs.
     std::size_t abort_after_records = 0;
+
+    // Supervision knobs (see the header comment).
+
+    /// Consecutive failures of one shard before the scenario in flight
+    /// is quarantined as a worker_crash record.
+    int max_restarts = 3;
+    /// Restart backoff for retry k is min(backoff_base_ms << k,
+    /// backoff_cap_ms) milliseconds. 0 disables sleeping (tests, CI).
+    int backoff_base_ms = 100;
+    int backoff_cap_ms = 2000;
+    /// A supervised worker whose shard file has not grown for this long
+    /// is declared hung and SIGKILLed (counts as a crash). 0 disables
+    /// the watchdog.
+    int hang_timeout_ms = 30000;
 };
 
 /// Latency summary of one shard (outside the determinism contract).
@@ -71,6 +99,15 @@ struct SweepOutcome {
     bool aborted = false;
     std::string report_path;
     std::vector<ShardTiming> shards;
+    /// Worker deaths / hangs / checkpoint-write failures the supervisor
+    /// absorbed (each one triggered a shard restart).
+    std::size_t worker_failures = 0;
+    /// Shard executions restarted by supervision.
+    std::size_t restarts = 0;
+    /// Scenario indices quarantined as worker_crash records, ascending.
+    /// These are the only entries allowed to differ from a fault-free
+    /// run's report.
+    std::vector<std::uint32_t> quarantined;
     /// Percentiles over every scenario's wall time (resumed ones report
     /// the wall time recorded when they originally ran).
     TimingStats total_wall;

@@ -1,15 +1,24 @@
 #include "scenario/sweep_records.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <unistd.h>
 
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 
 namespace mst {
 
 namespace {
 
-constexpr char kHeaderMagic[8] = {'M', 'S', 'T', 'S', 'W', 'P', '0', '1'};
+constexpr char kHeaderMagic[8] = {'M', 'S', 'T', 'S', 'W', 'P', '0', '2'};
+
+// Record-section status bytes. Result records (ok/error) count toward
+// the trailer's record_count; heartbeats do not.
+constexpr std::uint8_t kStatusError = 0;
+constexpr std::uint8_t kStatusOk = 1;
+constexpr std::uint8_t kStatusHeartbeat = 2;
 constexpr char kTrailerMagic[8] = {'M', 'S', 'T', 'S', 'W', 'P', 'O', 'K'};
 
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
@@ -68,7 +77,7 @@ private:
 void encode_record(ByteBuffer& out, const SweepRecord& record)
 {
     out.u32(record.index);
-    out.u8(record.ok ? 1 : 0);
+    out.u8(record.ok ? kStatusOk : kStatusError);
     if (record.ok) {
         out.u32(record.sites);
         out.u32(record.channels_per_site);
@@ -187,10 +196,29 @@ const char* sweep_error_kind_name(SweepErrorKind kind) noexcept
         return "infeasible";
     case SweepErrorKind::validation:
         return "validation";
+    case SweepErrorKind::worker_crash:
+        return "worker_crash";
     case SweepErrorKind::other:
         break;
     }
     return "other";
+}
+
+std::optional<std::uint32_t> ShardFile::poison_index() const
+{
+    for (auto it = heartbeats.rbegin(); it != heartbeats.rend(); ++it) {
+        bool answered = false;
+        for (const SweepRecord& record : records) {
+            if (record.index == it->index) {
+                answered = true;
+                break;
+            }
+        }
+        if (!answered) {
+            return it->index;
+        }
+    }
+    return std::nullopt;
 }
 
 struct ShardWriter::Impl {
@@ -205,7 +233,8 @@ struct ShardWriter::Impl {
     void put(const ByteBuffer& buffer)
     {
         if (std::fwrite(buffer.data(), 1, buffer.size(), file) != buffer.size()) {
-            throw ValidationError("sweep shard write failed: " + path);
+            throw CheckpointWriteError("sweep shard write failed: " + path,
+                                       static_cast<std::errc>(errno));
         }
     }
 };
@@ -241,6 +270,12 @@ ShardWriter::~ShardWriter()
 
 void ShardWriter::write(const SweepRecord& record)
 {
+    if (const std::errc fault = MST_FAULTPOINT("sweep.checkpoint_write");
+        fault != std::errc{}) {
+        throw CheckpointWriteError("sweep shard write failed (injected fault): " +
+                                       impl_->path,
+                                   fault);
+    }
     ByteBuffer& buffer = impl_->scratch;
     buffer.clear();
     encode_record(buffer, record);
@@ -253,6 +288,18 @@ void ShardWriter::write(const SweepRecord& record)
     ++impl_->written;
 }
 
+void ShardWriter::heartbeat(std::uint32_t index, std::uint32_t attempt)
+{
+    ByteBuffer& buffer = impl_->scratch;
+    buffer.clear();
+    buffer.u32(index);
+    buffer.u8(kStatusHeartbeat);
+    buffer.u32(attempt);
+    impl_->put(buffer);
+    std::fflush(impl_->file);
+    fnv_mix(impl_->checksum, buffer.data(), buffer.size());
+}
+
 void ShardWriter::finish()
 {
     if (impl_->finished) {
@@ -261,12 +308,31 @@ void ShardWriter::finish()
     if (impl_->written != impl_->expected) {
         throw ValidationError("sweep shard record count mismatch in " + impl_->path);
     }
+    if (const std::errc fault = MST_FAULTPOINT("sweep.trailer_write");
+        fault != std::errc{}) {
+        throw CheckpointWriteError("sweep shard trailer write failed (injected fault): " +
+                                       impl_->path,
+                                   fault);
+    }
+    // The trailer is the checkpoint's validity marker: make sure every
+    // record byte is durably on disk before it becomes observable, so a
+    // trailer that validates can never describe records a torn write
+    // lost.
+    std::fflush(impl_->file);
+    if (::fsync(::fileno(impl_->file)) != 0) {
+        throw CheckpointWriteError("sweep shard fsync failed: " + impl_->path,
+                                   static_cast<std::errc>(errno));
+    }
     ByteBuffer trailer;
     trailer.raw(kTrailerMagic, sizeof(kTrailerMagic));
     trailer.u32(impl_->written);
     trailer.u64(impl_->checksum);
     impl_->put(trailer);
     std::fflush(impl_->file);
+    if (::fsync(::fileno(impl_->file)) != 0) {
+        throw CheckpointWriteError("sweep shard fsync failed: " + impl_->path,
+                                   static_cast<std::errc>(errno));
+    }
     std::fclose(impl_->file);
     impl_->file = nullptr;
     impl_->finished = true;
@@ -305,7 +371,19 @@ std::optional<ShardFile> read_shard_file(const std::string& path)
         const std::size_t start = reader.position();
         SweepRecord record;
         record.index = reader.u32();
-        record.ok = reader.u8() != 0;
+        const std::uint8_t status = reader.u8();
+        if (status == kStatusHeartbeat) {
+            SweepHeartbeat beat;
+            beat.index = record.index;
+            beat.attempt = reader.u32();
+            if (!reader.ok()) {
+                return shard;
+            }
+            fnv_mix(checksum, reader.at(start), reader.position() - start);
+            shard.heartbeats.push_back(beat);
+            continue;
+        }
+        record.ok = status != kStatusError;
         if (record.ok) {
             record.sites = reader.u32();
             record.channels_per_site = reader.u32();
@@ -320,7 +398,7 @@ std::optional<ShardFile> read_shard_file(const std::string& path)
             record.wall_ns = reader.u64();
         } else {
             const auto kind = reader.u8();
-            record.error_kind = (kind >= 1 && kind <= 3) ? static_cast<SweepErrorKind>(kind)
+            record.error_kind = (kind >= 1 && kind <= 4) ? static_cast<SweepErrorKind>(kind)
                                                          : SweepErrorKind::other;
             const std::uint32_t length = reader.u32();
             record.error = reader.str(length);

@@ -6,21 +6,30 @@
 //
 // Layout (all integers little-endian; layout documented in docs/sweep.md):
 //
-//   header   "MSTSWP01" | shard u32 | shard_count u32 |
+//   header   "MSTSWP02" | shard u32 | shard_count u32 |
 //            spec_fingerprint u64 | expected_records u32
-//   records  index u32 | status u8 (1 ok / 0 error) | payload
+//   records  index u32 | status u8 (1 ok / 0 error / 2 heartbeat) | payload
 //     ok:    sites u32 | channels_per_site u32 | test_cycles u64 |
 //            devices_per_hour f64 | pack_calls u64 | pack_cache_hits u64 |
 //            greedy_passes u64 | depth_profiles u64 | pruned_packs u64 |
 //            site_points u64 | wall_ns u64
-//     error: kind u8 (1 infeasible / 2 validation / 3 other) |
-//            message_length u32 | message bytes
+//     error: kind u8 (1 infeasible / 2 validation / 3 other /
+//            4 worker_crash) | message_length u32 | message bytes
+//     heartbeat: attempt u32 — "scenario `index` is starting on worker
+//            attempt N". Written before each scenario runs, so after a
+//            worker crash the supervisor can read the partial file and
+//            name the scenario that was in flight (the poison candidate).
 //   trailer  "MSTSWPOK" | record_count u32 | checksum u64
-//            (FNV-1a over every record byte)
+//            (record_count counts result records only; the FNV-1a
+//            checksum covers every record-section byte, heartbeats
+//            included)
 //
+// Durability: shard data is fsync'd before the trailer goes out, so a
+// trailer that validates can never describe records a torn write lost.
 // wall_ns is the one non-deterministic field; the merged report.json
 // deliberately excludes it (see sweep.hpp), so checkpoint reuse cannot
-// perturb the deterministic final report.
+// perturb the deterministic final report. Heartbeat records likewise
+// never reach the report — they exist only for crash forensics.
 #pragma once
 
 #include <cstdint>
@@ -33,9 +42,10 @@ namespace mst {
 /// Error classification of a failed sweep scenario (mirrors
 /// BatchErrorKind, pinned to stable wire values).
 enum class SweepErrorKind : std::uint8_t {
-    infeasible = 1, ///< InfeasibleError: no solution on the given cell
-    validation = 2, ///< ValidationError: malformed scenario
-    other = 3,      ///< anything else
+    infeasible = 1,   ///< InfeasibleError: no solution on the given cell
+    validation = 2,   ///< ValidationError: malformed scenario
+    other = 3,        ///< anything else
+    worker_crash = 4, ///< scenario quarantined after repeated worker deaths
 };
 
 [[nodiscard]] const char* sweep_error_kind_name(SweepErrorKind kind) noexcept;
@@ -80,16 +90,30 @@ public:
     ShardWriter(const ShardWriter&) = delete;
     ShardWriter& operator=(const ShardWriter&) = delete;
 
-    /// Append one record and flush it to disk.
+    /// Append one record and flush it to disk. Throws
+    /// CheckpointWriteError on I/O failure (or an injected
+    /// `sweep.checkpoint_write` fault).
     void write(const SweepRecord& record);
 
-    /// Write the trailer and close. Throws ValidationError if the
-    /// record count does not match the header's expectation.
+    /// Append a heartbeat marking scenario `index` as starting on worker
+    /// `attempt`, and flush it. Heartbeats count toward the checksum but
+    /// not toward the trailer's record count.
+    void heartbeat(std::uint32_t index, std::uint32_t attempt);
+
+    /// fsync the record data, then write the trailer and close. Throws
+    /// ValidationError if the record count does not match the header's
+    /// expectation, CheckpointWriteError on I/O failure.
     void finish();
 
 private:
     struct Impl;
     Impl* impl_;
+};
+
+/// A heartbeat read back from a shard file.
+struct SweepHeartbeat {
+    std::uint32_t index = 0;   ///< global scenario index that was starting
+    std::uint32_t attempt = 0; ///< worker attempt number that started it
 };
 
 /// A fully parsed shard file.
@@ -99,7 +123,13 @@ struct ShardFile {
     std::uint64_t spec_fingerprint = 0;
     std::uint32_t expected_records = 0;
     bool complete = false; ///< trailer present, counts and checksum valid
-    std::vector<SweepRecord> records;
+    std::vector<SweepRecord> records; ///< result records only
+    std::vector<SweepHeartbeat> heartbeats;
+
+    /// The scenario a crashed worker was executing: the latest heartbeat
+    /// whose scenario has no result record. nullopt for a file that ends
+    /// cleanly between scenarios (or has no heartbeats at all).
+    [[nodiscard]] std::optional<std::uint32_t> poison_index() const;
 };
 
 /// Read a shard file. Returns nullopt when the file is missing or its

@@ -1,6 +1,9 @@
 #include "service/framing.hpp"
 
 #include <cstdint>
+#include <system_error>
+
+#include "common/faultpoint.hpp"
 
 namespace mst {
 
@@ -44,7 +47,19 @@ void FrameReader::consume(std::size_t bytes)
 
 FrameReader::Status FrameReader::next(std::string& frame)
 {
-    return framing_ == Framing::ndjson ? next_ndjson(frame) : next_length_prefix(frame);
+    const Status status =
+        framing_ == Framing::ndjson ? next_ndjson(frame) : next_length_prefix(frame);
+    // Injected decode failure, probed only when a complete frame was
+    // decoded (the Nth *frame*, not the Nth poll or partial read): the
+    // frame degrades to a typed per-request parse error, the stream
+    // stays in sync, and the connection lives on.
+    if (status == Status::frame) {
+        if (const std::errc fault = MST_FAULTPOINT("framing.read"); fault != std::errc{}) {
+            frame = "injected framing fault: " + std::make_error_code(fault).message();
+            return Status::oversized;
+        }
+    }
+    return status;
 }
 
 FrameReader::Status FrameReader::next_ndjson(std::string& frame)

@@ -16,6 +16,7 @@
 // scheduling.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <list>
@@ -81,6 +82,33 @@ public:
             }
         }
         return future.get(); // rethrows a cached compute failure
+    }
+
+    /// Read-only probe: the finished value for `key`, or nullptr when
+    /// the key is absent, still computing, or computed to an exception.
+    /// Deliberately touches neither the hit/miss counters nor the LRU
+    /// order — peeks happen on the server's load-shedding path, whose
+    /// timing is scheduling-dependent, and must not perturb the
+    /// deterministic counter/eviction behavior of get_or_compute.
+    [[nodiscard]] ValuePtr peek(const Key& key) const
+    {
+        std::shared_future<ValuePtr> future;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = entries_.find(key);
+            if (it == entries_.end()) {
+                return nullptr;
+            }
+            future = it->second.future;
+        }
+        if (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+            return nullptr;
+        }
+        try {
+            return future.get();
+        } catch (...) {
+            return nullptr;
+        }
     }
 
     [[nodiscard]] CacheStats stats() const

@@ -383,7 +383,9 @@ std::string stats_response(const std::string& id_json, const RequestCounters& re
             << ",\"requests_rejected\":" << server->requests_rejected
             << ",\"global_queue_high_water\":" << server->global_queue_high_water
             << ",\"connection_queue_high_water\":" << server->connection_queue_high_water
-            << '}';
+            << ",\"accept_retries\":" << server->accept_retries
+            << ",\"connections_shed\":" << server->connections_shed
+            << ",\"load_shed_cache_hits\":" << server->load_shed_cache_hits << '}';
     }
     out << "}}";
     return out.str();

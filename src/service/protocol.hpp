@@ -148,6 +148,14 @@ struct ServerCounters {
     std::uint64_t requests_rejected = 0;
     std::uint64_t global_queue_high_water = 0;
     std::uint64_t connection_queue_high_water = 0;
+    /// Accept attempts that hit resource exhaustion (EMFILE/ENFILE/...)
+    /// and were retried after shedding + backoff instead of dying.
+    std::uint64_t accept_retries = 0;
+    /// Idle connections closed to reclaim fds under accept exhaustion.
+    std::uint64_t connections_shed = 0;
+    /// Optimize requests answered from the solution memo while the
+    /// admission queue was refusing new work (load-shedding mode).
+    std::uint64_t load_shed_cache_hits = 0;
 };
 
 [[nodiscard]] std::string ok_response(const std::string& id_json,

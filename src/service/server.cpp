@@ -1,13 +1,16 @@
 #include "service/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <system_error>
 
 #include <poll.h>
 
 #include "common/executor.hpp"
+#include "common/faultpoint.hpp"
 #include "service/framing.hpp"
 
 namespace mst {
@@ -15,6 +18,13 @@ namespace mst {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ns()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
 
 void bump_high_water(std::atomic<std::uint64_t>& high_water, std::uint64_t value)
 {
@@ -49,6 +59,9 @@ struct Server::Connection {
     std::atomic<std::uint64_t> inflight{0};
     /// Set when the reader thread finished; the accept loop reaps then.
     std::atomic<bool> done{false};
+    /// Last time the peer sent bytes (steady-clock ns); the shed policy
+    /// picks the least-recently-active idle connection.
+    std::atomic<std::int64_t> last_activity_ns{0};
 };
 
 Server::Server(ServerConfig config) : config_(config), service_(config.service) {}
@@ -110,7 +123,38 @@ protocol::ServerCounters Server::counters() const
     counters.requests_rejected = requests_rejected_.load();
     counters.global_queue_high_water = global_queue_high_water_.load();
     counters.connection_queue_high_water = connection_queue_high_water_.load();
+    counters.accept_retries = accept_retries_.load();
+    counters.connections_shed = connections_shed_.load();
+    counters.load_shed_cache_hits = load_shed_cache_hits_.load();
     return counters;
+}
+
+bool Server::shed_oldest_idle()
+{
+    std::shared_ptr<Connection> victim;
+    std::int64_t oldest = 0;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (const ConnectionThread& entry : connections_) {
+            const std::shared_ptr<Connection>& conn = entry.conn;
+            if (conn->done.load() || conn->inflight.load() != 0) {
+                continue; // gone already, or mid-request: not sheddable
+            }
+            const std::int64_t activity = conn->last_activity_ns.load();
+            if (victim == nullptr || activity < oldest) {
+                victim = conn;
+                oldest = activity;
+            }
+        }
+    }
+    if (victim == nullptr) {
+        return false;
+    }
+    // Shutdown (not close): the reader thread owns the fd and is woken
+    // by the EOF to run its normal drain/close/reap path.
+    victim->socket.shutdown_both();
+    ++connections_shed_;
+    return true;
 }
 
 void Server::reap_finished_locked()
@@ -128,20 +172,59 @@ void Server::reap_finished_locked()
 
 void Server::accept_loop()
 {
+    int consecutive_exhausted = 0;
     while (!stopping_.load()) {
-        std::optional<net::Socket> socket = listener_.accept(200);
+        net::AcceptResult accepted = listener_.accept(200);
         {
             std::lock_guard<std::mutex> lock(connections_mutex_);
             reap_finished_locked();
         }
-        if (!socket || stopping_.load()) {
+        if (stopping_.load()) {
             continue;
         }
+        switch (accepted.status) {
+        case net::AcceptResult::Status::timeout:
+        case net::AcceptResult::Status::closed:
+            continue;
+        case net::AcceptResult::Status::transient:
+            // Peer vanished mid-handshake (ECONNABORTED and friends):
+            // a non-event, try again immediately.
+            continue;
+        case net::AcceptResult::Status::exhausted: {
+            // Out of fds/buffers: recover instead of dying. Shed the
+            // least-recently-active idle connection to free a descriptor,
+            // then back off — capped exponential, derived from the
+            // consecutive-failure count so the schedule is deterministic.
+            ++accept_retries_;
+            (void)shed_oldest_idle();
+            if (config_.accept_backoff_ms > 0) {
+                const int shift = consecutive_exhausted < 20 ? consecutive_exhausted : 20;
+                const long long raw = static_cast<long long>(config_.accept_backoff_ms)
+                                      << shift;
+                const long long cap = std::max<long long>(config_.accept_backoff_cap_ms,
+                                                          config_.accept_backoff_ms);
+                long long remaining_ms = raw < cap ? raw : cap;
+                // Sliced, stop-aware sleep: shutdown must never wait out
+                // a long backoff.
+                while (remaining_ms > 0 && !stopping_.load()) {
+                    const long long slice = remaining_ms < 20 ? remaining_ms : 20;
+                    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+                    remaining_ms -= slice;
+                }
+            }
+            ++consecutive_exhausted;
+            continue;
+        }
+        case net::AcceptResult::Status::accepted:
+            break;
+        }
+        consecutive_exhausted = 0;
+        net::Socket socket = std::move(accepted.socket);
         if (connections_active_.load() >= static_cast<std::uint64_t>(config_.max_connections)) {
             // Typed refusal, then close: the client learns why instead of
             // hanging in a kernel backlog.
-            socket->set_write_timeout(config_.write_timeout_ms);
-            (void)socket->write_all(encode_frame(
+            socket.set_write_timeout(config_.write_timeout_ms);
+            (void)socket.write_all(encode_frame(
                 protocol::Framing::ndjson,
                 protocol::error_response(
                     "", protocol::ErrorKind::overloaded, "connection limit reached",
@@ -151,7 +234,8 @@ void Server::accept_loop()
         ++connections_accepted_;
         ++connections_active_;
         auto conn = std::make_shared<Connection>();
-        conn->socket = std::move(*socket);
+        conn->socket = std::move(socket);
+        conn->last_activity_ns.store(now_ns());
         std::lock_guard<std::mutex> lock(connections_mutex_);
         connections_.push_back(
             {std::thread([this, conn] { connection_main(conn); }), conn});
@@ -186,6 +270,7 @@ void Server::handle_connection(const std::shared_ptr<Connection>& conn)
         if (n <= 0) {
             break; // EOF (every buffered frame was already answered) or error
         }
+        conn->last_activity_ns.store(now_ns());
         reader.feed(buffer, static_cast<std::size_t>(n));
         alive = process_buffered(conn, reader, first_frame);
         deadline = Clock::now() + std::chrono::milliseconds(reader.mid_frame()
@@ -299,6 +384,19 @@ bool Server::process_buffered(const std::shared_ptr<Connection>& conn, FrameRead
             conn_inflight > static_cast<std::uint64_t>(config_.connection_queue_limit)) {
             --global_inflight_;
             --conn->inflight;
+            // Load-shedding degradation mode: a saturated queue refuses
+            // new optimize work, but a request whose outcome already
+            // sits in the solution memo is answered anyway — cache hits
+            // cost no executor time, so overload never blinds clients to
+            // results the server already has.
+            if (std::optional<std::string> cached = service_.cached_response(request)) {
+                ++requests_admitted_;
+                ++load_shed_cache_hits_;
+                if (!deliver(*conn, seq, *cached)) {
+                    return false;
+                }
+                continue;
+            }
             ++requests_rejected_;
             const bool global = global_inflight >
                                 static_cast<std::uint64_t>(config_.global_queue_limit);
@@ -333,6 +431,12 @@ bool Server::deliver(Connection& conn, std::uint64_t seq, const std::string& pay
 {
     std::lock_guard<std::mutex> lock(conn.mutex);
     if (conn.write_failed) {
+        return false;
+    }
+    // Injected send failure: exercises the same path as a vanished peer
+    // (drop this connection, never the server).
+    if (MST_FAULTPOINT("net.write") != std::errc{}) {
+        conn.write_failed = true;
         return false;
     }
     if (conn.stream) {

@@ -21,6 +21,16 @@
 //     writer; a timed-out connection is dropped, never the server,
 //   * idle and mid-frame read timeouts reclaim dead connections.
 //
+// Self-healing under resource pressure (docs/robustness.md):
+//   * an exhausted accept (EMFILE/ENFILE/ENOBUFS) sheds the least-
+//     recently-active idle connection to reclaim a descriptor and backs
+//     off with a capped exponential schedule derived from the
+//     consecutive-failure count — the accept loop never dies,
+//   * load-shedding degradation mode: while the admission queue refuses
+//     new optimize work, requests whose outcome already sits in the
+//     solution memo are still answered (cache hits cost no executor
+//     time); counted as load_shed_cache_hits in scope-"server" stats.
+//
 // Graceful shutdown (stop(), or SIGTERM/SIGINT via run()): the listener
 // closes, buffered-but-unstarted optimize requests are refused with
 // "overloaded", in-flight requests drain and their responses flush, then
@@ -58,6 +68,12 @@ struct ServerConfig {
     int write_timeout_ms = 30000;
     /// Frames over this size are rejected (and skipped) as oversized.
     std::size_t max_frame_bytes = std::size_t{1} << 20;
+    /// Backoff after an exhausted accept (EMFILE/ENFILE/...): retry k
+    /// sleeps min(accept_backoff_ms << k, accept_backoff_cap_ms) — the
+    /// schedule derives from the consecutive-failure count, not wall
+    /// clock. 0 disables sleeping (tests).
+    int accept_backoff_ms = 10;
+    int accept_backoff_cap_ms = 500;
     ServiceConfig service;
 };
 
@@ -101,6 +117,10 @@ private:
                                const std::string& payload);
     void finish_request(const std::shared_ptr<Connection>& conn);
     void reap_finished_locked();
+    /// Shed the least-recently-active connection with no in-flight work
+    /// (shutdown wakes its reader, which closes it and frees the fd).
+    /// False when every connection is busy.
+    bool shed_oldest_idle();
 
     ServerConfig config_;
     RequestService service_;
@@ -126,6 +146,9 @@ private:
     std::atomic<std::uint64_t> global_inflight_{0};
     std::atomic<std::uint64_t> global_queue_high_water_{0};
     std::atomic<std::uint64_t> connection_queue_high_water_{0};
+    std::atomic<std::uint64_t> accept_retries_{0};
+    std::atomic<std::uint64_t> connections_shed_{0};
+    std::atomic<std::uint64_t> load_shed_cache_hits_{0};
 };
 
 } // namespace mst

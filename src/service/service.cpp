@@ -5,6 +5,7 @@
 
 #include "batch/batch_runner.hpp"
 #include "common/executor.hpp"
+#include "common/faultpoint.hpp"
 #include "core/optimizer.hpp"
 #include "exact/branch_bound.hpp"
 #include "report/solution_json.hpp"
@@ -12,6 +13,19 @@
 #include "soc/profiles.hpp"
 
 namespace mst {
+
+namespace {
+
+/// The canonical protocol renditions double as the memo key: two
+/// requests agree on (fingerprint, cell, options) iff they agree on
+/// this string.
+std::string memo_key(const std::string& fingerprint_text, const protocol::Request& request)
+{
+    return fingerprint_text + '|' + protocol::cell_to_json(request.cell) + '|' +
+           protocol::options_to_json(request.options);
+}
+
+} // namespace
 
 RequestService::RequestService(ServiceConfig config)
     : config_(config),
@@ -53,11 +67,20 @@ std::shared_ptr<const SolutionOutcome> RequestService::outcome_for(
 
     const std::uint64_t fingerprint = soc_fingerprint(*soc);
     const std::string fingerprint_text = fingerprint_hex(fingerprint);
-    // The canonical protocol renditions double as the memo key: two
-    // requests agree on (fingerprint, cell, options) iff they agree on
-    // this string.
-    const std::string key = fingerprint_text + '|' + protocol::cell_to_json(request.cell) +
-                            '|' + protocol::options_to_json(request.options);
+    const std::string key = memo_key(fingerprint_text, request);
+    if (const std::errc fault = MST_FAULTPOINT("cache.tables_build"); fault != std::errc{}) {
+        // Transient by construction, so deliberately NOT memoized: the
+        // memo caches deterministic functions of the key, and poisoning
+        // it with a one-shot injected failure would break that contract
+        // (and every later request for this key).
+        auto outcome = std::make_shared<SolutionOutcome>();
+        outcome->fingerprint = fingerprint_text;
+        outcome->error = {protocol::ErrorKind::internal,
+                          "injected fault: tables build failed: " +
+                              std::make_error_code(fault).message(),
+                          ""};
+        return outcome;
+    }
     return memo_.get_or_compute(key, [&]() -> std::shared_ptr<const SolutionOutcome> {
         auto outcome = std::make_shared<SolutionOutcome>();
         outcome->fingerprint = fingerprint_text;
@@ -140,6 +163,35 @@ std::string RequestService::run_request(const protocol::Request& request)
         return protocol::error_response(request.id_json, protocol::ErrorKind::internal,
                                         "unknown exception");
     }
+}
+
+std::optional<std::string> RequestService::cached_response(const protocol::Request& request)
+{
+    if (request.error.kind != protocol::ErrorKind::none ||
+        request.op != protocol::Request::Op::optimize) {
+        return std::nullopt;
+    }
+    std::shared_ptr<const Soc> soc;
+    try {
+        soc = share_soc(request.inline_soc ? parse_soc_string(request.soc_text, "<request>")
+                                           : load_soc_spec(request.soc_spec));
+    } catch (...) {
+        return std::nullopt; // not a memoized outcome; let admission decide
+    }
+    const std::string fingerprint_text = fingerprint_hex(soc_fingerprint(*soc));
+    const std::shared_ptr<const SolutionOutcome> outcome =
+        memo_.peek(memo_key(fingerprint_text, request));
+    if (outcome == nullptr) {
+        return std::nullopt;
+    }
+    ++received_;
+    if (outcome->ok) {
+        ++ok_;
+        return protocol::ok_response(request.id_json, outcome->fingerprint,
+                                     outcome->solution_json);
+    }
+    ++failed_;
+    return protocol::error_response(request.id_json, outcome->error);
 }
 
 std::string RequestService::stats_response(const protocol::Request& request,

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,16 @@ public:
     /// Thread-safe; never throws. `hello` requests are rejected here —
     /// negotiation belongs to the network connection, not the service.
     [[nodiscard]] std::string run_request(const protocol::Request& request);
+
+    /// Load-shedding probe: the response for an optimize request whose
+    /// outcome already sits in the solution memo, or nullopt when it
+    /// would need real work (unknown key, compute still in flight, SOC
+    /// unreadable). Never optimizes, never blocks on a compute — cheap
+    /// enough for the server to answer cache hits even while the
+    /// admission queue refuses new work. A served hit is counted like a
+    /// completed request.
+    [[nodiscard]] std::optional<std::string> cached_response(
+        const protocol::Request& request);
 
     /// Stats response for a barrier point: snapshots the counters, then
     /// counts the stats request itself. The caller guarantees barrier

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/executor.hpp"
+#include "common/faultpoint.hpp"
 #include "common/net.hpp"
 #include "common/signals.hpp"
 #include "service/framing.hpp"
@@ -142,6 +143,33 @@ private:
     std::condition_variable cv_;
     bool released_ = false;
     std::vector<std::future<void>> futures_;
+};
+
+/// Read one '\n'-terminated response line (recv_all would block until
+/// the server closes the connection).
+std::string recv_line(const net::Socket& socket)
+{
+    std::string line;
+    char byte = 0;
+    while (socket.read_some(&byte, 1) == 1) {
+        if (byte == '\n') {
+            return line;
+        }
+        line.push_back(byte);
+    }
+    return line;
+}
+
+/// Installs a fault plan for one test and disarms on destruction.
+class FaultPlanGuard {
+public:
+    explicit FaultPlanGuard(const std::string& plan)
+    {
+        fault::install_plan(fault::parse_plan(plan));
+    }
+    ~FaultPlanGuard() { fault::clear_plan(); }
+    FaultPlanGuard(const FaultPlanGuard&) = delete;
+    FaultPlanGuard& operator=(const FaultPlanGuard&) = delete;
 };
 
 // --- FrameReader (transport-independent splitter) ---
@@ -460,6 +488,169 @@ TEST(Server, LateHelloIsRejectedWithoutClosing)
     }
     EXPECT_TRUE(saw_ok);
     EXPECT_EQ(kinds, (std::set<std::string>{"validation"}));
+}
+
+// --- Fault injection and self-healing (docs/robustness.md) ---
+
+TEST(Server, ExhaustedAcceptShedsIdleConnectionAndRetries)
+{
+    ServerConfig config;
+    config.accept_backoff_ms = 0; // keep the retry instant for the test
+    Server server(config);
+    server.start();
+
+    // An established, idle connection: one completed request, nothing
+    // in flight — the shedding candidate.
+    const net::Socket idle = net::connect(server.endpoint());
+    ASSERT_TRUE(idle.write_all(tiny_request("idle", 64) + "\n"));
+    const std::string first = recv_line(idle);
+    EXPECT_TRUE(response(first).find("ok")->as_bool()) << first;
+    // A stats request is an in-flight barrier: once answered, the
+    // connection is provably idle (inflight == 0) and shed-eligible.
+    ASSERT_TRUE(idle.write_all("{\"id\":\"b\",\"op\":\"stats\"}\n"));
+    (void)recv_line(idle);
+
+    // The next ready connection trips a simulated EMFILE: the accept
+    // loop must shed the idle connection, back off, and then accept the
+    // same pending connection on the retry — never die.
+    const FaultPlanGuard plan("net.accept:fail@1=EMFILE");
+    const net::Socket client = net::connect(server.endpoint());
+    ASSERT_TRUE(client.write_all(tiny_request("after-emfile", 48) + "\n"));
+    client.shutdown_write();
+    const std::vector<std::string> lines = split_lines(recv_all(client));
+    ASSERT_EQ(lines.size(), 1U);
+    EXPECT_TRUE(response(lines[0]).find("ok")->as_bool()) << lines[0];
+    EXPECT_EQ(response(lines[0]).find("id")->as_string(), "after-emfile");
+
+    // The shed connection was closed out from under its (idle) peer.
+    EXPECT_EQ(recv_all(idle), "");
+    const protocol::ServerCounters counters = server.counters();
+    EXPECT_EQ(counters.accept_retries, 1U);
+    EXPECT_EQ(counters.connections_shed, 1U);
+    server.stop();
+}
+
+TEST(Server, InjectedWriteFailureDropsOneConnectionNotTheServer)
+{
+    Server server;
+    server.start();
+
+    const net::Socket victim = net::connect(server.endpoint());
+    {
+        const FaultPlanGuard plan("net.write:fail@1=EPIPE");
+        ASSERT_TRUE(victim.write_all(tiny_request("lost", 64) + "\n"));
+        victim.shutdown_write();
+        // The injected delivery failure closes the victim connection
+        // without writing its response.
+        EXPECT_EQ(recv_all(victim), "");
+    }
+
+    // The server survives: a fresh connection gets a correct response.
+    const net::Socket client = net::connect(server.endpoint());
+    ASSERT_TRUE(client.write_all(tiny_request("served", 64) + "\n"));
+    client.shutdown_write();
+    const std::vector<std::string> lines = split_lines(recv_all(client));
+    server.stop();
+    ASSERT_EQ(lines.size(), 1U);
+    EXPECT_TRUE(response(lines[0]).find("ok")->as_bool()) << lines[0];
+    EXPECT_EQ(response(lines[0]).find("id")->as_string(), "served");
+}
+
+TEST(Server, LoadSheddingServesCacheHitsWhileAdmissionRefusesWork)
+{
+    ServerConfig config;
+    config.global_queue_limit = 1;
+    Server server(config);
+    server.start();
+    const net::Socket client = net::connect(server.endpoint());
+
+    // Prime the solution memo with one completed request; the stats
+    // barrier guarantees its in-flight slot is released before the
+    // saturation phase below counts on a queue of exactly one.
+    ASSERT_TRUE(client.write_all(tiny_request("prime", 64) + "\n"));
+    const std::string primed = recv_line(client);
+    ASSERT_TRUE(response(primed).find("ok")->as_bool()) << primed;
+    ASSERT_TRUE(client.write_all("{\"id\":\"b\",\"op\":\"stats\"}\n"));
+    (void)recv_line(client);
+
+    // Fill the admission queue with a request that stays in flight,
+    // then send a memoized request and an unknown one. The memoized one
+    // must be answered from the cache (degradation mode); the unknown
+    // one needs real work and is refused.
+    ExecutorBlocker blocker;
+    const std::string payload = tiny_request("busy", 32) + "\n" +
+                                tiny_request("hit", 64) + "\n" +
+                                tiny_request("miss", 96) + "\n";
+    ASSERT_TRUE(client.write_all(payload));
+    ASSERT_TRUE(wait_until([&] {
+        const protocol::ServerCounters counters = server.counters();
+        return counters.load_shed_cache_hits >= 1 && counters.requests_rejected >= 1;
+    }));
+    blocker.release();
+    client.shutdown_write();
+    const std::vector<std::string> lines = split_lines(recv_all(client));
+    server.stop();
+
+    ASSERT_EQ(lines.size(), 3U);
+    bool saw_hit = false;
+    bool saw_miss = false;
+    bool saw_busy = false;
+    for (const std::string& text : lines) {
+        const JsonValue reply = response(text);
+        const std::string id = reply.find("id")->as_string();
+        if (id == "hit") {
+            saw_hit = true;
+            EXPECT_TRUE(reply.find("ok")->as_bool()) << text;
+        } else if (id == "miss") {
+            saw_miss = true;
+            EXPECT_FALSE(reply.find("ok")->as_bool()) << text;
+            EXPECT_EQ(reply.find("error")->find("kind")->as_string(), "overloaded");
+        } else if (id == "busy") {
+            saw_busy = true;
+            EXPECT_TRUE(reply.find("ok")->as_bool()) << text;
+        }
+    }
+    EXPECT_TRUE(saw_hit);
+    EXPECT_TRUE(saw_miss);
+    EXPECT_TRUE(saw_busy);
+    EXPECT_EQ(server.counters().load_shed_cache_hits, 1U);
+}
+
+TEST(Server, InjectedFramingFaultDegradesToOneParseError)
+{
+    Server server;
+    server.start();
+    const net::Socket client = net::connect(server.endpoint());
+    const FaultPlanGuard plan("framing.read:fail@2");
+    // Frame 1 decodes normally; frame 2 trips the injected decode
+    // failure and degrades to a typed per-request error; frame 3 shows
+    // the stream stayed in sync.
+    const std::string payload = tiny_request("ok1", 64) + "\n" +
+                                tiny_request("faulted", 48) + "\n" +
+                                "{\"id\":\"ok2\",\"op\":\"stats\"}\n";
+    ASSERT_TRUE(client.write_all(payload));
+    client.shutdown_write();
+    const std::vector<std::string> lines = split_lines(recv_all(client));
+    server.stop();
+
+    ASSERT_EQ(lines.size(), 3U);
+    int ok = 0;
+    int parse_errors = 0;
+    for (const std::string& text : lines) {
+        const JsonValue reply = response(text);
+        const JsonValue* error = reply.find("error");
+        if (error != nullptr) {
+            EXPECT_EQ(error->find("kind")->as_string(), "parse") << text;
+            EXPECT_NE(error->find("message")->as_string().find("injected framing fault"),
+                      std::string::npos)
+                << text;
+            ++parse_errors;
+        } else {
+            ++ok;
+        }
+    }
+    EXPECT_EQ(ok, 2);
+    EXPECT_EQ(parse_errors, 1);
 }
 
 } // namespace

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 #include "core/optimizer.hpp"
 #include "report/solution_json.hpp"
 #include "service/json.hpp"
@@ -337,6 +338,29 @@ TEST(ServiceJson, IntegerAccessorRejectsFractions)
     EXPECT_THROW((void)JsonValue::parse("1.5").as_int(), ValidationError);
     EXPECT_THROW((void)JsonValue::parse("1e30").as_int(), ValidationError);
     EXPECT_THROW((void)JsonValue::parse("\"7\"").as_int(), ValidationError);
+}
+
+TEST(Service, InjectedTablesBuildFaultIsTransientNotMemoized)
+{
+    fault::install_plan(fault::parse_plan("cache.tables_build:fail@1"));
+    RequestService service;
+    const std::string request =
+        R"({"id":"t1","soc":"d695","channels":256,"depth":"48K"})";
+
+    // The injected failure surfaces as one typed internal error...
+    const std::string faulted = service.execute_one(request);
+    const JsonValue failed = response(faulted);
+    EXPECT_FALSE(failed.find("ok")->as_bool()) << faulted;
+    EXPECT_EQ(failed.find("error")->find("kind")->as_string(), "internal");
+    EXPECT_NE(failed.find("error")->find("message")->as_string().find("injected fault"),
+              std::string::npos)
+        << faulted;
+
+    // ...and must NOT poison the solution memo: the identical request
+    // (same memo key) succeeds once the transient fault has passed.
+    fault::clear_plan();
+    const std::string healed = service.execute_one(request);
+    EXPECT_TRUE(response(healed).find("ok")->as_bool()) << healed;
 }
 
 } // namespace

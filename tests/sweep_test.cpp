@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 #include "scenario/scenario_spec.hpp"
 #include "scenario/sweep.hpp"
 
@@ -249,6 +250,188 @@ TEST(Sweep, ForeignAndPartialCheckpointsAreRecomputed)
         run_sweep("other", other_scenarios, options_for(dir.path(), 4, 1));
     EXPECT_GT(repaired.executed, 0u);
     EXPECT_EQ(before, read_file(dir.path() + "/report.json"));
+}
+
+/// Installs a fault plan for one test and guarantees the process is
+/// disarmed afterwards, whatever the assertions did.
+class FaultPlanGuard {
+public:
+    explicit FaultPlanGuard(const std::string& plan)
+    {
+        fault::install_plan(fault::parse_plan(plan));
+    }
+    ~FaultPlanGuard()
+    {
+        fault::clear_plan();
+        fault::set_attempt(0);
+    }
+    FaultPlanGuard(const FaultPlanGuard&) = delete;
+    FaultPlanGuard& operator=(const FaultPlanGuard&) = delete;
+};
+
+/// Fault-free reference report for small_scenarios(): what every
+/// fault-riddled run below must still produce, byte for byte.
+std::string reference_report()
+{
+    const TempDir dir;
+    (void)run_sweep("sweep-test", small_scenarios(), options_for(dir.path(), 1, 1));
+    return read_file(dir.path() + "/report.json");
+}
+
+TEST(Sweep, InlineCheckpointWriteFailuresSelfHeal)
+{
+    const std::string reference = reference_report();
+    const std::vector<Scenario> scenarios = small_scenarios();
+
+    const TempDir dir;
+    SweepOptions options = options_for(dir.path(), 1, 1);
+    options.backoff_base_ms = 0;
+    // Two injected checkpoint-write failures at distinct hit ordinals.
+    // Hit counters are NOT reset across inline retries, so each rule
+    // fires exactly once and the shard's third attempt runs clean.
+    const FaultPlanGuard plan(
+        "sweep.checkpoint_write:fail@1*9=ENOSPC;sweep.checkpoint_write:fail@5*9");
+    const SweepOutcome outcome = run_sweep("sweep-test", scenarios, options);
+
+    EXPECT_EQ(outcome.worker_failures, 2u);
+    EXPECT_EQ(outcome.restarts, 2u);
+    EXPECT_TRUE(outcome.quarantined.empty());
+    EXPECT_EQ(reference, read_file(dir.path() + "/report.json"));
+}
+
+TEST(Sweep, SupervisorRestartsCrashedWorkersToByteIdenticalReport)
+{
+    const std::string reference = reference_report();
+    const std::vector<Scenario> scenarios = small_scenarios();
+
+    for (const int threads : {1, 8}) {
+        const TempDir dir;
+        SweepOptions options = options_for(dir.path(), 2, threads);
+        options.workers = 2;
+        options.backoff_base_ms = 0;
+        options.max_restarts = 4;
+        // Every worker crashes at its second scenario on attempts 0-2
+        // (two shards x three crashes = six worker deaths), then the
+        // attempt-3 workers run clean — strictly more than the three
+        // crashes the supervision contract promises to absorb.
+        const FaultPlanGuard plan("sweep.scenario:crash@2*3");
+        const SweepOutcome outcome = run_sweep("sweep-test", scenarios, options);
+
+        EXPECT_EQ(outcome.worker_failures, 6u) << "threads=" << threads;
+        EXPECT_EQ(outcome.restarts, 6u);
+        EXPECT_TRUE(outcome.quarantined.empty());
+        EXPECT_EQ(reference, read_file(dir.path() + "/report.json"))
+            << "threads=" << threads;
+    }
+}
+
+TEST(Sweep, SupervisorQuarantinesThePoisonScenario)
+{
+    const std::string reference = reference_report();
+    const std::vector<Scenario> scenarios = small_scenarios();
+
+    const TempDir dir;
+    SweepOptions options = options_for(dir.path(), 2, 1);
+    options.workers = 2;
+    options.backoff_base_ms = 0;
+    options.max_restarts = 2;
+    // Each worker attempt re-runs its shard from scratch, so a crash at
+    // the second probed scenario lands on the same scenario every
+    // attempt it fires: attempts 0 and 1 both die there, the second
+    // consecutive death quarantines it (the heartbeat trail names it),
+    // and the attempt-2 worker — outside the *2 window — runs clean.
+    const FaultPlanGuard plan("sweep.scenario:crash@2*2");
+    const SweepOutcome outcome = run_sweep("sweep-test", scenarios, options);
+
+    // Round-robin over 2 shards: the second scenario probed is global
+    // index 2 (shard 0) and 3 (shard 1).
+    EXPECT_EQ(outcome.quarantined, (std::vector<std::uint32_t>{2, 3}));
+    EXPECT_EQ(outcome.worker_failures, 4u);
+    EXPECT_EQ(outcome.restarts, 4u);
+
+    const std::string report = read_file(dir.path() + "/report.json");
+    EXPECT_NE(report.find("\"error_kind\": \"worker_crash\""), std::string::npos);
+    EXPECT_NE(report.find("scenario quarantined after repeated worker crashes"),
+              std::string::npos);
+    // Quarantined entries are the only allowed difference: every line
+    // not describing scenario 2 or 3 matches the fault-free report.
+    std::istringstream got(report);
+    std::istringstream want(reference);
+    std::string got_line;
+    std::string want_line;
+    while (std::getline(want, want_line)) {
+        ASSERT_TRUE(static_cast<bool>(std::getline(got, got_line)));
+        if (want_line.find("\"index\": 2,") != std::string::npos ||
+            want_line.find("\"index\": 3,") != std::string::npos) {
+            // The fault-free entries for 2 and 3 span multiple lines;
+            // skip to the next scenario entry in both streams.
+            while (want_line.find("} }") == std::string::npos &&
+                   want_line.rfind("\" }") == std::string::npos &&
+                   std::getline(want, want_line)) {
+            }
+            continue;
+        }
+        if (got_line.find("\"index\": 2,") != std::string::npos ||
+            got_line.find("\"index\": 3,") != std::string::npos) {
+            continue; // the single-line quarantine record
+        }
+        EXPECT_EQ(got_line, want_line);
+    }
+
+    // A resumed run reuses the quarantine-bearing checkpoints verbatim.
+    fault::clear_plan();
+    const SweepOutcome again = run_sweep("sweep-test", scenarios, options);
+    EXPECT_EQ(again.resumed, 8u);
+    EXPECT_EQ(report, read_file(dir.path() + "/report.json"));
+}
+
+TEST(Sweep, WatchdogKillsHungWorkerAndRestartHeals)
+{
+    const std::string reference = reference_report();
+    const std::vector<Scenario> scenarios = small_scenarios();
+
+    const TempDir dir;
+    SweepOptions options = options_for(dir.path(), 2, 1);
+    options.workers = 2;
+    options.backoff_base_ms = 0;
+    options.hang_timeout_ms = 250;
+    // Attempt-0 workers wedge at their second scenario; the shard file
+    // stops growing, the watchdog SIGKILLs them, and the attempt-1
+    // workers (gated by *1) run clean.
+    const FaultPlanGuard plan("sweep.scenario:hang@2*1");
+    const SweepOutcome outcome = run_sweep("sweep-test", scenarios, options);
+
+    EXPECT_EQ(outcome.worker_failures, 2u);
+    EXPECT_EQ(outcome.restarts, 2u);
+    EXPECT_TRUE(outcome.quarantined.empty());
+    EXPECT_EQ(reference, read_file(dir.path() + "/report.json"));
+}
+
+TEST(Sweep, TrailerTornOffByKillIsRecomputedByteIdentically)
+{
+    const std::string reference = reference_report();
+    const std::vector<Scenario> scenarios = small_scenarios();
+
+    const TempDir dir;
+    (void)run_sweep("sweep-test", scenarios, options_for(dir.path(), 2, 1));
+
+    // Strip exactly the 20-byte trailer from a completed shard: the
+    // on-disk state of a SIGKILL landing after the last (fsynced)
+    // record but before the trailer write.
+    const std::string shard1 = dir.path() + "/shard-0001.msr";
+    const std::string content = read_file(shard1);
+    ASSERT_GT(content.size(), 20u);
+    {
+        std::ofstream out(shard1, std::ios::binary | std::ios::trunc);
+        out << content.substr(0, content.size() - 20);
+    }
+    std::remove((dir.path() + "/report.json").c_str());
+
+    const SweepOutcome resumed =
+        run_sweep("sweep-test", scenarios, options_for(dir.path(), 2, 1));
+    EXPECT_EQ(resumed.resumed, 4u); // shard 0 reused
+    EXPECT_EQ(resumed.executed, 4u); // trailerless shard 1 recomputed
+    EXPECT_EQ(reference, read_file(dir.path() + "/report.json"));
 }
 
 TEST(Sweep, RejectsUnusableOptions)
