@@ -25,7 +25,6 @@ SocTimeTables::SocTimeTables(const Soc& soc, TableBuild build, int threads) : so
         tables_.reserve(count);
         for (const Module& m : soc.modules()) {
             tables_.emplace_back(m, 0, build);
-            total_min_area_ += tables_.back().min_area();
         }
     } else {
         std::vector<std::optional<ModuleTimeTable>> slots(count);
@@ -35,15 +34,32 @@ SocTimeTables::SocTimeTables(const Soc& soc, TableBuild build, int threads) : so
         tables_.reserve(count);
         for (std::size_t m = 0; m < count; ++m) {
             tables_.push_back(std::move(*slots[m]));
-            total_min_area_ += tables_.back().min_area();
         }
     }
+    flatten();
+}
 
+SocTimeTables::SocTimeTables(const Soc& soc, std::vector<ModuleTimeTable> tables)
+    : soc_(&soc), tables_(std::move(tables))
+{
+    if (tables_.size() != static_cast<std::size_t>(soc.module_count())) {
+        throw ValidationError("restored time tables do not match the SOC's module count");
+    }
+    flatten();
+}
+
+void SocTimeTables::flatten()
+{
     // Flatten the staircases into the SoA hot-path mirror. Every index
     // the flat accessors can produce is materialized here, which is what
     // licenses the unchecked loads: module indices are validated by the
     // offsets_ size (module_count() + 1 entries) and width clamping can
     // never leave the module's [offsets_[m], offsets_[m + 1]) slice.
+    const std::size_t count = tables_.size();
+    total_min_area_ = 0;
+    for (const ModuleTimeTable& table : tables_) {
+        total_min_area_ += table.min_area();
+    }
     offsets_.reserve(count + 1);
     offsets_.push_back(0);
     std::size_t total_widths = 0;

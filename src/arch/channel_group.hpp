@@ -47,6 +47,14 @@ public:
     explicit SocTimeTables(const Soc& soc, TableBuild build = TableBuild::fast,
                            int threads = 0);
 
+    /// Restore from per-module tables deserialized out of the shared-
+    /// memory cache tier (src/shm/store.hpp). `tables[i]` must reference
+    /// soc.module(i); the flattened hot-path mirror is rebuilt through
+    /// the same code the building constructor uses, so a restored
+    /// instance is byte-identical to a fresh build. Throws
+    /// ValidationError on a module-count mismatch.
+    SocTimeTables(const Soc& soc, std::vector<ModuleTimeTable> tables);
+
     [[nodiscard]] const Soc& soc() const noexcept { return *soc_; }
     [[nodiscard]] const ModuleTimeTable& table(int module_index) const noexcept
     {
@@ -148,6 +156,9 @@ public:
     }
 
 private:
+    /// Build the flat SoA mirror and total_min_area_ from tables_.
+    void flatten();
+
     const Soc* soc_;
     std::vector<ModuleTimeTable> tables_;
     CycleCount total_min_area_ = 0;

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "arch/channel_group.hpp"
 #include "ate/ate.hpp"
 #include "batch/batch_runner.hpp"
@@ -42,9 +44,11 @@
 #include "report/table.hpp"
 #include "scenario/scenario_spec.hpp"
 #include "scenario/sweep.hpp"
+#include "service/prefork.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
+#include "shm/store.hpp"
 #include "soc/profiles.hpp"
 #include "soc/writer.hpp"
 
@@ -80,9 +84,10 @@ const std::vector<FlagSpec> service_flags = {
 
 /// Network flags accepted by `serve` (active with --listen).
 const std::vector<FlagSpec> server_flags = {
-    {"listen", true},          {"port-file", true},       {"max-connections", true},
-    {"queue", true},           {"conn-queue", true},      {"idle-timeout-ms", true},
+    {"listen", true},          {"port-file", true},        {"max-connections", true},
+    {"queue", true},           {"conn-queue", true},       {"idle-timeout-ms", true},
     {"read-timeout-ms", true}, {"write-timeout-ms", true}, {"max-frame-bytes", true},
+    {"processes", true},       {"shm", true},              {"shm-name", true},
 };
 
 /// --fault-plan wins over the MST_FAULT_PLAN environment variable (the
@@ -351,9 +356,25 @@ int cmd_sweep(const Flags& flags)
     options.backoff_base_ms = parse_int_flag("backoff-ms", flag_or(flags, "backoff-ms", "100"));
     options.hang_timeout_ms =
         parse_int_flag("hang-timeout-ms", flag_or(flags, "hang-timeout-ms", "30000"));
+    options.drain_timeout_ms =
+        parse_int_flag("drain-timeout-ms", flag_or(flags, "drain-timeout-ms", "5000"));
     install_fault_plan_flag(flags);
 
+    if (options.workers > 1) {
+        // Supervised runs turn SIGTERM/SIGINT into a worker drain: the
+        // supervisor forwards the signal, reaps, and resumes later from
+        // the checkpoints. Inline runs keep default signal semantics.
+        ShutdownLatch::global().install_handlers();
+    }
+
     const SweepOutcome outcome = run_sweep(spec.name, scenarios, options);
+
+    if (outcome.interrupted) {
+        std::cerr << "sweep interrupted by signal; shard checkpoints kept for resume"
+                  << (outcome.drain_killed ? " (straggling workers SIGKILLed)" : "")
+                  << '\n';
+        return outcome.drain_killed ? 137 : 130;
+    }
 
     if (flags.count("json") != 0) {
         // The latency summary is intentionally separate from the
@@ -463,8 +484,52 @@ int cmd_serve(const Flags& flags)
     }
     config.max_frame_bytes = static_cast<std::size_t>(max_frame);
 
+    // Shared-memory cache tier: --shm <bytes> enables it; the segment
+    // name defaults to a per-invocation one so unrelated servers never
+    // collide (pass --shm-name to share deliberately).
+    const int shm_bytes = parse_int_flag("shm", flag_or(flags, "shm", "0"));
+    std::string shm_name = flag_or(flags, "shm-name", "");
+    if (shm_bytes < 0) {
+        throw ValidationError("--shm must be a size in bytes (0 disables)");
+    }
+    if (!shm_name.empty() && shm_bytes == 0) {
+        throw ValidationError("--shm-name requires --shm <bytes>");
+    }
+    if (shm_bytes > 0 && shm_name.empty()) {
+        shm_name = "/mst-serve-" + std::to_string(::getpid());
+    }
+
     ShutdownLatch& latch = ShutdownLatch::global();
     latch.install_handlers();
+
+    const int processes = parse_int_flag("processes", flag_or(flags, "processes", "1"));
+    if (processes > 1) {
+        // Supervised prefork pool (docs/shm.md): the parent binds once,
+        // forks workers over the shared listener, restarts the ones
+        // that die, and writes --port-file only when all are ready.
+        PreforkOptions prefork;
+        prefork.server = config;
+        prefork.processes = processes;
+        prefork.port_file = flag_or(flags, "port-file", "");
+        if (shm_bytes > 0) {
+            prefork.shm_name = shm_name;
+            prefork.shm_bytes = static_cast<std::size_t>(shm_bytes);
+        }
+        return run_prefork(prefork, latch);
+    }
+    if (processes < 1) {
+        throw ValidationError("--processes must be at least 1");
+    }
+
+    if (shm_bytes > 0) {
+        // Single process: attach the tier directly (degrades to
+        // local-only with a warning rather than failing the server).
+        config.service.shm =
+            shm::ShmStore::open(shm_name, static_cast<std::size_t>(shm_bytes));
+        if (!config.service.shm->attached()) {
+            std::cerr << "mst serve: shared-memory tier degraded; running local-only\n";
+        }
+    }
     Server server(config);
     server.start();
     const net::Endpoint bound = server.endpoint();
@@ -489,6 +554,10 @@ int cmd_serve(const Flags& flags)
     std::cerr << "mst serve: listening on " << bound.to_string() << " (protocol v"
               << protocol::version << "); SIGTERM drains and exits\n";
     server.run(latch); // blocks until SIGTERM/SIGINT, then drains
+    if (config.service.shm != nullptr && config.service.shm->attached() &&
+        config.service.shm->segment()->created()) {
+        config.service.shm->segment()->unlink(); // creator cleans up the name
+    }
     return 0;
 }
 
@@ -756,7 +825,8 @@ int cmd_help()
         "           (cross product of comma-separated lists, run in parallel)\n"
         "  sweep    --spec <file> --out <dir> [--shards N] [--workers N]\n"
         "           [--threads N] [--list] [--json] [--max-restarts N]\n"
-        "           [--backoff-ms N] [--hang-timeout-ms N] [--fault-plan P]\n"
+        "           [--backoff-ms N] [--hang-timeout-ms N] [--drain-timeout-ms N]\n"
+        "           [--fault-plan P]\n"
         "           (sharded, resumable scenario sweep from a declarative spec\n"
         "            file; completed shards checkpoint to <dir>/shard-*.msr and\n"
         "            a rerun resumes instead of recomputing — the final\n"
@@ -764,13 +834,16 @@ int cmd_help()
         "            any shard/worker/thread count. Crashed or hung workers\n"
         "            are restarted with capped backoff; a scenario that keeps\n"
         "            killing its worker is quarantined after --max-restarts\n"
-        "            consecutive failures. --list previews the expansion; see\n"
-        "            docs/sweep.md and docs/robustness.md)\n"
+        "            consecutive failures. SIGTERM/SIGINT drains workers\n"
+        "            (--drain-timeout-ms, then SIGKILL) and exits 130/137 with\n"
+        "            checkpoints kept for resume. --list previews the\n"
+        "            expansion; see docs/sweep.md and docs/robustness.md)\n"
         "  serve    [--threads N] [--tables-cache N] [--memo N]\n"
         "           [--listen host:port] [--port-file F] [--max-connections N]\n"
         "           [--queue N] [--conn-queue N] [--idle-timeout-ms N]\n"
         "           [--read-timeout-ms N] [--write-timeout-ms N]\n"
-        "           [--max-frame-bytes N] [--fault-plan P]\n"
+        "           [--max-frame-bytes N] [--processes N] [--shm BYTES]\n"
+        "           [--shm-name /name] [--fault-plan P]\n"
         "           (persistent request loop: one JSON request per line, one\n"
         "            JSON response per line; SOC time tables and solutions are\n"
         "            cached across requests. --listen serves the same protocol\n"
@@ -778,7 +851,15 @@ int cmd_help()
         "            queues, graceful SIGTERM drain; see docs/protocol.md.\n"
         "            exhausted accepts shed an idle connection and back off;\n"
         "            memoized answers are still served while the admission\n"
-        "            queue refuses new optimize work)\n"
+        "            queue refuses new optimize work. --processes N forks a\n"
+        "            supervised prefork pool over one shared listener: dead\n"
+        "            workers restart with capped backoff, --port-file appears\n"
+        "            only when the pool is ready. --shm attaches a crash-safe\n"
+        "            shared-memory cache tier (docs/shm.md); when the segment\n"
+        "            is unusable the server degrades to local caches instead\n"
+        "            of failing. responses are byte-identical for the same\n"
+        "            ordered request stream at any process/thread count,\n"
+        "            shm on or off)\n"
         "  replay   <file> [--threads N] [--tables-cache N] [--memo N]\n"
         "           (run a JSON-lines request file concurrently; responses\n"
         "            print in request order at any thread count)\n"
@@ -849,7 +930,7 @@ int main(int argc, char** argv)
                 {{"spec", true}, {"out", true}, {"shards", true}, {"workers", true},
                  {"threads", true}, {"list", false}, {"json", false},
                  {"max-restarts", true}, {"backoff-ms", true}, {"hang-timeout-ms", true},
-                 {"fault-plan", true}}));
+                 {"drain-timeout-ms", true}, {"fault-plan", true}}));
         }
         if (command == "serve") {
             return cmd_serve(cli::parse_flags(

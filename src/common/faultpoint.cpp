@@ -231,6 +231,10 @@ const std::vector<const char*>& known_points()
         "sweep.worker_spawn",     // sweep supervisor, per worker fork
         "sweep.scenario",         // sweep worker, per scenario executed
         "sweep.report_write",     // sweep coordinator, per report.json write
+        "shm.map",                // Segment create/attach, per mapping attempt
+        "shm.publish",            // Segment::publish, between write and commit
+        "shm.truncate_recover",   // torn-tail recovery, per truncation
+        "shm.checksum",           // Segment::lookup, per entry validation
     };
     return points;
 }

@@ -212,9 +212,10 @@ Listener::~Listener()
     close();
 }
 
-Listener::Listener(Listener&& other) noexcept : fd_(other.fd_)
+Listener::Listener(Listener&& other) noexcept : fd_(other.fd_), shared_(other.shared_)
 {
     other.fd_ = -1;
+    other.shared_ = false;
 }
 
 Listener& Listener::operator=(Listener&& other) noexcept
@@ -222,7 +223,9 @@ Listener& Listener::operator=(Listener&& other) noexcept
     if (this != &other) {
         close();
         fd_ = other.fd_;
+        shared_ = other.shared_;
         other.fd_ = -1;
+        other.shared_ = false;
     }
     return *this;
 }
@@ -253,6 +256,28 @@ Listener Listener::bind(const Endpoint& endpoint, int backlog)
         throw Error(error);
     }
     return Listener(fd);
+}
+
+Listener Listener::adopt(int fd)
+{
+    if (fd < 0) {
+        throw ValidationError("cannot adopt a negative listener fd");
+    }
+    Listener listener(fd);
+    listener.shared_ = true;
+    return listener;
+}
+
+int Listener::dup_fd() const
+{
+    if (fd_ < 0) {
+        throw Error("cannot dup an invalid listener");
+    }
+    const int copy = ::fcntl(fd_, F_DUPFD_CLOEXEC, 0);
+    if (copy < 0) {
+        fail_errno("dup listener fd");
+    }
+    return copy;
 }
 
 Endpoint Listener::local_endpoint() const
@@ -321,8 +346,13 @@ AcceptResult Listener::accept(int timeout_ms) const
 void Listener::close() noexcept
 {
     if (fd_ >= 0) {
-        // shutdown() wakes a thread blocked in poll/accept on this fd.
-        (void)::shutdown(fd_, SHUT_RDWR);
+        // shutdown() wakes a thread blocked in poll/accept on this fd —
+        // but only for an exclusively owned description: an adopted
+        // (fork-shared) listener must not shut down accepts pool-wide,
+        // so it relies on the accept loop's poll timeout instead.
+        if (!shared_) {
+            (void)::shutdown(fd_, SHUT_RDWR);
+        }
         (void)::close(fd_);
         fd_ = -1;
     }

@@ -129,7 +129,21 @@ public:
     /// deterministically).
     [[nodiscard]] AcceptResult accept(int timeout_ms) const;
 
+    /// Adopt an already-listening descriptor (a forked prefork worker
+    /// inherits the parent's fd; the adopting Listener owns and closes
+    /// it). The underlying open file description is shared with the
+    /// parent and sibling workers, so close() on an adopted listener
+    /// skips the shutdown() wake — it must not tear down accepts
+    /// pool-wide. Throws ValidationError on a negative fd.
+    [[nodiscard]] static Listener adopt(int fd);
+
+    /// Duplicate the listening descriptor (the prefork parent keeps its
+    /// own copy alive for respawns while each worker adopts a dup).
+    /// Throws mst::Error when dup fails or the listener is invalid.
+    [[nodiscard]] int dup_fd() const;
+
     [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] int fd() const noexcept { return fd_; }
 
     /// Close the listening socket (wakes a blocked accept with nullopt).
     void close() noexcept;
@@ -138,6 +152,7 @@ private:
     explicit Listener(int fd) noexcept : fd_(fd) {}
 
     int fd_ = -1;
+    bool shared_ = false; ///< adopted: the description outlives this copy
 };
 
 /// Connect to `endpoint` (test clients; timeout_ms < 0 waits forever).

@@ -21,6 +21,7 @@
 
 #include "common/error.hpp"
 #include "common/faultpoint.hpp"
+#include "common/signals.hpp"
 #include "core/optimizer.hpp"
 #include "report/solution_json.hpp"
 #include "scenario/sweep_records.hpp"
@@ -392,6 +393,45 @@ SweepOutcome run_sweep(const std::string& sweep_name, const std::vector<Scenario
         };
 
         while (!queue.empty() || !running.empty()) {
+            if (ShutdownLatch::global().requested()) {
+                // Signal-path hardening: forward the shutdown request to
+                // every live worker, reap them EINTR-correctly within a
+                // drain grace, and SIGKILL stragglers — reported via
+                // drain_killed so the CLI can exit nonzero. Checkpoints
+                // written so far stay on disk for a later resume.
+                for (const Running& slot : running) {
+                    (void)::kill(slot.pid, SIGTERM);
+                }
+                const auto deadline =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(std::max(options.drain_timeout_ms, 0));
+                while (!running.empty() && std::chrono::steady_clock::now() < deadline) {
+                    for (std::size_t i = 0; i < running.size();) {
+                        int status = 0;
+                        if (waitpid_retry(running[i].pid, &status, WNOHANG) ==
+                            running[i].pid) {
+                            running.erase(running.begin() +
+                                          static_cast<std::ptrdiff_t>(i));
+                        } else {
+                            ++i;
+                        }
+                    }
+                    if (!running.empty()) {
+                        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+                    }
+                }
+                for (const Running& slot : running) {
+                    (void)::kill(slot.pid, SIGKILL);
+                    int status = 0;
+                    (void)waitpid_retry(slot.pid, &status, 0);
+                    outcome.drain_killed = true;
+                }
+                running.clear();
+                outcome.interrupted = true;
+                outcome.executed = 0;
+                outcome.report_path.clear(); // no report was written
+                return outcome;
+            }
             // Spawn ready shards into free worker slots. Shards still in
             // backoff rotate to the back of the queue.
             bool progressed = false;

@@ -75,6 +75,9 @@ struct SweepOptions {
     /// is declared hung and SIGKILLed (counts as a crash). 0 disables
     /// the watchdog.
     int hang_timeout_ms = 30000;
+    /// SIGTERM-to-SIGKILL grace when a shutdown request interrupts the
+    /// supervisor (SweepOutcome::interrupted / drain_killed).
+    int drain_timeout_ms = 5000;
 };
 
 /// Latency summary of one shard (outside the determinism contract).
@@ -97,6 +100,12 @@ struct SweepOutcome {
     /// True when abort_after_records tripped: shard files up to the
     /// abort point are on disk, no report was written.
     bool aborted = false;
+    /// True when SIGTERM/SIGINT interrupted the supervisor: live
+    /// workers were signaled and reaped, no report was written.
+    bool interrupted = false;
+    /// True when a worker ignored SIGTERM past the drain grace and had
+    /// to be SIGKILLed (the CLI exits nonzero in that case).
+    bool drain_killed = false;
     std::string report_path;
     std::vector<ShardTiming> shards;
     /// Worker deaths / hangs / checkpoint-write failures the supervisor

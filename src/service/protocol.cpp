@@ -221,9 +221,13 @@ Request parse_request(const std::string& frame)
                 request.op = Op::stats;
             } else if (name == "hello") {
                 request.op = Op::hello;
+            } else if (name == "health") {
+                request.op = Op::health;
             } else {
-                static const std::vector<cli::FlagSpec> ops = {
-                    {"optimize", false}, {"stats", false}, {"hello", false}};
+                static const std::vector<cli::FlagSpec> ops = {{"optimize", false},
+                                                               {"stats", false},
+                                                               {"hello", false},
+                                                               {"health", false}};
                 fail_unknown("op", name, ops);
             }
         }
@@ -385,9 +389,66 @@ std::string stats_response(const std::string& id_json, const RequestCounters& re
             << ",\"connection_queue_high_water\":" << server->connection_queue_high_water
             << ",\"accept_retries\":" << server->accept_retries
             << ",\"connections_shed\":" << server->connections_shed
-            << ",\"load_shed_cache_hits\":" << server->load_shed_cache_hits << '}';
+            << ",\"load_shed_cache_hits\":" << server->load_shed_cache_hits;
+        if (server->shm.enabled) {
+            const auto& shm = server->shm;
+            out << ",\"shm\":{\"attached\":" << (shm.attached ? "true" : "false")
+                << ",\"hits\":" << shm.hits << ",\"misses\":" << shm.misses
+                << ",\"publishes\":" << shm.publishes << ",\"fallbacks\":" << shm.fallbacks
+                << ",\"checksum_failures\":" << shm.checksum_failures
+                << ",\"generation\":" << shm.generation
+                << ",\"committed_bytes\":" << shm.committed_bytes
+                << ",\"arena_bytes\":" << shm.arena_bytes
+                << ",\"recoveries\":" << shm.recoveries
+                << ",\"truncated_bytes\":" << shm.truncated_bytes << '}';
+        }
+        if (server->pool.enabled) {
+            const auto& pool = server->pool;
+            out << ",\"pool\":{\"workers\":" << pool.workers << ",\"ready\":" << pool.ready
+                << ",\"restarts\":" << pool.restarts
+                << ",\"quarantined\":" << pool.quarantined << ",\"per_worker\":[";
+            for (std::size_t i = 0; i < pool.per_worker.size(); ++i) {
+                const ServerCounters::PoolWorker& worker = pool.per_worker[i];
+                if (i != 0) {
+                    out << ',';
+                }
+                out << "{\"pid\":" << worker.pid << ",\"state\":\"" << worker.state
+                    << "\",\"heartbeat\":" << worker.heartbeat
+                    << ",\"received\":" << worker.received << ",\"ok\":" << worker.ok
+                    << ",\"failed\":" << worker.failed
+                    << ",\"connections_accepted\":" << worker.connections_accepted
+                    << ",\"requests_admitted\":" << worker.requests_admitted
+                    << ",\"requests_rejected\":" << worker.requests_rejected
+                    << ",\"shm_hits\":" << worker.shm_hits
+                    << ",\"shm_misses\":" << worker.shm_misses
+                    << ",\"shm_publishes\":" << worker.shm_publishes
+                    << ",\"shm_fallbacks\":" << worker.shm_fallbacks << '}';
+            }
+            std::uint64_t total_received = 0;
+            std::uint64_t total_ok = 0;
+            std::uint64_t total_failed = 0;
+            for (const ServerCounters::PoolWorker& worker : pool.per_worker) {
+                total_received += worker.received;
+                total_ok += worker.ok;
+                total_failed += worker.failed;
+            }
+            out << "],\"totals\":{\"received\":" << total_received << ",\"ok\":" << total_ok
+                << ",\"failed\":" << total_failed << "}}";
+        }
+        out << '}'; // closes "server": shm + pool nest inside it
     }
     out << "}}";
+    return out.str();
+}
+
+std::string health_response(const std::string& id_json, const HealthInfo& health)
+{
+    std::ostringstream out;
+    out << response_prefix(id_json) << "\"ok\":true,\"health\":{\"status\":\""
+        << (health.ok ? "ok" : "degraded") << "\",\"shm\":\"" << health.shm
+        << "\",\"executor_threads\":" << health.executor_threads
+        << ",\"inflight\":" << health.inflight << ",\"queue_limit\":" << health.queue_limit
+        << "}}";
     return out.str();
 }
 

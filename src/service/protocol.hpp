@@ -13,7 +13,7 @@
 //   {"id": <string|number>,       echoed verbatim in the response
 //    "v": 1,                      protocol version (default 1; other
 //                                 values are rejected with kind "version")
-//    "op": "optimize"|"stats"|"hello",   default "optimize"
+//    "op": "optimize"|"stats"|"hello"|"health",   default "optimize"
 //    "soc": "<name|path>",        optimize: exactly one of soc/soc_text
 //    "soc_text": "<.soc text>",
 //    "channels": 512, "depth": "7M"|<vectors>, "clock": 5e6,
@@ -32,6 +32,13 @@
 //    "error":{"kind":"<kind>", "message":"...", "detail":"..."}}
 //   {"id":..., "v":1, "ok":true, "stats":{...}}
 //   {"id":..., "v":1, "ok":true, "hello":{"framing":"...","stream":...}}
+//   {"id":..., "v":1, "ok":true, "health":{"status":...,"shm":...,...}}
+//
+// `health` is the liveness/readiness probe (docs/protocol.md): answered
+// inline on the connection's reader thread without touching the
+// optimizer pool, so supervisors and load balancers can probe a busy
+// worker cheaply. It reports executor readiness, the shared-memory
+// tier's state (off/attached/degraded), and current queue depths.
 //
 // The error kind taxonomy (the one place it is defined):
 //   parse            malformed frame JSON / .soc content / oversized frame
@@ -100,7 +107,7 @@ enum class StatsScope {
 /// captured in `error` instead of thrown, so a bad frame costs one error
 /// response, never a dead server.
 struct Request {
-    enum class Op { optimize, stats, hello };
+    enum class Op { optimize, stats, hello, health };
 
     std::string id_json; ///< the id value as written (raw token), "" = absent
     Op op = Op::optimize;
@@ -156,6 +163,60 @@ struct ServerCounters {
     /// Optimize requests answered from the solution memo while the
     /// admission queue was refusing new work (load-shedding mode).
     std::uint64_t load_shed_cache_hits = 0;
+
+    /// Shared-memory cache tier section (serialized when `enabled`).
+    /// Mixes this process's local store activity with the segment-wide
+    /// shared counters (src/shm/store.hpp).
+    struct ShmSection {
+        bool enabled = false;
+        bool attached = false; ///< false + enabled = degraded (local-only)
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t publishes = 0;
+        std::uint64_t fallbacks = 0;
+        std::uint64_t checksum_failures = 0;
+        std::uint64_t generation = 0;
+        std::uint64_t committed_bytes = 0;
+        std::uint64_t arena_bytes = 0;
+        std::uint64_t recoveries = 0;
+        std::uint64_t truncated_bytes = 0;
+    } shm;
+
+    /// Prefork pool section (serialized when `enabled`): per-worker
+    /// rows from the segment's slot table plus pool totals, aggregated
+    /// by whichever worker answered the stats request.
+    struct PoolWorker {
+        std::uint64_t pid = 0;
+        const char* state = "empty"; ///< starting|ready|draining
+        std::uint64_t heartbeat = 0;
+        std::uint64_t received = 0;
+        std::uint64_t ok = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t connections_accepted = 0;
+        std::uint64_t requests_admitted = 0;
+        std::uint64_t requests_rejected = 0;
+        std::uint64_t shm_hits = 0;
+        std::uint64_t shm_misses = 0;
+        std::uint64_t shm_publishes = 0;
+        std::uint64_t shm_fallbacks = 0;
+    };
+    struct PoolSection {
+        bool enabled = false;
+        std::uint64_t workers = 0;     ///< configured pool size
+        std::uint64_t ready = 0;       ///< slots currently in state ready
+        std::uint64_t restarts = 0;    ///< respawns since the pool started
+        std::uint64_t quarantined = 0; ///< slots given up on
+        std::vector<PoolWorker> per_worker;
+    } pool;
+};
+
+/// Payload of a health response (liveness + readiness probe).
+struct HealthInfo {
+    bool ok = true;               ///< false = degraded (shm configured but down)
+    const char* shm = "off";      ///< off|attached|degraded
+    int executor_threads = 0;     ///< worker threads the executor resolves to
+    std::uint64_t inflight = 0;   ///< optimize requests currently admitted
+    std::uint64_t queue_limit = 0;///< global admission bound (0 over stdio)
 };
 
 [[nodiscard]] std::string ok_response(const std::string& id_json,
@@ -172,6 +233,8 @@ struct ServerCounters {
                                          const ServerCounters* server);
 [[nodiscard]] std::string hello_response(const std::string& id_json, Framing framing,
                                          bool stream);
+[[nodiscard]] std::string health_response(const std::string& id_json,
+                                          const HealthInfo& health);
 
 // --- The one options/cell surface shared by JSON requests and CLI flags ---
 

@@ -73,7 +73,12 @@ Server::~Server()
 
 void Server::start()
 {
-    listener_ = net::Listener::bind(config_.listen);
+    start(net::Listener::bind(config_.listen));
+}
+
+void Server::start(net::Listener listener)
+{
+    listener_ = std::move(listener);
     endpoint_ = listener_.local_endpoint();
     started_.store(true);
     accept_thread_ = std::thread([this] { accept_loop(); });
@@ -126,6 +131,10 @@ protocol::ServerCounters Server::counters() const
     counters.accept_retries = accept_retries_.load();
     counters.connections_shed = connections_shed_.load();
     counters.load_shed_cache_hits = load_shed_cache_hits_.load();
+    service_.fill_shm_section(counters);
+    if (config_.pool_stats) {
+        config_.pool_stats(counters);
+    }
     return counters;
 }
 
@@ -349,6 +358,21 @@ bool Server::process_buffered(const std::shared_ptr<Connection>& conn, FrameRead
             ++requests_admitted_;
             const protocol::ServerCounters snapshot = counters();
             if (!deliver(*conn, seq, service_.stats_response(request, &snapshot))) {
+                return false;
+            }
+            continue;
+        }
+
+        if (request.error.kind == protocol::ErrorKind::none &&
+            request.op == protocol::Request::Op::health) {
+            // Liveness/readiness probe: answered inline on the reader
+            // thread without touching the optimizer pool, so a saturated
+            // worker still responds to its supervisor.
+            ++requests_admitted_;
+            protocol::HealthInfo health = service_.health_info();
+            health.inflight = global_inflight_.load();
+            health.queue_limit = static_cast<std::uint64_t>(config_.global_queue_limit);
+            if (!deliver(*conn, seq, protocol::health_response(request.id_json, health))) {
                 return false;
             }
             continue;

@@ -39,6 +39,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -74,6 +75,9 @@ struct ServerConfig {
     /// clock. 0 disables sleeping (tests).
     int accept_backoff_ms = 10;
     int accept_backoff_cap_ms = 500;
+    /// Set by a prefork pool worker: augments scope-"server" stats with
+    /// the pool section aggregated from the shared segment's slot table.
+    std::function<void(protocol::ServerCounters&)> pool_stats;
     ServiceConfig service;
 };
 
@@ -88,6 +92,10 @@ public:
     /// Bind the listener and start accepting. Throws mst::Error when the
     /// address is unavailable.
     void start();
+
+    /// Start accepting on an already-bound listener (a prefork worker
+    /// inherits the parent's listening fd instead of binding its own).
+    void start(net::Listener listener);
 
     /// The bound address (resolves a port-0 request to the kernel pick).
     [[nodiscard]] net::Endpoint endpoint() const { return endpoint_; }

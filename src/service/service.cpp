@@ -29,7 +29,7 @@ std::string memo_key(const std::string& fingerprint_text, const protocol::Reques
 
 RequestService::RequestService(ServiceConfig config)
     : config_(config),
-      tables_(config.tables_cache_capacity),
+      tables_(config.tables_cache_capacity, config.shm),
       memo_(config.memo_capacity)
 {
 }
@@ -87,6 +87,16 @@ std::shared_ptr<const SolutionOutcome> RequestService::outcome_for(
         try {
             request.cell.validate();
             const std::shared_ptr<const SocTables> shared = tables_.get(fingerprint, soc);
+            // Shared-memory lookaside inside the single-flight compute,
+            // and only after the tables fetch above: whether the outcome
+            // is restored or computed, the local memo AND tables-cache
+            // counters (which the stats goldens pin) are identical.
+            if (config_.shm != nullptr) {
+                if (std::shared_ptr<SolutionOutcome> restored =
+                        config_.shm->load_outcome(key)) {
+                    return restored;
+                }
+            }
             // The service's --threads cap applies inside each request
             // too (one flag meaning across the CLI). Not part of the
             // memo key: solutions are identical at any thread count.
@@ -107,8 +117,44 @@ std::shared_ptr<const SolutionOutcome> RequestService::outcome_for(
         } catch (...) {
             outcome->error = {protocol::ErrorKind::internal, "unknown exception", ""};
         }
+        if (config_.shm != nullptr) {
+            config_.shm->publish_outcome(key, *outcome);
+        }
         return outcome;
     });
+}
+
+void RequestService::fill_shm_section(protocol::ServerCounters& server) const
+{
+    if (config_.shm == nullptr) {
+        return;
+    }
+    const shm::StoreCounters store = config_.shm->counters();
+    const shm::SegmentCounters segment = config_.shm->segment_counters();
+    server.shm.enabled = true;
+    server.shm.attached = store.attached;
+    server.shm.hits = store.hits;
+    server.shm.misses = store.misses;
+    server.shm.publishes = store.publishes;
+    server.shm.fallbacks = store.fallbacks;
+    server.shm.checksum_failures = store.checksum_failures;
+    server.shm.generation = segment.generation;
+    server.shm.committed_bytes = segment.committed_bytes;
+    server.shm.arena_bytes = segment.arena_bytes;
+    server.shm.recoveries = segment.recoveries;
+    server.shm.truncated_bytes = segment.truncated_bytes;
+}
+
+protocol::HealthInfo RequestService::health_info() const
+{
+    protocol::HealthInfo health;
+    // Uncapped by a job count: report what a full batch would fan out to.
+    health.executor_threads = thread_count(~std::size_t{0});
+    if (config_.shm != nullptr) {
+        health.shm = config_.shm->attached() ? "attached" : "degraded";
+        health.ok = config_.shm->attached();
+    }
+    return health;
 }
 
 std::string RequestService::run_optimize(const protocol::Request& request, bool& ok)
@@ -145,6 +191,10 @@ std::string RequestService::run_request(const protocol::Request& request)
             // at a barrier. A lone stats request has trivially quiesced.
             --received_; // stats_response counts itself
             return stats_response(request, nullptr);
+        }
+        if (request.op == Op::health) {
+            ++ok_;
+            return protocol::health_response(request.id_json, health_info());
         }
         bool ok = false;
         std::string response = run_optimize(request, ok);

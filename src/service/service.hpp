@@ -43,6 +43,10 @@ struct ServiceConfig {
     std::size_t tables_cache_capacity = 16;
     /// LRU capacity of the solution memo (distinct full requests).
     std::size_t memo_capacity = 256;
+    /// Shared-memory cache tier, a second level *under* both LRUs
+    /// (docs/shm.md); nullptr = local-only. A degraded store (configured
+    /// but unattached) stays set so stats can report the degradation.
+    std::shared_ptr<shm::ShmStore> shm;
 };
 
 /// Memoized outcome of one distinct (SOC, cell, options) optimization:
@@ -100,6 +104,32 @@ public:
 
     [[nodiscard]] CacheStats tables_cache_stats() const { return tables_.stats(); }
     [[nodiscard]] CacheStats memo_stats() const { return memo_.stats(); }
+
+    /// Raw request counters (the prefork worker's heartbeat pushes
+    /// these into its shared-memory slot between stats barriers).
+    [[nodiscard]] protocol::RequestCounters request_counters() const
+    {
+        protocol::RequestCounters counters;
+        counters.received = received_.load();
+        counters.ok = ok_.load();
+        counters.failed = failed_.load();
+        return counters;
+    }
+
+    /// The shared-memory store this service was configured with (may be
+    /// null, or degraded — see shm::ShmStore::attached()).
+    [[nodiscard]] const std::shared_ptr<shm::ShmStore>& shm_store() const noexcept
+    {
+        return config_.shm;
+    }
+
+    /// Fill the "shm" section of a scope-"server" stats snapshot from
+    /// the configured store (no-op when no store is configured).
+    void fill_shm_section(protocol::ServerCounters& server) const;
+
+    /// Service-level health snapshot (the server overlays its queue
+    /// depths before serialization; over stdio these stay zero).
+    [[nodiscard]] protocol::HealthInfo health_info() const;
 
 private:
     [[nodiscard]] std::string run_optimize(const protocol::Request& request, bool& ok);

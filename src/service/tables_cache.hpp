@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "arch/channel_group.hpp"
 #include "service/lru_cache.hpp"
+#include "shm/store.hpp"
 #include "soc/soc.hpp"
 
 namespace mst {
@@ -34,6 +36,13 @@ public:
     {
     }
 
+    /// Adopt tables restored from the shared-memory tier (they must
+    /// reference *soc; see shm::ShmStore::load_tables).
+    SocTables(std::shared_ptr<const Soc> soc, SocTimeTables tables)
+        : soc_(std::move(soc)), tables_(std::move(tables))
+    {
+    }
+
     [[nodiscard]] const Soc& soc() const noexcept { return *soc_; }
     [[nodiscard]] const SocTimeTables& tables() const noexcept { return tables_; }
 
@@ -45,23 +54,45 @@ private:
 /// LRU of immutable table builds keyed by SOC content fingerprint.
 /// Thread-safe; concurrent requests for one fingerprint share a single
 /// build (single-flight, see LruCache).
+///
+/// With a shared-memory store configured, the store acts as a second
+/// tier *under* the LRU: the compute lambda first tries to restore the
+/// blob another process published, and publishes its own build on a
+/// store miss. Because both happen inside the single-flight compute,
+/// the LRU's hit/miss counters are identical with the store on or off —
+/// the byte-identity contract of stats responses holds either way.
 class TablesCache {
 public:
-    explicit TablesCache(std::size_t capacity) : cache_(capacity) {}
+    explicit TablesCache(std::size_t capacity, std::shared_ptr<shm::ShmStore> store = {})
+        : cache_(capacity), store_(std::move(store))
+    {
+    }
 
     /// Tables for `soc` (whose fingerprint the caller already computed).
     /// Throws whatever the underlying table build throws.
     [[nodiscard]] std::shared_ptr<const SocTables> get(std::uint64_t fingerprint,
                                                        const std::shared_ptr<const Soc>& soc)
     {
-        return cache_.get_or_compute(
-            fingerprint, [&] { return std::make_shared<const SocTables>(soc); });
+        return cache_.get_or_compute(fingerprint, [&]() -> std::shared_ptr<const SocTables> {
+            if (store_ != nullptr) {
+                if (std::unique_ptr<SocTimeTables> restored =
+                        store_->load_tables(fingerprint, *soc)) {
+                    return std::make_shared<const SocTables>(soc, std::move(*restored));
+                }
+            }
+            auto built = std::make_shared<const SocTables>(soc);
+            if (store_ != nullptr) {
+                store_->publish_tables(fingerprint, built->tables());
+            }
+            return built;
+        });
     }
 
     [[nodiscard]] CacheStats stats() const { return cache_.stats(); }
 
 private:
     LruCache<std::uint64_t, SocTables> cache_;
+    std::shared_ptr<shm::ShmStore> store_;
 };
 
 } // namespace mst

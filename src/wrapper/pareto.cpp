@@ -52,13 +52,48 @@ ModuleTimeTable::ModuleTimeTable(const Module& module, WireCount max_width, Tabl
         if (best_width == 0 || raw < best_time) {
             best_time = raw;
             best_width = w;
-            pareto_.push_back({w, raw});
         }
         times_.push_back(best_time);
         used_widths_.push_back(best_width);
-        const CycleCount area = static_cast<CycleCount>(w) * raw;
-        if (w == 1 || area < min_area_) {
-            min_area_ = area;
+    }
+    finalize_derived();
+}
+
+ModuleTimeTable::ModuleTimeTable(const Module& module, std::vector<CycleCount> times,
+                                 std::vector<WireCount> used_widths)
+    : module_(&module), times_(std::move(times)), used_widths_(std::move(used_widths))
+{
+    // The arrays come from a checksummed shared-memory blob, so damage
+    // is unlikely — but the restore path must never hand the optimizer
+    // a table violating the staircase invariants, so check them all.
+    if (times_.empty() || times_.size() != used_widths_.size()) {
+        throw ValidationError("restored time table has inconsistent array sizes");
+    }
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+        const auto w = static_cast<WireCount>(i) + 1;
+        if (times_[i] <= 0 || (i > 0 && times_[i] > times_[i - 1])) {
+            throw ValidationError("restored time table is not non-increasing");
+        }
+        if (used_widths_[i] < 1 || used_widths_[i] > w ||
+            (i > 0 && used_widths_[i] < used_widths_[i - 1])) {
+            throw ValidationError("restored time table has invalid used widths");
+        }
+    }
+    finalize_derived();
+}
+
+void ModuleTimeTable::finalize_derived()
+{
+    // Pareto points are the widths where the effective time strictly
+    // dropped — exactly the entries whose used width is the width
+    // itself (the build loop records a new best at those and only
+    // those widths).
+    pareto_.clear();
+    const auto limit = static_cast<WireCount>(times_.size());
+    for (WireCount w = 1; w <= limit; ++w) {
+        const auto index = static_cast<std::size_t>(w) - 1;
+        if (used_widths_[index] == w && (w == 1 || times_[index] < times_[index - 1])) {
+            pareto_.push_back({w, times_[index]});
         }
     }
 
@@ -76,6 +111,14 @@ ModuleTimeTable::ModuleTimeTable(const Module& module, WireCount max_width, Tabl
         }
         suffix_min_area_[index] = best_area;
     }
+
+    // min over w of w * raw(w) equals min over w of w * effective(w):
+    // effective(w) = raw(used(w)) with used(w) <= w, so each effective
+    // area w * raw(used(w)) >= used(w) * raw(used(w)) — no effective
+    // area undercuts the raw minimum — while effective <= raw bounds it
+    // from the other side. The suffix head is therefore the same value
+    // the build loop used to accumulate from raw times directly.
+    min_area_ = suffix_min_area_.front();
 }
 
 CycleCount ModuleTimeTable::min_area_from(WireCount width) const

@@ -42,6 +42,16 @@ public:
     explicit ModuleTimeTable(const Module& module, WireCount max_width = 0,
                              TableBuild build = TableBuild::fast);
 
+    /// Restore a table from its serialized staircase arrays (the shared-
+    /// memory cache tier, src/shm/store.hpp). The derived fields (pareto
+    /// points, suffix-min areas, min area) are recomputed from the
+    /// arrays through the same finalize path a fresh build uses, so a
+    /// restored table is byte-identical to the original. Throws
+    /// ValidationError when the arrays are inconsistent (wrong sizes,
+    /// non-monotone times, out-of-range used widths).
+    ModuleTimeTable(const Module& module, std::vector<CycleCount> times,
+                    std::vector<WireCount> used_widths);
+
     [[nodiscard]] const Module& module() const noexcept { return *module_; }
     [[nodiscard]] WireCount max_width() const noexcept
     {
@@ -86,8 +96,20 @@ public:
     {
         return suffix_min_area_;
     }
+    /// Width actually used at every table width (entry i = width i + 1):
+    /// together with effective_times() this is the table's complete
+    /// serialized state — everything else is derived (see the restore
+    /// constructor).
+    [[nodiscard]] const std::vector<WireCount>& used_width_table() const noexcept
+    {
+        return used_widths_;
+    }
 
 private:
+    /// Recompute pareto_, suffix_min_area_, and min_area_ from times_
+    /// and used_widths_ (shared by the build and restore constructors).
+    void finalize_derived();
+
     const Module* module_;
     std::vector<CycleCount> times_;      ///< effective time at width i+1
     std::vector<WireCount> used_widths_; ///< width achieving times_[i]

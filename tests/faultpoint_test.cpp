@@ -163,7 +163,8 @@ TEST(FaultPoint, CatalogCoversTheDocumentedPoints)
     for (const char* required :
          {"net.accept", "net.write", "framing.read", "cache.tables_build",
           "sweep.checkpoint_write", "sweep.trailer_write", "sweep.worker_spawn",
-          "sweep.scenario", "sweep.report_write"}) {
+          "sweep.scenario", "sweep.report_write", "shm.map", "shm.publish",
+          "shm.truncate_recover", "shm.checksum"}) {
         EXPECT_TRUE(has(required)) << required;
     }
 }

@@ -386,6 +386,43 @@ TEST(Server, AdmissionControlRejectsWithTypedErrors)
     EXPECT_EQ(overloaded, 4);
 }
 
+TEST(Server, HealthAnswersInlineWhileTheExecutorIsPinned)
+{
+    ServerConfig config;
+    config.global_queue_limit = 4;
+    Server server(config);
+    server.start();
+
+    // Every executor worker is busy and two optimize requests are in
+    // flight: a health probe must still answer immediately because it
+    // runs on the connection reader thread, never the optimizer pool.
+    ExecutorBlocker blocker;
+    const net::Socket busy = net::connect(server.endpoint());
+    ASSERT_TRUE(busy.write_all(tiny_request("b1", 16) + "\n" + tiny_request("b2", 24) +
+                               "\n"));
+    ASSERT_TRUE(wait_until([&] { return server.counters().requests_admitted >= 2; }));
+
+    const net::Socket probe = net::connect(server.endpoint());
+    ASSERT_TRUE(probe.write_all(std::string(R"({"id":"h","op":"health"})") + "\n"));
+    probe.shutdown_write();
+    const std::vector<std::string> lines = split_lines(recv_all(probe));
+    ASSERT_EQ(lines.size(), 1U);
+    const JsonValue reply = response(lines[0]);
+    EXPECT_TRUE(reply.find("ok")->as_bool());
+    const JsonValue* health = reply.find("health");
+    ASSERT_NE(health, nullptr);
+    EXPECT_EQ(health->find("status")->as_string(), "ok");
+    EXPECT_EQ(health->find("shm")->as_string(), "off");
+    EXPECT_EQ(health->find("inflight")->as_int(), 2);
+    EXPECT_EQ(health->find("queue_limit")->as_int(), 4);
+    EXPECT_GT(health->find("executor_threads")->as_int(), 0);
+
+    blocker.release();
+    busy.shutdown_write();
+    EXPECT_EQ(split_lines(recv_all(busy)).size(), 2U);
+    server.stop();
+}
+
 TEST(Server, GracefulStopDrainsInFlightRequests)
 {
     Server server;

@@ -13,6 +13,7 @@
 
 #include "common/error.hpp"
 #include "common/faultpoint.hpp"
+#include "common/signals.hpp"
 #include "scenario/scenario_spec.hpp"
 #include "scenario/sweep.hpp"
 
@@ -432,6 +433,34 @@ TEST(Sweep, TrailerTornOffByKillIsRecomputedByteIdentically)
     EXPECT_EQ(resumed.resumed, 4u); // shard 0 reused
     EXPECT_EQ(resumed.executed, 4u); // trailerless shard 1 recomputed
     EXPECT_EQ(reference, read_file(dir.path() + "/report.json"));
+}
+
+TEST(Sweep, ShutdownRequestInterruptsSupervisedRunAndResumeCompletes)
+{
+    const TempDir dir;
+    const std::vector<Scenario> scenarios = small_scenarios();
+    SweepOptions options = options_for(dir.path(), 4, 1);
+    options.workers = 2;
+    options.backoff_base_ms = 0;
+
+    // A shutdown request pending when the supervisor starts: it must
+    // bail out before spawning anything, report the interruption, and
+    // leave whatever checkpoints exist for a later resume.
+    ShutdownLatch::global().reset();
+    ShutdownLatch::global().request();
+    const SweepOutcome interrupted = run_sweep("sweep-test", scenarios, options);
+    ShutdownLatch::global().reset();
+    EXPECT_TRUE(interrupted.interrupted);
+    EXPECT_FALSE(interrupted.drain_killed);
+    EXPECT_EQ(interrupted.executed, 0u);
+    EXPECT_TRUE(interrupted.report_path.empty());
+
+    // The rerun completes normally and writes the full report.
+    const SweepOutcome resumed = run_sweep("sweep-test", scenarios, options);
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.executed + resumed.resumed, 8u);
+    EXPECT_EQ(read_file(resumed.report_path),
+              read_file(dir.path() + "/report.json"));
 }
 
 TEST(Sweep, RejectsUnusableOptions)

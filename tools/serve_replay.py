@@ -2,7 +2,7 @@
 """Replay a JSON-lines request file through a running `mst serve --listen`
 endpoint and print the responses to stdout.
 
-Usage: tools/serve_replay.py HOST:PORT REQUESTS.jsonl [--stream]
+Usage: tools/serve_replay.py HOST:PORT REQUESTS.jsonl [--stream] [--resume]
 
 Default is ordered mode: the client opens one TCP connection, sends
 `{"op":"hello","v":1,"stream":false}` as the first frame, then every
@@ -11,6 +11,14 @@ the hello response, and prints the remaining lines. In ordered mode that
 output is byte-identical to `mst replay REQUESTS.jsonl`, which is
 exactly what CI's service-smoke job asserts with cmp(1).
 
+With --resume the client survives worker death in a prefork pool: when
+the connection drops with requests still unanswered, it reconnects and
+resends the unanswered suffix on a fresh connection (new hello
+included). Only '\n'-terminated lines count as answered, so a response
+torn mid-byte by a dying worker is re-requested, never half-counted.
+Because every worker in the pool computes identical answers, the
+concatenated output is still byte-identical to an undisturbed replay.
+
 With --stream the hello is omitted (streaming is the default on the
 wire) and responses are printed in arrival order; the caller is expected
 to compare after an id-keyed sort rather than byte-for-byte. Stdlib-only
@@ -18,25 +26,14 @@ on purpose.
 """
 import socket
 import sys
+import time
 
 HELLO = b'{"op":"hello","v":1,"stream":false}\n'
 
 
-def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
-    flags = {a for a in argv[1:] if a.startswith("--")}
-    unknown = flags - {"--stream"}
-    if len(args) != 2 or unknown:
-        sys.stderr.write(__doc__)
-        return 2
-    host, _, port = args[0].rpartition(":")
-    with open(args[1], "rb") as f:
-        payload = f.read()
-    if not payload.endswith(b"\n"):
-        payload += b"\n"
-
-    ordered = "--stream" not in flags
-    with socket.create_connection((host, int(port)), timeout=60) as sock:
+def replay_once(host, port, payload, ordered):
+    """One connection: send everything, read to EOF, return raw bytes."""
+    with socket.create_connection((host, port), timeout=60) as sock:
         if ordered:
             sock.sendall(HELLO)
         sock.sendall(payload)
@@ -47,16 +44,77 @@ def main(argv):
             if not chunk:
                 break
             chunks.append(chunk)
+    return b"".join(chunks)
 
-    lines = b"".join(chunks).split(b"\n")
-    if lines and lines[-1] == b"":
+
+def complete_lines(data, ordered, drop_torn=False):
+    """Split lines, dropping the hello ack in ordered mode. With
+    drop_torn, an unterminated tail (a response cut mid-byte by a dying
+    worker) is discarded so it can be re-requested. Returns (lines, ok):
+    ok is False when the hello ack is missing or malformed."""
+    lines = data.split(b"\n")
+    if lines and (drop_torn or lines[-1] == b""):
         lines.pop()
     if ordered:
         if not lines or b'"hello"' not in lines[0]:
-            sys.stderr.write("serve_replay: missing hello response\n")
-            return 1
+            return [], False
         lines.pop(0)
+    return lines, True
+
+
+def replay_resume(host, port, requests, deadline_s=120.0):
+    """Reconnect-and-resume loop for prefork pools under chaos."""
+    responses = []
+    deadline = time.monotonic() + deadline_s
+    while len(responses) < len(requests):
+        if time.monotonic() >= deadline:
+            sys.stderr.write(
+                "serve_replay: resume did not finish: %d/%d\n"
+                % (len(responses), len(requests))
+            )
+            return responses, False
+        payload = b"".join(r + b"\n" for r in requests[len(responses):])
+        try:
+            data = replay_once(host, port, payload, ordered=True)
+        except OSError:
+            time.sleep(0.05)  # pool is respawning the dead worker
+            continue
+        lines, ok = complete_lines(data, ordered=True, drop_torn=True)
+        if not ok:
+            time.sleep(0.05)
+            continue
+        responses.extend(lines)
+    return responses, True
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    unknown = flags - {"--stream", "--resume"}
+    if len(args) != 2 or unknown or flags >= {"--stream", "--resume"}:
+        sys.stderr.write(__doc__)
+        return 2
+    host, _, port = args[0].rpartition(":")
+    port = int(port)
+    with open(args[1], "rb") as f:
+        raw = f.read()
+
     out = sys.stdout.buffer
+    if "--resume" in flags:
+        requests = [line for line in raw.split(b"\n") if line]
+        responses, ok = replay_resume(host, port, requests)
+        for line in responses:
+            out.write(line + b"\n")
+        out.flush()
+        return 0 if ok else 1
+
+    payload = raw if raw.endswith(b"\n") else raw + b"\n"
+    ordered = "--stream" not in flags
+    data = replay_once(host, port, payload, ordered)
+    lines, ok = complete_lines(data, ordered)
+    if not ok:
+        sys.stderr.write("serve_replay: missing hello response\n")
+        return 1
     for line in lines:
         out.write(line + b"\n")
     out.flush()
